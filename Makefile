@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all test bench examples clean outputs
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/attack_demo.exe
+	dune exec examples/policy_lab.exe
+	dune exec examples/tracing.exe
+	dune exec examples/threads.exe
+
+# the artifacts EXPERIMENTS.md is based on
+outputs:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
