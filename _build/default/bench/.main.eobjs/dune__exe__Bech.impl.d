@@ -1,0 +1,1 @@
+bench/bech.ml: Analyze Bechamel Benchmark Common Hashtbl Httpd Instance List Measure Option Policy Printf Shift Shift_attacks Spec Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/common.ml: Format Hashtbl List Printf Shift Shift_compiler Shift_machine Shift_mem Shift_policy Shift_workloads String

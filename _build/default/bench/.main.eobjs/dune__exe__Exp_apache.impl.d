@@ -1,0 +1,1 @@
+bench/exp_apache.ml: Common Format Httpd Int64 List Mode Printf Shift

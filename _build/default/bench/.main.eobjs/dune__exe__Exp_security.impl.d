@@ -1,0 +1,1 @@
+bench/exp_security.ml: Common List Printf Shift Shift_attacks Shift_machine Shift_policy

@@ -1,0 +1,1 @@
+bench/exp_spec.ml: Common Fun List Mode Policy Printf Shift Shift_compiler Shift_isa Shift_machine Shift_runtime Spec

@@ -1,0 +1,1 @@
+bench/exp_speculation.ml: Common Cond Instr Int64 List Printf Program Reg Shift_compiler Shift_isa Shift_machine Shift_mem

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bech Exp_apache Exp_security Exp_spec Exp_speculation List Printf String Sys

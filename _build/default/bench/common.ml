@@ -1,0 +1,88 @@
+(* Shared machinery for the experiment harness. *)
+
+module Mode = Shift_compiler.Mode
+module Spec = Shift_workloads.Spec
+module Httpd = Shift_workloads.Httpd
+module Policy = Shift_policy.Policy
+module Stats = Shift_machine.Stats
+
+let fuel = 1_000_000_000
+
+(* ---------- kernel runs, memoised across experiments ---------- *)
+
+type krun = {
+  report : Shift.Report.t;
+  image : Shift_compiler.Image.t;
+}
+
+let kernel_cache : (string, krun) Hashtbl.t = Hashtbl.create 64
+
+let image_of_kernel (k : Spec.kernel) mode =
+  Shift.Session.build ~mode k.Spec.program
+
+let run_kernel ?(tainted = true) (k : Spec.kernel) mode =
+  let key =
+    Printf.sprintf "%s/%s/%b" k.Spec.name (Mode.to_string mode) tainted
+  in
+  match Hashtbl.find_opt kernel_cache key with
+  | Some r -> r
+  | None ->
+      let image = image_of_kernel k mode in
+      let report =
+        Shift.Session.run_image ~policy:Policy.default ~fuel
+          ~setup:(Spec.setup ~tainted k) image
+      in
+      (match report.Shift.Report.outcome with
+      | Shift.Report.Exited _ -> ()
+      | o ->
+          Printf.eprintf "kernel %s under %s did not finish: %s\n%!" k.Spec.name
+            (Mode.to_string mode)
+            (Format.asprintf "%a" Shift.Report.pp_outcome o));
+      let r = { report; image } in
+      Hashtbl.replace kernel_cache key r;
+      r
+
+let cycles_of ?tainted k mode = (run_kernel ?tainted k mode).report.Shift.Report.stats.Stats.cycles
+
+let slowdown ?tainted k mode =
+  float_of_int (cycles_of ?tainted k mode)
+  /. float_of_int (cycles_of ~tainted:false k Mode.Uninstrumented)
+
+(* ---------- modes ---------- *)
+
+let word = Mode.shift_word
+let byte = Mode.shift_byte
+let word_enh1 = Mode.Shift { granularity = Shift_mem.Granularity.Word; enh = Mode.enh1 }
+let byte_enh1 = Mode.Shift { granularity = Shift_mem.Granularity.Byte; enh = Mode.enh1 }
+let word_both = Mode.Shift { granularity = Shift_mem.Granularity.Word; enh = Mode.enh_both }
+let byte_both = Mode.Shift { granularity = Shift_mem.Granularity.Byte; enh = Mode.enh_both }
+let dbt = Mode.Software_dbt { granularity = Shift_mem.Granularity.Word }
+
+(* ---------- output helpers ---------- *)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
+
+let table ~columns rows =
+  let widths =
+    List.mapi
+      (fun c title ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row c)))
+          (String.length title) rows)
+      columns
+  in
+  let print_row cells =
+    let padded = List.map2 (fun w s -> Printf.sprintf "%-*s" w s) widths cells in
+    Printf.printf "  %s\n" (String.concat "  " padded)
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let geomean values =
+  exp (List.fold_left (fun acc v -> acc +. log v) 0. values /. float_of_int (List.length values))
+
+let pct x = Printf.sprintf "%.1f%%" (x *. 100.)
+let f2 x = Printf.sprintf "%.2f" x

@@ -1,0 +1,254 @@
+(* Figures 7-9 and Table 3: the SPEC-INT2000-like kernel experiments. *)
+
+open Common
+module Prov = Shift_isa.Prov
+module Image = Shift_compiler.Image
+
+let kernels = Spec.all
+
+(* ---------- Figure 7 ---------- *)
+
+let fig7 () =
+  header "Figure 7: SPEC-like kernel slowdown (byte/word x unsafe/safe inputs)";
+  let rows =
+    List.map
+      (fun k ->
+        [
+          k.Spec.name;
+          f2 (slowdown ~tainted:true k byte);
+          f2 (slowdown ~tainted:false k byte);
+          f2 (slowdown ~tainted:true k word);
+          f2 (slowdown ~tainted:false k word);
+        ])
+      kernels
+  in
+  let avg mode tainted = geomean (List.map (fun k -> slowdown ~tainted k mode) kernels) in
+  table
+    ~columns:[ "kernel"; "byte-unsafe"; "byte-safe"; "word-unsafe"; "word-safe" ]
+    (rows
+    @ [
+        [
+          "geo-mean";
+          f2 (avg byte true);
+          f2 (avg byte false);
+          f2 (avg word true);
+          f2 (avg word false);
+        ];
+      ]);
+  note "paper: byte-level average 2.81X (range 1.32-4.73X), word-level average";
+  note "2.27X (range 1.34-3.80X); byte >= word, unsafe >= safe, and memory-";
+  note "bound mcf shows the smallest slowdown."
+
+(* ---------- Figure 8 ---------- *)
+
+let fig8 () =
+  header "Figure 8: impact of the minor architectural enhancements";
+  let rows =
+    List.concat_map
+      (fun k ->
+        let base_b = slowdown k byte and base_w = slowdown k word in
+        let sc_b = slowdown k byte_enh1 and sc_w = slowdown k word_enh1 in
+        let both_b = slowdown k byte_both and both_w = slowdown k word_both in
+        [
+          [
+            k.Spec.name ^ "/byte";
+            f2 base_b;
+            f2 sc_b;
+            f2 both_b;
+            pct (base_b -. both_b);
+          ];
+          [
+            k.Spec.name ^ "/word";
+            f2 base_w;
+            f2 sc_w;
+            f2 both_w;
+            pct (base_w -. both_w);
+          ];
+        ])
+      kernels
+  in
+  table
+    ~columns:
+      [ "kernel/gran"; "base slowdown"; "+set/clr NaT"; "+both (taint-aware cmp)";
+        "slowdown reduction" ]
+    rows;
+  let red gran base enh =
+    geomean (List.map (fun k -> slowdown k base) kernels)
+    -. geomean (List.map (fun k -> slowdown k enh) kernels)
+    |> fun d -> Printf.sprintf "%s: %.2f" gran d
+  in
+  note "average slowdown reduction with both enhancements: %s, %s"
+    (red "byte" byte byte_both) (red "word" word word_both);
+  note "paper: set/clear NaT alone reduces slowdown ~16%%; combining both";
+  note "enhancements reduces it 49%%/47%% (byte/word), ranging 2%%-173%% per";
+  note "benchmark with gcc gaining most and mcf least.";
+  note "(reduction is the difference of slowdown factors, as in the paper)"
+
+(* ---------- Figure 9 ---------- *)
+
+let fig9 () =
+  header "Figure 9: overhead breakdown (computation vs memory access, loads vs stores)";
+  let rows =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun (gran_name, mode) ->
+            let run = run_kernel k mode in
+            let stats = run.report.Shift.Report.stats in
+            let slots p = Shift_machine.Stats.slots stats p in
+            let ld_c = slots Prov.Ld_compute and ld_m = slots Prov.Ld_mem in
+            let st_c = slots Prov.St_compute and st_m = slots Prov.St_mem in
+            let relax = slots Prov.Cmp_relax and natgen = slots Prov.Nat_gen in
+            let total = float_of_int (ld_c + ld_m + st_c + st_m + relax + natgen) in
+            let share n = float_of_int n /. total in
+            [
+              Printf.sprintf "%s/%s" k.Spec.name gran_name;
+              pct (share ld_c);
+              pct (share ld_m);
+              pct (share st_c);
+              pct (share st_m);
+              pct (share relax);
+              pct (share natgen);
+            ])
+          [ ("byte", byte); ("word", word) ])
+      kernels
+  in
+  table
+    ~columns:
+      [ "kernel/gran"; "ld-compute"; "ld-bitmap"; "st-compute"; "st-bitmap";
+        "cmp-relax"; "nat-gen" ]
+    rows;
+  note "shares of instrumentation issue slots (the work SHIFT adds).  paper:";
+  note "computation dominates memory access (tag-address arithmetic is the";
+  note "expensive part; the bitmap mostly hits in L1), and load instrumentation";
+  note "outweighs store instrumentation because loads are more frequent."
+
+(* ---------- Table 3 ---------- *)
+
+let table3 () =
+  header "Table 3: compiler instrumentation impact on code size";
+  let runtime_names = Shift_runtime.Runtime.names in
+  let size_of image names =
+    List.fold_left
+      (fun acc (name, n) -> if List.mem name names then acc + n else acc)
+      0 image.Image.func_sizes
+  in
+  let app_size image =
+    List.fold_left
+      (fun acc (name, n) ->
+        if List.mem name runtime_names then acc else acc + n)
+      0 image.Image.func_sizes
+  in
+  let glibc_row =
+    (* measure the runtime library within any kernel image *)
+    let k = List.hd kernels in
+    let orig = size_of (image_of_kernel k Mode.Uninstrumented) runtime_names in
+    let w = size_of (image_of_kernel k word) runtime_names in
+    let b = size_of (image_of_kernel k byte) runtime_names in
+    [
+      "runtime (glibc)";
+      string_of_int orig;
+      string_of_int w;
+      pct (float_of_int (w - orig) /. float_of_int orig);
+      string_of_int b;
+      pct (float_of_int (b - orig) /. float_of_int orig);
+    ]
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let orig = app_size (image_of_kernel k Mode.Uninstrumented) in
+        let w = app_size (image_of_kernel k word) in
+        let b = app_size (image_of_kernel k byte) in
+        [
+          k.Spec.name;
+          string_of_int orig;
+          string_of_int w;
+          pct (float_of_int (w - orig) /. float_of_int orig);
+          string_of_int b;
+          pct (float_of_int (b - orig) /. float_of_int orig);
+        ])
+      kernels
+  in
+  table
+    ~columns:
+      [ "unit"; "orig (instrs)"; "word"; "word ovh"; "byte"; "byte ovh" ]
+    (glibc_row :: rows);
+  note "paper: glibc grows 36%%/45%% (word/byte); the benchmarks grow more";
+  note "(132%%-288%%) because a larger share of their code is loads, stores and";
+  note "compares; byte-level needs more code than word-level everywhere."
+
+(* ---------- LIFT comparison ---------- *)
+
+let lift () =
+  header "Software-DBT baseline (LIFT-like) vs SHIFT";
+  let rows =
+    List.map
+      (fun k ->
+        [
+          k.Spec.name;
+          f2 (slowdown k word);
+          f2 (slowdown k dbt);
+        ])
+      kernels
+  in
+  table ~columns:[ "kernel"; "SHIFT word"; "software DBT" ] rows;
+  note "geo-mean: SHIFT %s vs software %s" (f2 (geomean (List.map (fun k -> slowdown k word) kernels)))
+    (f2 (geomean (List.map (fun k -> slowdown k dbt) kernels)));
+  note "paper: software-based DIFT costs 4.6X (LIFT, heavily optimized) up to";
+  note "37X, vs SHIFT's 2.27X at word level.  Our unoptimized DBT baseline lands";
+  note "inside that software range; reusing the deferred-exception hardware";
+  note "beats maintaining register tags in software by a wide margin."
+
+(* ---------- compiler-optimization ablations ---------- *)
+
+let ablation () =
+  header "Ablation: the SHIFT compiler's optimizations (word level, unsafe)";
+  let with_knob knob value f =
+    let old = !knob in
+    knob := value;
+    Fun.protect ~finally:(fun () -> knob := old) f
+  in
+  let fresh_slowdown k =
+    (* bypass the cache: these knobs change generated code *)
+    let image = Shift.Session.build ~mode:word k.Spec.program in
+    let report =
+      Shift.Session.run_image ~policy:Policy.default ~fuel
+        ~setup:(Spec.setup ~tainted:true k) image
+    in
+    float_of_int report.Shift.Report.stats.Shift_machine.Stats.cycles
+    /. float_of_int (cycles_of ~tainted:false k Mode.Uninstrumented)
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let optimized = slowdown k word in
+        let no_analysis =
+          with_knob Shift_compiler.Instrument.relax_all_compares true (fun () ->
+              fresh_slowdown k)
+        in
+        let no_skip =
+          with_knob Shift_compiler.Instrument.skip_save_restore false (fun () ->
+              fresh_slowdown k)
+        in
+        let per_use =
+          with_knob Shift_compiler.Instrument.nat_source_strategy
+            Shift_compiler.Instrument.Per_use (fun () -> fresh_slowdown k)
+        in
+        [ k.Spec.name; f2 optimized; f2 no_analysis; f2 no_skip; f2 per_use ])
+      kernels
+  in
+  table
+    ~columns:
+      [ "kernel"; "optimized"; "relax all compares"; "instrument reg save/restore";
+        "NaT source per use" ]
+    rows;
+  note "the static taint analysis (relax only possibly-tainted compares) and the";
+  note "UNAT-carried register save/restore are the two compiler optimizations";
+  note "DESIGN.md calls out; both are essential to SHIFT-level overheads.";
+  note "\"NaT source per use\" regenerates the tag-source register at every";
+  note "tainting site — the strategy the paper's §4.4 measured at ~3X the cost";
+  note "of keeping it resident.  In this simulator the extra sequence hides in";
+  note "spare issue slots, so the penalty is small: the paper's 3X was Itanium";
+  note "scheduling pressure, which a 6-wide in-order model with free slots in";
+  note "instrumented code does not reproduce."

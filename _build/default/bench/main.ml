@@ -1,0 +1,41 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md section 4 for the index).
+
+   Usage: main.exe [table1|table2|fig6|fig7|fig8|fig9|table3|lift|ablation|bechamel]...
+   With no argument, everything runs. *)
+
+let experiments =
+  [
+    ("table1", Exp_security.table1);
+    ("table2", Exp_security.table2);
+    ("fig6", Exp_apache.fig6);
+    ("fig7", Exp_spec.fig7);
+    ("fig8", Exp_spec.fig8);
+    ("fig9", Exp_spec.fig9);
+    ("table3", Exp_spec.table3);
+    ("lift", Exp_spec.lift);
+    ("ablation", Exp_spec.ablation);
+    ("speculation", Exp_speculation.speculation);
+    ("bechamel", Bech.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match args with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name experiments with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S; available: %s\n" name
+                  (String.concat ", " (List.map fst experiments));
+                exit 2)
+          names
+  in
+  print_endline "SHIFT reproduction harness (Chen et al., ISCA 2008)";
+  print_endline "measured numbers come from the simulated Itanium-like machine;";
+  print_endline "paper references are quoted under each table.";
+  List.iter (fun (_, f) -> f ()) selected

@@ -1,0 +1,315 @@
+(* shiftc: command-line driver for the SHIFT reproduction.
+
+   - [shiftc list]                      what's runnable
+   - [shiftc run gzip --mode word]      run a kernel, print the report
+   - [shiftc attack tar --exploit]      run a Table-2 case
+   - [shiftc httpd --size 4096]         run the web-server workload
+   - [shiftc disasm gzip --mode word]   instrumented listing
+   - [shiftc policies]                  the policy catalogue *)
+
+open Cmdliner
+module Mode = Shift_compiler.Mode
+module Spec = Shift_workloads.Spec
+module Httpd = Shift_workloads.Httpd
+module Policy = Shift_policy.Policy
+module Case = Shift_attacks.Attack_case
+module Stats = Shift_machine.Stats
+
+(* ---------- shared options ---------- *)
+
+let mode_of_string s =
+  let gran g = function
+    | "byte" -> Shift_mem.Granularity.Byte
+    | "word" -> Shift_mem.Granularity.Word
+    | _ -> g
+  in
+  match String.split_on_char '+' s with
+  | [ "none" ] | [ "uninstrumented" ] -> Ok Mode.Uninstrumented
+  | [ "dbt" ] | [ "software" ] ->
+      Ok (Mode.Software_dbt { granularity = Shift_mem.Granularity.Word })
+  | base :: enhs when base = "byte" || base = "word" ->
+      let enh =
+        {
+          Mode.set_clear_nat = List.mem "setclr" enhs || List.mem "both" enhs;
+          nat_aware_cmp = List.mem "tacmp" enhs || List.mem "both" enhs;
+        }
+      in
+      Ok (Mode.Shift { granularity = gran Shift_mem.Granularity.Word base; enh })
+  | _ ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown mode %S (try none, word, byte, word+setclr, byte+both, dbt)" s))
+
+let mode_conv =
+  Arg.conv ((fun s -> mode_of_string s), fun ppf m -> Mode.pp ppf m)
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Mode.shift_word
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:
+          "Compilation mode: $(b,none), $(b,word), $(b,byte), optionally with \
+           +setclr/+tacmp/+both architectural enhancements, or $(b,dbt) for \
+           the software baseline.")
+
+let print_report (r : Shift.Report.t) =
+  Format.printf "outcome:      %a@." Shift.Report.pp_outcome r.Shift.Report.outcome;
+  List.iter
+    (fun a -> Format.printf "logged alert: %s@." (Shift_policy.Alert.to_string a))
+    r.Shift.Report.logged;
+  let s = r.Shift.Report.stats in
+  Format.printf "instructions: %d@.cycles:       %d@.loads/stores: %d/%d@."
+    s.Stats.instructions s.Stats.cycles s.Stats.loads s.Stats.stores;
+  Format.printf "io cycles:    %d@." s.Stats.io_cycles;
+  let instr = Stats.instrumentation_slots s in
+  if instr > 0 then
+    Format.printf "instrumentation slots: %d (%.1f%% of issue slots)@." instr
+      (100.0 *. float_of_int instr /. float_of_int (Stats.total_slots s));
+  if String.length r.Shift.Report.output > 0 then
+    Format.printf "guest output (%d bytes):@.%s@."
+      (String.length r.Shift.Report.output)
+      (if String.length r.Shift.Report.output > 2048 then
+         String.sub r.Shift.Report.output 0 2048 ^ "..."
+       else r.Shift.Report.output)
+
+(* ---------- commands ---------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "kernels (shiftc run NAME):";
+    List.iter
+      (fun (k : Spec.kernel) ->
+        Printf.printf "  %-8s %s (default input %d bytes)\n" k.Spec.name
+          k.Spec.description k.Spec.default_size)
+      Spec.all;
+    print_endline "attack cases (shiftc attack NAME):";
+    List.iter
+      (fun (c : Case.t) ->
+        Printf.printf "  %-22s %-22s %s\n" c.Case.program_name c.Case.attack_type
+          c.Case.cve)
+      Shift_attacks.Attacks.all;
+    print_endline "other: shiftc httpd";
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List runnable kernels and attack cases")
+    Term.(const run $ const ())
+
+let find_kernel name =
+  match Spec.find name with
+  | Some k -> Ok k
+  | None ->
+      Error
+        (Printf.sprintf "unknown kernel %S; try: %s" name
+           (String.concat ", " (List.map (fun (k : Spec.kernel) -> k.Spec.name) Spec.all)))
+
+let run_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Input size (default: the kernel's).")
+  in
+  let safe_arg =
+    Arg.(value & flag & info [ "safe" ] ~doc:"Leave the input file untainted.")
+  in
+  let run name mode size safe =
+    match find_kernel name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok k ->
+        let r =
+          Shift.Session.run ~policy:Policy.default
+            ~setup:(Spec.setup ?size ~tainted:(not safe) k)
+            ~mode k.Spec.program
+        in
+        Format.printf "kernel %s under %a@." k.Spec.name Mode.pp mode;
+        print_report r;
+        0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a SPEC-like kernel on the simulated machine")
+    Term.(const run $ name_arg $ mode_arg $ size_arg $ safe_arg)
+
+let attack_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Attack case (prefix of the program name).")
+  in
+  let benign_arg =
+    Arg.(value & flag & info [ "benign" ] ~doc:"Use the benign input instead of the exploit.")
+  in
+  let run name mode benign =
+    match Shift_attacks.Attacks.find name with
+    | None ->
+        prerr_endline "unknown attack case; see `shiftc list`";
+        1
+    | Some c ->
+        let input = if benign then c.Case.benign else c.Case.exploit in
+        Format.printf "%s (%s) — %s input under %a@." c.Case.program_name c.Case.cve
+          (if benign then "benign" else "exploit")
+          Mode.pp mode;
+        Format.printf "policies: %s@." c.Case.detection_policies;
+        print_report
+          (Shift.Session.run ~policy:c.Case.policy ~setup:input ~mode c.Case.program);
+        0
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run a Table-2 security-evaluation case")
+    Term.(const run $ name_arg $ mode_arg $ benign_arg)
+
+let httpd_cmd =
+  let size_arg =
+    Arg.(value & opt int 4096 & info [ "size" ] ~docv:"BYTES" ~doc:"Static file size.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 10 & info [ "requests" ] ~docv:"N" ~doc:"Requests to serve.")
+  in
+  let run mode file_size requests =
+    let r =
+      Shift.Session.run ~policy:Httpd.policy ~io_cost:Httpd.io_cost
+        ~setup:(Httpd.setup ~file_size ~requests)
+        ~mode Httpd.program
+    in
+    Format.printf "httpd: %d requests of a %d-byte file under %a@." requests file_size
+      Mode.pp mode;
+    let s = r.Shift.Report.stats in
+    Format.printf "outcome: %a; cycles/request: %d@." Shift.Report.pp_outcome
+      r.Shift.Report.outcome (s.Stats.cycles / max requests 1);
+    0
+  in
+  Cmd.v
+    (Cmd.info "httpd" ~doc:"Run the web-server workload (the Figure-6 substrate)")
+    Term.(const run $ mode_arg $ size_arg $ requests_arg)
+
+let disasm_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name.")
+  in
+  let run name mode =
+    match find_kernel name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok k ->
+        let image = Shift.Session.build ~mode k.Spec.program in
+        Format.printf "%a@." Shift_isa.Program.pp_listing
+          image.Shift_compiler.Image.program;
+        0
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Print the (instrumented) listing of a kernel")
+    Term.(const run $ name_arg $ mode_arg)
+
+let trace_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 200 & info [ "limit" ] ~docv:"N" ~doc:"Instructions to trace.")
+  in
+  let run name mode limit =
+    match find_kernel name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok k ->
+        let image = Shift.Session.build ~mode k.Spec.program in
+        let cpu = Shift.Session.load image in
+        let world =
+          Shift_os.World.create ~policy:Policy.default
+            ~gran:(Shift.Session.gran_of_mode mode) ()
+        in
+        Shift_workloads.Spec.setup ~tainted:true k world;
+        cpu.Shift_machine.Cpu.syscall_handler <- Some (Shift_os.World.handler world);
+        let count = ref 0 in
+        cpu.Shift_machine.Cpu.trace <-
+          Some
+            (fun t ip i ->
+              incr count;
+              if !count > limit then raise Exit;
+              let nats =
+                List.filter (Shift_machine.Cpu.get_nat t) (List.init 128 Fun.id)
+              in
+              Format.printf "%6d  %4d  %-44s%s@." !count ip (Shift_isa.Instr.to_string i)
+                (if nats = [] then ""
+                 else
+                   " NaT:{"
+                   ^ String.concat "," (List.map (Printf.sprintf "r%d") nats)
+                   ^ "}"));
+        (try ignore (Shift_machine.Cpu.run ~fuel:limit cpu) with Exit -> ());
+        0
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Trace a kernel instruction by instruction with NaT annotations")
+    Term.(const run $ name_arg $ mode_arg $ limit_arg)
+
+let exec_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A tinyc source file (see lib/ir/parse.mli).")
+  in
+  let taint_file_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string string) []
+      & info [ "file" ] ~docv:"PATH=CONTENT"
+          ~doc:"Install a (tainted) file into the guest's file system; repeatable.")
+  in
+  let request_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "request" ] ~docv:"PAYLOAD"
+          ~doc:"Queue a network connection the guest can accept; repeatable.")
+  in
+  let threads_arg =
+    Arg.(
+      value & flag
+      & info [ "threads" ]
+          ~doc:"Run with SMP support so the guest may sys_spawn/sys_join.")
+  in
+  let run path mode files requests threads =
+    match Parse.program_of_file path with
+    | exception Parse.Parse_error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" path line message;
+        1
+    | prog -> (
+        let policy = { Policy.default with Policy.taint_files = true } in
+        let setup w =
+          List.iter (fun (p, c) -> Shift_os.World.add_file w p c) files;
+          List.iter (Shift_os.World.queue_request w) requests
+        in
+        let runner = if threads then Shift.Session.run_mt ?quantum:None else Shift.Session.run in
+        match runner ~policy ~setup ~mode prog with
+        | r ->
+            print_report r;
+            0
+        | exception Shift_compiler.Compile.Error msg ->
+            Printf.eprintf "%s: %s\n" path msg;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Compile and run a tinyc source file under SHIFT")
+    Term.(const run $ file_arg $ mode_arg $ taint_file_arg $ request_arg $ threads_arg)
+
+let policies_cmd =
+  let run () =
+    List.iter print_endline (Policy.describe (Policy.all_on ~document_root:"<root>"));
+    0
+  in
+  Cmd.v (Cmd.info "policies" ~doc:"Show the policy catalogue (paper Table 1)")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "SHIFT: information flow tracking on speculative hardware (ISCA'08 reproduction)" in
+  let info = Cmd.info "shiftc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; attack_cmd; httpd_cmd; disasm_cmd; exec_cmd; trace_cmd; policies_cmd ]))

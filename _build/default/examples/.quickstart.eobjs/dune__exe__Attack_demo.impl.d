@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Format List Shift Shift_attacks Shift_compiler Shift_os Shift_policy String

@@ -1,0 +1,1 @@
+examples/attack_demo.mli:

@@ -1,0 +1,1 @@
+examples/policy_lab.ml: Format Lazy List Shift Shift_compiler Shift_os Shift_policy Shift_workloads String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Buffer Build Format Ir List Shift Shift_compiler Shift_machine Shift_mem Shift_os Shift_policy

@@ -1,0 +1,1 @@
+examples/threads.ml: Build Char Format Ir List Shift Shift_compiler Shift_os String

@@ -1,0 +1,1 @@
+examples/tracing.ml: Array Build Format Instr Int64 Ir List Program Reg Shift Shift_compiler Shift_isa Shift_machine String

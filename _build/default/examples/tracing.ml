@@ -1,0 +1,77 @@
+(* Tracing: watch NaT bits move through the pipeline, and read the
+   SHIFT instrumentation the compiler inserts.
+
+   Run with: dune exec examples/tracing.exe *)
+
+open Shift_isa
+module Cpu = Shift_machine.Cpu
+
+(* -------- part 1: the deferred-exception lifecycle, hand-written ---- *)
+
+let m ?qp op = Program.I (Instr.mk ?qp op)
+
+let demo_program =
+  Program.assemble
+    [
+      (* conjure a NaT the Figure-5 way: speculative load from a faked
+         invalid address *)
+      m (Instr.Movi (5, Int64.shift_left 1L 45));
+      m (Instr.Ld { width = Instr.W8; dst = 5; addr = 5; spec = true; fill = false });
+      (* propagate it through computation *)
+      m (Instr.Movi (6, 41L));
+      m (Instr.Arith (Instr.Add, 7, 6, Instr.R 5));
+      (* test it, then purge it with the xor idiom *)
+      m (Instr.Tnat { pt = 1; pf = 2; src = 7 });
+      m (Instr.Arith (Instr.Xor, 7, 7, Instr.R 7));
+      m (Instr.Tnat { pt = 3; pf = 4; src = 7 });
+      m Instr.Halt;
+    ]
+
+let trace_nat () =
+  print_endline "== NaT propagation, instruction by instruction ==";
+  let cpu = Cpu.create demo_program in
+  cpu.Cpu.trace <-
+    Some
+      (fun t ip i ->
+        let nats =
+          List.filter (Cpu.get_nat t) [ 5; 6; 7 ]
+          |> List.map (fun r -> Reg.to_string r)
+          |> String.concat ","
+        in
+        Format.printf "  %2d  %-28s NaT:{%s}@." ip (Instr.to_string i) nats);
+  (match Cpu.run cpu with
+  | Cpu.Exited _ -> ()
+  | _ -> prerr_endline "unexpected outcome");
+  Format.printf "  final predicates: p1(tainted before xor)=%b p3(after xor)=%b@.@."
+    cpu.Cpu.preds.(1) cpu.Cpu.preds.(3)
+
+(* -------- part 2: what the SHIFT pass inserts ----------------------- *)
+
+open Build
+open Build.Infix
+
+let tiny =
+  {
+    Ir.globals = [];
+    funcs =
+      [
+        func "main" ~params:[] ~locals:[ array "a" 8; scalar "x" ]
+          [
+            set "x" (load64 (v "a"));
+            store64 (v "a") (v "x" +: i 1);
+            ret (v "x");
+          ];
+      ];
+  }
+
+let show_listing mode =
+  let image = Shift.Session.build ~with_runtime:false ~mode tiny in
+  Format.printf "== main() compiled with mode %s (%d instructions) ==@."
+    (Shift_compiler.Mode.to_string mode)
+    (Shift_compiler.Image.code_size image);
+  Format.printf "%a@." Program.pp_listing image.Shift_compiler.Image.program
+
+let () =
+  trace_nat ();
+  show_listing Shift_compiler.Mode.Uninstrumented;
+  show_listing Shift_compiler.Mode.shift_word

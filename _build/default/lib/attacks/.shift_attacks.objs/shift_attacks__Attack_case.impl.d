@@ -1,0 +1,1 @@
+lib/attacks/attack_case.ml: Ir Shift_os Shift_policy

@@ -1,0 +1,1 @@
+lib/attacks/attack_case.mli: Ir Shift_os Shift_policy

@@ -1,0 +1,1 @@
+lib/attacks/attacks.mli: Attack_case Shift_compiler

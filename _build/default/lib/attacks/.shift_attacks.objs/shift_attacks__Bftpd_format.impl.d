@@ -1,0 +1,1 @@
+lib/attacks/bftpd_format.ml: Attack_case Buffer Build Int64 Ir Shift_mem Shift_os Shift_policy

@@ -1,0 +1,1 @@
+lib/attacks/cgi_ping.ml: Attack_case Build Char Ir Shift_os Shift_policy

@@ -1,0 +1,1 @@
+lib/attacks/gzip_traversal.ml: Attack_case Buffer Build Char Ir List Shift_os Shift_policy

@@ -1,0 +1,1 @@
+lib/attacks/php_stats_xss.ml: Attack_case Build Char Ir Shift_os Shift_policy

@@ -1,0 +1,1 @@
+lib/attacks/phpmyfaq_sqli.ml: Attack_case Build Char Ir Shift_os Shift_policy

@@ -1,0 +1,1 @@
+lib/attacks/phpsysinfo_xss.ml: Attack_case Build Char Ir Shift_os Shift_policy

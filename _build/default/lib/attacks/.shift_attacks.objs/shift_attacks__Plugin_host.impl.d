@@ -1,0 +1,1 @@
+lib/attacks/plugin_host.ml: Attack_case Buffer Build Int64 Ir Shift Shift_compiler Shift_isa Shift_os Shift_policy

@@ -1,0 +1,1 @@
+lib/attacks/qwik_smtpd.ml: Build Ir String

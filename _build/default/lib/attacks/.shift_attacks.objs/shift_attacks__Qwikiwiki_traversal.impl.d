@@ -1,0 +1,1 @@
+lib/attacks/qwikiwiki_traversal.ml: Attack_case Build Char Ir Shift_os Shift_policy

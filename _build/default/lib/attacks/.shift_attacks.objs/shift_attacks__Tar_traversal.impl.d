@@ -1,0 +1,1 @@
+lib/attacks/tar_traversal.ml: Attack_case Build Char Ir List Printf Shift_os Shift_policy String

@@ -1,0 +1,12 @@
+type t = {
+  cve : string;
+  program_name : string;
+  language : string;
+  attack_type : string;
+  detection_policies : string;
+  expected_policy : string;
+  program : Ir.program;
+  policy : Shift_policy.Policy.t;
+  benign : Shift_os.World.t -> unit;
+  exploit : Shift_os.World.t -> unit;
+}

@@ -1,0 +1,19 @@
+(** A security-evaluation case (one row of the paper's Table 2).
+
+    Each case is a guest program with the same vulnerability class as
+    the real CVE it stands in for, a benign input under which the
+    program must run cleanly (no false positive), and a forged exploit
+    input under which the listed policy must fire. *)
+
+type t = {
+  cve : string;               (** CVE identifier, or "N/A" *)
+  program_name : string;      (** e.g. "GNU Tar (1.4)" *)
+  language : string;          (** language of the original program *)
+  attack_type : string;       (** e.g. "Directory Traversal" *)
+  detection_policies : string;(** Table-2 "Detection Policies" column *)
+  expected_policy : string;   (** the alert the exploit must raise *)
+  program : Ir.program;
+  policy : Shift_policy.Policy.t;
+  benign : Shift_os.World.t -> unit;   (** benign-input world setup *)
+  exploit : Shift_os.World.t -> unit;  (** exploit-input world setup *)
+}

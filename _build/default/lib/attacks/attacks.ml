@@ -1,0 +1,21 @@
+let all =
+  [
+    Tar_traversal.case;
+    Gzip_traversal.case;
+    Qwikiwiki_traversal.case;
+    Scry_xss.case;
+    Php_stats_xss.case;
+    Phpsysinfo_xss.case;
+    Phpmyfaq_sqli.case;
+    Bftpd_format.case;
+  ]
+
+let extended ~mode = [ Cgi_ping.case; Plugin_host.case_for_mode mode ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt
+    (fun (c : Attack_case.t) ->
+      let n = String.lowercase_ascii c.program_name in
+      String.length n >= String.length lower && String.sub n 0 (String.length lower) = lower)
+    (all @ extended ~mode:Shift_compiler.Mode.shift_word)

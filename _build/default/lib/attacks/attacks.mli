@@ -1,0 +1,17 @@
+(** The security-evaluation suite: one guest program per row of the
+    paper's Table 2, plus the Figure-1 motivating example
+    ({!Qwik_smtpd}). *)
+
+val all : Attack_case.t list
+(** In the paper's Table-2 order: tar, gzip, Qwikiwiki, Scry,
+    php-stats, phpSysInfo, phpMyFAQ, Bftpd. *)
+
+val find : string -> Attack_case.t option
+(** Look up by [program_name] prefix (case-insensitive), extended cases
+    included (built for the word-level mode). *)
+
+val extended : mode:Shift_compiler.Mode.t -> Attack_case.t list
+(** Extension cases beyond Table 2, covering the Table-1 policies
+    without a Table-2 row: H4 (command injection) and L3 (control-flow
+    hijack through a tainted function pointer).  The L3 case embeds
+    real code addresses, so it is built per compilation mode. *)

@@ -1,0 +1,62 @@
+(* The paper's motivating example (Figure 1): the qwik-smtpd 0.3 buffer
+   overflow.
+
+   [clienthelo] (32 bytes) sits directly below [localip] (64 bytes).
+   The HELO argument is copied with an unchecked strcpy, so a long
+   argument overflows into [localip]; the relay check then compares the
+   client IP against attacker-controlled data and the attacker can
+   relay mail.  With SHIFT, the overflowing bytes are tainted, so
+   [localip] becomes tainted and the Figure-1 detection rule
+   — "if (Tainted(localip)) alert" — fires.  The guard is expressed
+   with the taint-inspection syscall, the same application-level check
+   the paper implements with [chk.s]. *)
+
+open Build
+open Build.Infix
+
+let program =
+  {
+    Ir.globals =
+      [
+        (* adjacency is the vulnerability: helo first, then localip *)
+        global_zeros "clienthelo" 32;
+        global_bytes "localip" "127.0.0.1";
+        global_bytes "clientip" "10.9.8.7";
+      ];
+    funcs =
+      [
+        (* returns 1 when relaying is allowed *)
+        func "relay_allowed" ~params:[] ~locals:[]
+          [
+            when_ (call "strcasecmp" [ v "clientip"; str "127.0.0.1" ] ==: i 0) [ ret (i 1) ];
+            when_ (call "strcasecmp" [ v "clientip"; v "localip" ] ==: i 0) [ ret (i 1) ];
+            ret (i 0);
+          ];
+        func "main" ~params:[]
+          ~locals:[ scalar "sock"; array "line" 256; scalar "arg" ]
+          [
+            set "sock" (call "sys_accept" []);
+            when_ (v "sock" <: i 0) [ ret (i 1) ];
+            Ir.Expr (call "sys_recv" [ v "sock"; v "line"; i 256 ]);
+            when_ (call "strncmp" [ v "line"; str "HELO "; i 5 ] <>: i 0) [ ret (i 2) ];
+            set "arg" (v "line" +: i 5);
+            (* no check for the length of the argument! *)
+            Ir.Expr (call "strcpy" [ v "clienthelo"; v "arg" ]);
+            (* Figure-1 exploit detection, via the paper's §3.3.3
+               user-level check: a chk.s guard on the critical data
+               redirects to the alert handler when it carries a tag *)
+            guard (load64 (v "localip"))
+              [ ecall "println" [ str "ALERT: localip is tainted" ]; ret (i 255) ];
+            if_ (call "relay_allowed" [] ==: i 1)
+              [ ecall "println" [ str "250 relaying" ] ]
+              [ ecall "println" [ str "550 relay denied" ] ];
+            ret (i 0);
+          ];
+      ];
+  }
+
+let benign_helo = "HELO mail.example.org"
+
+(* 32 bytes fill clienthelo, the rest lands in localip: the attacker
+   rewrites it to match their own address *)
+let exploit_helo = "HELO " ^ String.make 32 'A' ^ "10.9.8.7"

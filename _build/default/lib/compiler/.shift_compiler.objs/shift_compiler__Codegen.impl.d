@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Cond Hashtbl Instr Int64 Ir Layout List Option Printf Program Reg Shift_isa Sysno

@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Ir Layout Shift_isa

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Codegen Image Instrument Ir Layout List Mode Shift_isa

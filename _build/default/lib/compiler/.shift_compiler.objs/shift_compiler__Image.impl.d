@@ -1,0 +1,1 @@
+lib/compiler/image.ml: List Mode Shift_isa String

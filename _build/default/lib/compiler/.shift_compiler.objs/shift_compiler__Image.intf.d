@@ -1,0 +1,1 @@
+lib/compiler/image.mli: Mode Shift_isa

@@ -1,0 +1,1 @@
+lib/compiler/instrument.ml: Cond Instr Int64 Layout List Mode Pred Program Prov Reg Shift_isa Shift_mem Sysno Taint_analysis

@@ -1,0 +1,1 @@
+lib/compiler/instrument.mli: Mode Shift_isa

@@ -1,0 +1,1 @@
+lib/compiler/layout.ml: Buffer Hashtbl Int64 Ir List Printf Shift_mem String

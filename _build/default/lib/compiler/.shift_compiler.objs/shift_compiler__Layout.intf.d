@@ -1,0 +1,1 @@
+lib/compiler/layout.mli: Ir

@@ -1,0 +1,1 @@
+lib/compiler/mode.ml: Format Printf Shift_mem

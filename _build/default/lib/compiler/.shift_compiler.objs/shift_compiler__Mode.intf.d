@@ -1,0 +1,1 @@
+lib/compiler/mode.mli: Format Shift_mem

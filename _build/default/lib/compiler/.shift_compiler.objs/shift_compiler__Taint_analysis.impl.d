@@ -1,0 +1,1 @@
+lib/compiler/taint_analysis.ml: Array Hashtbl Instr Int64 List Pred Program Reg Shift_isa

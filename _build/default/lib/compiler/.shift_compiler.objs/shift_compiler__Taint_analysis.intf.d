@@ -1,0 +1,1 @@
+lib/compiler/taint_analysis.mli: Shift_isa

@@ -1,0 +1,56 @@
+exception Error of string
+
+(* §3.3.1 source (4): tag the result register after calls to the
+   configured functions.  The marker is a plain [setnat r8]; the
+   instrumentation pass lowers it per mode. *)
+let insert_return_taints ~taint_returns items =
+  if taint_returns = [] then items
+  else
+    List.concat_map
+      (fun item ->
+        match item with
+        | Shift_isa.Program.I { op = Shift_isa.Instr.Call f; _ }
+          when List.mem f taint_returns ->
+            [ item; Shift_isa.Program.I (Shift_isa.Instr.mk (Shift_isa.Instr.Setnat Shift_isa.Reg.ret)) ]
+        | _ -> [ item ])
+      items
+
+let compile ?(mode = Mode.Uninstrumented) ?(taint_returns = []) (prog : Ir.program) =
+  (try Ir.validate ~externals:Codegen.externals prog
+   with Ir.Invalid msg -> raise (Error msg));
+  if Ir.find_func prog "main" = None then raise (Error "program has no main function");
+  let dataseg = Layout.Dataseg.create () in
+  List.iter (Layout.Dataseg.add_global dataseg) prog.globals;
+  let scratch_addr = Layout.Dataseg.symbol dataseg Layout.scratch_symbol in
+  let units =
+    try
+      ("_start", Codegen.gen_start ())
+      :: List.map (fun (f : Ir.func) -> (f.fname, Codegen.gen_func dataseg f)) prog.funcs
+    with Codegen.Codegen_error msg -> raise (Error msg)
+  in
+  let instrumented =
+    List.map
+      (fun (name, items) ->
+        let items = insert_return_taints ~taint_returns items in
+        (name, Instrument.instrument ~mode ~scratch_addr ~is_start:(name = "_start") items))
+      units
+  in
+  let support = Instrument.support_units ~mode in
+  let count_instrs items =
+    List.fold_left
+      (fun acc -> function Shift_isa.Program.I _ -> acc + 1 | Shift_isa.Program.Label _ -> acc)
+      0 items
+  in
+  let func_sizes = List.map (fun (name, items) -> (name, count_instrs items)) instrumented in
+  let all_items = List.concat_map snd instrumented @ support in
+  let program =
+    try Shift_isa.Program.assemble all_items
+    with Shift_isa.Program.Assembly_error msg -> raise (Error msg)
+  in
+  {
+    Image.program;
+    data = Layout.Dataseg.chunks dataseg;
+    symbols = Layout.Dataseg.symbols dataseg;
+    mode;
+    func_sizes;
+  }

@@ -1,0 +1,16 @@
+(** Top-level compiler driver: validate, lay out data, generate code,
+    instrument, assemble. *)
+
+exception Error of string
+
+val compile : ?mode:Mode.t -> ?taint_returns:string list -> Ir.program -> Image.t
+(** Compile a whole program (application plus any runtime functions
+    already merged in).  The program must define [main].
+
+    [taint_returns] implements the paper's §3.3.1 taint source (4),
+    "return values of specific functions", driven by the configuration
+    file: every call to a listed function gets its result register
+    tagged.  In the SHIFT modes the tag is the NaT bit; the software-DBT
+    mode updates its shadow table; uninstrumented code ignores it.
+
+    @raise Error on validation or code-generation failure. *)

@@ -1,0 +1,20 @@
+type t = {
+  program : Shift_isa.Program.t;
+  data : (int64 * string) list;
+  symbols : (string * int64) list;
+  mode : Mode.t;
+  func_sizes : (string * int) list;
+}
+
+let code_size t = Shift_isa.Program.size t.program
+
+let size_of_funcs t ~prefix =
+  List.fold_left
+    (fun acc (name, n) ->
+      if String.length name >= String.length prefix
+         && String.sub name 0 (String.length prefix) = prefix
+      then acc + n
+      else acc)
+    0 t.func_sizes
+
+let symbol t name = List.assoc name t.symbols

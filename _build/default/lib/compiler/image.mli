@@ -1,0 +1,22 @@
+(** A compiled, linked, instrumented executable image. *)
+
+type t = {
+  program : Shift_isa.Program.t;
+  data : (int64 * string) list;     (** initialised data chunks *)
+  symbols : (string * int64) list;  (** data symbols *)
+  mode : Mode.t;
+  func_sizes : (string * int) list;
+      (** static instruction count per compilation unit (function),
+          after instrumentation — the Table-3 measurement *)
+}
+
+val code_size : t -> int
+(** Total static instructions. *)
+
+val size_of_funcs : t -> prefix:string -> int
+(** Combined size of all units whose name starts with [prefix] (used to
+    separate the runtime library, whose functions are prefixed, from
+    application code). *)
+
+val symbol : t -> string -> int64
+(** @raise Not_found *)

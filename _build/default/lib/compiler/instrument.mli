@@ -1,0 +1,71 @@
+(** The SHIFT instrumentation pass (paper §4.2, Figure 5).
+
+    Runs per compilation unit on the final instruction stream, after
+    register allocation — the same position the paper's GCC phase
+    occupies (between [pass_leaf_regs] and [sched2]).  Only instructions
+    with provenance [Orig] are rewritten:
+
+    - loads gain bitmap-consult code and a predicated taint of the
+      destination register;
+    - stores gain a bitmap read-modify-write and are converted to the
+      spill form so a tainted source does not fault;
+    - compares gain NaT-stripping relaxation code (or become taint-aware
+      compares when that §6.3 enhancement is enabled);
+    - each function entry regenerates the NaT source register with a
+      speculative load from a faked invalid address (or nothing, when the
+      set/clear-NaT enhancement is enabled);
+    - [_start] additionally materialises the reserved constants (the
+      implemented-bits mask and the scratch-slot/shadow-base address).
+
+    The software-DBT mode instead rewrites {e every} instruction to
+    maintain a register shadow-tag table in memory, LIFT-style. *)
+
+val instrument :
+  mode:Mode.t ->
+  scratch_addr:int64 ->
+  is_start:bool ->
+  Shift_isa.Program.item list ->
+  Shift_isa.Program.item list
+(** Rewrite one unit (the item list of a single function). *)
+
+val support_units : mode:Mode.t -> Shift_isa.Program.item list
+(** Extra units a mode needs (the software-DBT alert stub). *)
+
+val invalid_address : int64
+(** The faked non-canonical address used to conjure a NaT bit. *)
+
+(** {1 Ablation knobs}
+
+    Compiler-optimization ablations for the benchmark harness.  Both
+    default to the optimized setting; flip them (and recompile) to
+    measure the design choices. *)
+
+val relax_all_compares : bool ref
+(** [true]: relax every compare instead of only those the static taint
+    analysis cannot prove clean (default [false]). *)
+
+val skip_save_restore : bool ref
+(** [false]: also instrument the compiler's register save/restore
+    spill/fill traffic (default [true] = skip it; the NaT bit rides in
+    UNAT). *)
+
+(** {1 NaT-source strategy (§4.4)} *)
+
+type nat_source_strategy =
+  | Per_function  (** default: one speculative-load sequence per entry *)
+  | Per_use       (** regenerate at every tainting site — the strategy
+                      the paper measured at ~3X degradation *)
+
+val nat_source_strategy : nat_source_strategy ref
+
+(** {1 Pointer policy (§3.3.2)} *)
+
+type pointer_policy =
+  | Fault_on_tainted_pointer
+      (** default: using a tainted address faults (policies L1/L2) *)
+  | Propagate_pointer_taint
+      (** strip the address tag before the access and fold it into the
+          accessed data's tag instead: tainted pointers dereference
+          legally, results stay tainted *)
+
+val pointer_policy : pointer_policy ref

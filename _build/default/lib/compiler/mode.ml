@@ -1,0 +1,29 @@
+type enhancements = { set_clear_nat : bool; nat_aware_cmp : bool }
+
+type t =
+  | Uninstrumented
+  | Shift of { granularity : Shift_mem.Granularity.t; enh : enhancements }
+  | Software_dbt of { granularity : Shift_mem.Granularity.t }
+
+let no_enh = { set_clear_nat = false; nat_aware_cmp = false }
+let enh1 = { set_clear_nat = true; nat_aware_cmp = false }
+let enh_both = { set_clear_nat = true; nat_aware_cmp = true }
+
+let shift_byte = Shift { granularity = Shift_mem.Granularity.Byte; enh = no_enh }
+let shift_word = Shift { granularity = Shift_mem.Granularity.Word; enh = no_enh }
+
+let uses_nat = function
+  | Uninstrumented | Software_dbt _ -> false
+  | Shift _ -> true
+
+let to_string = function
+  | Uninstrumented -> "uninstrumented"
+  | Shift { granularity; enh } ->
+      Printf.sprintf "shift-%s%s%s"
+        (Shift_mem.Granularity.to_string granularity)
+        (if enh.set_clear_nat then "+setclr" else "")
+        (if enh.nat_aware_cmp then "+tacmp" else "")
+  | Software_dbt { granularity } ->
+      Printf.sprintf "software-dbt-%s" (Shift_mem.Granularity.to_string granularity)
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)

@@ -1,0 +1,38 @@
+(** Instrumentation modes of the SHIFT compiler. *)
+
+type enhancements = {
+  set_clear_nat : bool;
+      (** §6.3 enhancement 1: [setnat]/[clrnat] instructions replace the
+          artificial NaT-generation and spill/fill NaT-clearing
+          sequences. *)
+  nat_aware_cmp : bool;
+      (** §6.3 enhancement 2: a compare that works on NaT operands
+          replaces the compare-relaxation code. *)
+}
+
+type t =
+  | Uninstrumented
+      (** plain compilation, the baseline of every slowdown ratio *)
+  | Shift of { granularity : Shift_mem.Granularity.t; enh : enhancements }
+      (** the paper's system: NaT-based register tracking plus
+          instrumented loads/stores maintaining the memory bitmap *)
+  | Software_dbt of { granularity : Shift_mem.Granularity.t }
+      (** LIFT-like all-software baseline: register tags live in a
+          shadow table in memory, every instruction is instrumented *)
+
+val no_enh : enhancements
+
+(** Set/clear NaT only. *)
+val enh1 : enhancements
+
+val enh_both : enhancements
+
+(** Byte granularity, base ISA. *)
+val shift_byte : t
+
+(** Word granularity, base ISA. *)
+val shift_word : t
+
+val uses_nat : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

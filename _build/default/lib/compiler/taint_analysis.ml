@@ -1,0 +1,118 @@
+open Shift_isa
+
+(* 128-bit register set as two int64 words *)
+module Set128 = struct
+  type t = { lo : int64; hi : int64 }
+
+  let empty = { lo = 0L; hi = 0L }
+
+  let mem t r =
+    if r < 64 then Int64.logand (Int64.shift_right_logical t.lo r) 1L = 1L
+    else Int64.logand (Int64.shift_right_logical t.hi (r - 64)) 1L = 1L
+
+  let add t r =
+    if r < 64 then { t with lo = Int64.logor t.lo (Int64.shift_left 1L r) }
+    else { t with hi = Int64.logor t.hi (Int64.shift_left 1L (r - 64)) }
+
+  let remove t r =
+    if r < 64 then { t with lo = Int64.logand t.lo (Int64.lognot (Int64.shift_left 1L r)) }
+    else { t with hi = Int64.logand t.hi (Int64.lognot (Int64.shift_left 1L (r - 64))) }
+
+  let union a b = { lo = Int64.logor a.lo b.lo; hi = Int64.logor a.hi b.hi }
+  let equal a b = Int64.equal a.lo b.lo && Int64.equal a.hi b.hi
+end
+
+type t = { before : Set128.t array }
+
+let operand_tainted s = function
+  | Instr.R r -> Set128.mem s r
+  | Instr.Imm _ -> false
+
+(* strong updates only for unpredicated instructions; a predicated-off
+   write leaves the old value (and its tag) in place *)
+let assign ~strong s d v =
+  if v then Set128.add s d
+  else if strong && d <> Reg.zero then Set128.remove s d
+  else s
+
+let transfer (i : Instr.t) s =
+  let strong = i.qp = Pred.p0 in
+  match i.op with
+  | Instr.Movi (d, _) | Instr.Lea (d, _) -> assign ~strong s d false
+  | Instr.Mov (d, src) -> assign ~strong s d (Set128.mem s src)
+  | Instr.Arith (a, d, s1, o) ->
+      let clear_idiom =
+        match (a, o) with
+        | (Instr.Xor | Instr.Sub), Instr.R s2 -> s1 = s2
+        | _ -> false
+      in
+      let v = (not clear_idiom) && (Set128.mem s s1 || operand_tainted s o) in
+      assign ~strong s d v
+  | Instr.Extr { dst; src; _ } -> assign ~strong s dst (Set128.mem s src)
+  | Instr.Fetchadd { dst; _ } ->
+      (* the machine clears the result's NaT: sync variables untracked *)
+      assign ~strong s dst false
+  | Instr.Ld { dst; _ } ->
+      (* anything loaded from memory may be tainted *)
+      assign ~strong s dst true
+  | Instr.Call _ | Instr.Call_reg _ -> assign ~strong s Reg.ret true
+  | Instr.Syscall ->
+      (* the OS writes r8 with a clear NaT *)
+      assign ~strong s Reg.ret false
+  | Instr.Setnat r -> assign ~strong s r true
+  | Instr.Clrnat r -> assign ~strong s r false
+  | Instr.Nop | Instr.Cmp _ | Instr.Tnat _ | Instr.St _ | Instr.Chk_s _
+  | Instr.Br _ | Instr.Br_reg _ | Instr.Ret | Instr.Halt ->
+      s
+
+let analyse items =
+  let instrs = Array.of_list (List.filter_map (function Program.I i -> Some i | Program.Label _ -> None) items) in
+  let n = Array.length instrs in
+  let label_index = Hashtbl.create 16 in
+  let all_labels = ref [] in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | Program.Label l ->
+          Hashtbl.replace label_index l !idx;
+          all_labels := !idx :: !all_labels
+      | Program.I _ -> incr idx)
+    items;
+  let target l = match Hashtbl.find_opt label_index l with Some k -> [ k ] | None -> [] in
+  let successors k (i : Instr.t) =
+    let fallthrough = if k + 1 <= n then [ k + 1 ] else [] in
+    match i.op with
+    | Instr.Br l -> if i.qp = Pred.p0 then target l else target l @ fallthrough
+    | Instr.Br_reg _ -> !all_labels (* unknown target: every label *)
+    | Instr.Chk_s { recovery; _ } -> target recovery @ fallthrough
+    | Instr.Ret | Instr.Halt -> if i.qp = Pred.p0 then [] else fallthrough
+    | _ -> fallthrough
+  in
+  let before = Array.make (n + 1) Set128.empty in
+  (* entry: arguments and the return register may be tainted *)
+  let entry =
+    List.fold_left Set128.add Set128.empty (Reg.ret :: List.init Reg.max_args Reg.arg)
+  in
+  before.(0) <- entry;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for k = 0 to n - 1 do
+      let out = transfer instrs.(k) before.(k) in
+      List.iter
+        (fun succ ->
+          if succ <= n then begin
+            let merged = Set128.union before.(succ) out in
+            if not (Set128.equal merged before.(succ)) then begin
+              before.(succ) <- merged;
+              changed := true
+            end
+          end)
+        (successors k instrs.(k))
+    done
+  done;
+  { before }
+
+let may_be_tainted t ~index r =
+  if index < 0 || index >= Array.length t.before then true
+  else Set128.mem t.before.(index) r

@@ -1,0 +1,25 @@
+(** Static may-taint analysis over a compiled function.
+
+    A forward dataflow fixpoint computing, for every instruction, the
+    set of registers that may carry a taint (NaT) when it executes.
+    The instrumentation pass uses it to relax only the compares whose
+    operands may actually be tainted — the paper's observation that the
+    compiler "has program semantics" and that simple analysis removes
+    unnecessary tracking code (§3.3.2, §4.4).
+
+    Sources of taint: function arguments and returned values of guest
+    calls, every value loaded from memory, [setnat].  System calls
+    return clean values (the OS writes r8 with a clear NaT), and
+    [clrnat] (the untaint builtin) scrubs its register.  Predicated
+    writes merge with the incoming state, so the result over-
+    approximates: a register reported clean can never hold a NaT at
+    run time. *)
+
+type t
+
+val analyse : Shift_isa.Program.item list -> t
+(** Run the fixpoint over one function unit. *)
+
+val may_be_tainted : t -> index:int -> Shift_isa.Reg.t -> bool
+(** Whether the register may be tainted just before the [index]-th
+    instruction ([Program.I] items counted only, in order). *)

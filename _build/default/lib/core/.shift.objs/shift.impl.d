@@ -1,0 +1,1 @@
+lib/core/shift.ml: Report Session Shift_compiler Shift_mem Shift_os Shift_policy

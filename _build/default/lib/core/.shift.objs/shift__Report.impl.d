@@ -1,0 +1,1 @@
+lib/core/report.ml: Format Shift_machine Shift_policy

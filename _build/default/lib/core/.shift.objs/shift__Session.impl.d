@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Int64 Ir List Report Shift_compiler Shift_isa Shift_machine Shift_mem Shift_os Shift_policy Shift_runtime

@@ -1,0 +1,1 @@
+lib/core/session.mli: Ir Report Shift_compiler Shift_machine Shift_mem Shift_os Shift_policy

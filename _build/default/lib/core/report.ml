@@ -1,0 +1,32 @@
+type outcome =
+  | Exited of int64
+  | Alert of Shift_policy.Alert.t
+  | Fault of Shift_machine.Fault.t
+  | Timeout
+
+type t = {
+  outcome : outcome;
+  stats : Shift_machine.Stats.t;
+  logged : Shift_policy.Alert.t list;
+  output : string;
+  html : string;
+  sql : string list;
+  commands : string list;
+}
+
+let detected t =
+  match t.outcome with Alert _ -> true | _ -> t.logged <> []
+
+let alert t = match t.outcome with Alert a -> Some a | _ -> None
+let cycles t = t.stats.Shift_machine.Stats.cycles
+
+let pp_outcome ppf = function
+  | Exited code -> Format.fprintf ppf "exited(%Ld)" code
+  | Alert a -> Format.fprintf ppf "ALERT %a" Shift_policy.Alert.pp a
+  | Fault f -> Format.fprintf ppf "fault: %a" Shift_machine.Fault.pp f
+  | Timeout -> Format.pp_print_string ppf "timeout"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>outcome: %a@ cycles: %d@ instructions: %d@]" pp_outcome
+    t.outcome t.stats.Shift_machine.Stats.cycles
+    t.stats.Shift_machine.Stats.instructions

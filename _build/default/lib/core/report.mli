@@ -1,0 +1,33 @@
+(** The result of running a guest program under SHIFT. *)
+
+type outcome =
+  | Exited of int64
+      (** normal termination with the given exit status *)
+  | Alert of Shift_policy.Alert.t
+      (** a security policy stopped the program *)
+  | Fault of Shift_machine.Fault.t
+      (** a machine fault not attributable to a policy *)
+  | Timeout
+      (** fuel exhausted *)
+
+type t = {
+  outcome : outcome;
+  stats : Shift_machine.Stats.t;
+  logged : Shift_policy.Alert.t list;
+      (** alerts recorded under the [Log_only] action *)
+  output : string;       (** bytes written to stdout / the network *)
+  html : string;         (** bytes emitted through the HTML sink *)
+  sql : string list;     (** queries the guest executed *)
+  commands : string list;(** shell commands the guest executed *)
+}
+
+val detected : t -> bool
+(** Whether any policy fired (a stopping alert or a logged one). *)
+
+val alert : t -> Shift_policy.Alert.t option
+(** The stopping alert, if the outcome is [Alert]. *)
+
+val cycles : t -> int
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+module Mode = Shift_compiler.Mode
+module Compile = Shift_compiler.Compile
+module Image = Shift_compiler.Image
+module Cpu = Shift_machine.Cpu
+module Fault = Shift_machine.Fault
+module Prov = Shift_isa.Prov
+module Policy = Shift_policy.Policy
+module Alert = Shift_policy.Alert
+module World = Shift_os.World
+
+let gran_of_mode = function
+  | Mode.Uninstrumented -> Shift_mem.Granularity.Word
+  | Mode.Shift { granularity; _ } | Mode.Software_dbt { granularity } -> granularity
+
+let build ?(with_runtime = true) ?taint_returns ~mode prog =
+  let prog = if with_runtime then Ir.merge Shift_runtime.Runtime.program prog else prog in
+  Compile.compile ~mode ?taint_returns prog
+
+let load (image : Image.t) =
+  let cpu = Cpu.create image.program in
+  List.iter
+    (fun (addr, bytes) -> Shift_mem.Memory.write_bytes cpu.Cpu.mem addr bytes)
+    image.data;
+  cpu
+
+(* A NaT-consumption fault raised by store-instrumentation code means
+   the *store* address was tainted: the bitmap lookup (a load) faulted
+   while computing the tag address of a store (Figure 5).  Reattribute
+   it so the alert carries the right policy number (L2, not L1). *)
+let effective_nat_use (image : Image.t) ip use =
+  match use with
+  | Fault.Load_address -> (
+      if ip < 0 || ip >= Shift_isa.Program.size image.program then use
+      else
+        match (image.program.code.(ip)).Shift_isa.Instr.prov with
+        | Prov.St_compute | Prov.St_mem -> Fault.Store_address
+        | _ -> use)
+  | _ -> use
+
+let outcome_of image policy (res : Cpu.outcome) : Report.outcome =
+  match res with
+  | Cpu.Exited code -> Report.Exited code
+  | Cpu.Out_of_fuel -> Report.Timeout
+  | Cpu.Faulted (Fault.Nat_consumption use, ip) when policy.Policy.low_level -> (
+      let use = effective_nat_use image ip use in
+      match Policy.alert_of_fault (Fault.nat_use_to_string use) with
+      | Some a -> Report.Alert a
+      | None -> Report.Fault (Fault.Nat_consumption use))
+  | Cpu.Faulted (f, _) -> Report.Fault f
+
+let run_image ?(policy = Policy.default) ?(io_cost = World.default_io_cost)
+    ?(fuel = 2_000_000_000) ?(setup = fun _ -> ()) (image : Image.t) =
+  let cpu = load image in
+  let world = World.create ~policy ~gran:(gran_of_mode image.mode) ~io_cost () in
+  setup world;
+  cpu.Cpu.syscall_handler <- Some (World.handler world);
+  let outcome =
+    match Cpu.run ~fuel cpu with
+    | res -> outcome_of image policy res
+    | exception Alert.Violation a -> Report.Alert a
+  in
+  {
+    Report.outcome;
+    stats = cpu.Cpu.stats;
+    logged = World.alerts world;
+    output = World.output world;
+    html = World.html_output world;
+    sql = World.sql_queries world;
+    commands = World.system_commands world;
+  }
+
+let run ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ~mode prog =
+  run_image ?policy ?io_cost ?fuel ?setup (build ?with_runtime ?taint_returns ~mode prog)
+
+(* ---------- multi-threaded runs (the paper's future work) ---------- *)
+
+module Smp = Shift_machine.Smp
+
+let run_image_mt ?(policy = Policy.default) ?(io_cost = World.default_io_cost)
+    ?(fuel = 2_000_000_000) ?(setup = fun _ -> ()) ?quantum (image : Image.t) =
+  let cpu = load image in
+  let world = World.create ~policy ~gran:(gran_of_mode image.mode) ~io_cost () in
+  setup world;
+  cpu.Cpu.syscall_handler <- Some (World.handler world);
+  let smp =
+    Smp.create ?quantum ~stack_top:Shift_compiler.Layout.stack_top
+      ~stack_stride:(Int64.of_int (1 lsl 20))
+      cpu
+  in
+  World.set_threads world
+    ~spawn:(fun parent ~entry ~arg -> Smp.spawn smp ~parent ~entry ~arg)
+    ~join:(fun tid ->
+      match Smp.state_of smp tid with
+      | Some Smp.Running -> None
+      | Some (Smp.Done v) -> Some v
+      | Some (Smp.Crashed _) | None -> Some (-1L));
+  let outcome =
+    match Smp.run ~fuel smp with
+    | res -> outcome_of image policy res
+    | exception Alert.Violation a -> Report.Alert a
+  in
+  {
+    Report.outcome;
+    stats = cpu.Cpu.stats;
+    logged = World.alerts world;
+    output = World.output world;
+    html = World.html_output world;
+    sql = World.sql_queries world;
+    commands = World.system_commands world;
+  }
+
+let run_mt ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ?quantum ~mode prog =
+  run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum
+    (build ?with_runtime ?taint_returns ~mode prog)

@@ -1,0 +1,83 @@
+(** The public entry point: compile a guest program, run it under a
+    policy, and report what happened.
+
+    {[
+      let report =
+        Session.run ~mode:Shift_compiler.Mode.shift_word
+          ~policy:Shift_policy.Policy.default
+          ~setup:(fun world -> Shift_os.World.queue_request world payload)
+          my_program
+    ]} *)
+
+val gran_of_mode : Shift_compiler.Mode.t -> Shift_mem.Granularity.t
+(** The taint granularity a mode tracks at ([Word] for
+    [Uninstrumented], whose bitmap is unused). *)
+
+val build :
+  ?with_runtime:bool ->
+  ?taint_returns:string list ->
+  mode:Shift_compiler.Mode.t ->
+  Ir.program ->
+  Shift_compiler.Image.t
+(** Compile and link.  [with_runtime] (default true) merges in the
+    {!Shift_runtime.Runtime} library.  [taint_returns] lists functions
+    whose return values are taint sources (paper §3.3.1, source 4).
+    @raise Shift_compiler.Compile.Error on invalid programs. *)
+
+val load : Shift_compiler.Image.t -> Shift_machine.Cpu.t
+(** Fresh machine with the image's initialised data written to
+    memory. *)
+
+val run_image :
+  ?policy:Shift_policy.Policy.t ->
+  ?io_cost:Shift_os.World.io_cost ->
+  ?fuel:int ->
+  ?setup:(Shift_os.World.t -> unit) ->
+  Shift_compiler.Image.t ->
+  Report.t
+(** Run a compiled image on a fresh machine and OS world.  [setup] is
+    called before execution to populate files and network requests. *)
+
+val run :
+  ?with_runtime:bool ->
+  ?taint_returns:string list ->
+  ?policy:Shift_policy.Policy.t ->
+  ?io_cost:Shift_os.World.io_cost ->
+  ?fuel:int ->
+  ?setup:(Shift_os.World.t -> unit) ->
+  mode:Shift_compiler.Mode.t ->
+  Ir.program ->
+  Report.t
+(** [build] followed by [run_image]. *)
+
+(** {1 Multi-threaded runs}
+
+    The paper's future-work item (§4.4, §8): guest programs may call
+    [sys_spawn(&f, arg)] and [sys_join(tid)]; harts share memory — and
+    with it the taint bitmap, whose unserialised updates are the
+    documented hazard (see test/test_smp.ml). *)
+
+val run_image_mt :
+  ?policy:Shift_policy.Policy.t ->
+  ?io_cost:Shift_os.World.io_cost ->
+  ?fuel:int ->
+  ?setup:(Shift_os.World.t -> unit) ->
+  ?quantum:int ->
+  Shift_compiler.Image.t ->
+  Report.t
+(** Like {!run_image} with thread support enabled.  [quantum] is the
+    round-robin scheduling quantum in instructions (default 50).  The
+    report reflects hart 0. *)
+
+val run_mt :
+  ?with_runtime:bool ->
+  ?taint_returns:string list ->
+  ?policy:Shift_policy.Policy.t ->
+  ?io_cost:Shift_os.World.io_cost ->
+  ?fuel:int ->
+  ?setup:(Shift_os.World.t -> unit) ->
+  ?quantum:int ->
+  mode:Shift_compiler.Mode.t ->
+  Ir.program ->
+  Report.t
+(** [build] followed by {!run_image_mt}. *)

@@ -1,0 +1,38 @@
+(** The public face of the library.
+
+    {!Session} compiles and runs guest programs; {!Report} is what you
+    get back.  The remaining aliases re-export the pieces a user needs
+    to configure a run without hunting through the sub-libraries:
+
+    {[
+      let report =
+        Shift.Session.run
+          ~mode:Shift.Mode.shift_word
+          ~policy:{ Shift.Policy.default with h3 = true }
+          ~setup:(fun world -> Shift.World.queue_request world payload)
+          my_program
+      in
+      match report.Shift.Report.outcome with
+      | Shift.Report.Alert a -> handle a
+      | _ -> ...
+    ]} *)
+
+module Session = Session
+module Report = Report
+
+(** Compilation / instrumentation modes. *)
+module Mode = Shift_compiler.Mode
+
+(** Security-policy configuration (paper Table 1). *)
+module Policy = Shift_policy.Policy
+
+module Alert = Shift_policy.Alert
+
+(** The simulated OS: files, network, taint sources, sinks. *)
+module World = Shift_os.World
+
+(** Compiled executable images. *)
+module Image = Shift_compiler.Image
+
+(** Taint granularity (byte or word). *)
+module Granularity = Shift_mem.Granularity

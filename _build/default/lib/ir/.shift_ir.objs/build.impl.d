@@ -1,0 +1,1 @@
+lib/ir/build.ml: Int64 Ir

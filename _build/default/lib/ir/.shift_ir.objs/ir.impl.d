@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Format Hashtbl Int64 List Printf Set String

@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Buffer Char Int64 Ir List Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/parse.mli: Ir

@@ -1,0 +1,538 @@
+exception Parse_error of { line : int; message : string }
+
+(* ------------------------------ lexer ------------------------------ *)
+
+type token =
+  | INT of int64
+  | STRING of string
+  | IDENT of string
+  | KW of string      (* keywords: global func var if else while return ... *)
+  | PUNCT of string   (* operators and punctuation *)
+  | EOF
+
+let keywords =
+  [ "global"; "func"; "var"; "if"; "else"; "while"; "return"; "break";
+    "continue"; "guard"; "zeros"; "words"; "u8"; "u16"; "u32"; "u64" ]
+
+(* multi-character operators, longest first *)
+let operators =
+  [ ">>a"; "<u"; ">=u"; "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "=";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; "," ]
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let error lx fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line = lx.line; message })) fmt
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with Some '\n' -> lx.line <- lx.line + 1 | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+      while peek_char lx <> None && peek_char lx <> Some '\n' do
+        advance lx
+      done;
+      skip_ws lx
+  | _ -> ()
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let lex_escape lx =
+  advance lx;
+  match peek_char lx with
+  | Some 'n' -> advance lx; '\n'
+  | Some 'r' -> advance lx; '\r'
+  | Some 't' -> advance lx; '\t'
+  | Some '0' -> advance lx; '\000'
+  | Some '\\' -> advance lx; '\\'
+  | Some '\'' -> advance lx; '\''
+  | Some '"' -> advance lx; '"'
+  | Some 'x' ->
+      advance lx;
+      let hex c =
+        if is_digit c then Char.code c - Char.code '0'
+        else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+        else if c >= 'A' && c <= 'F' then Char.code c - Char.code 'A' + 10
+        else error lx "invalid hex escape"
+      in
+      let h1 = match peek_char lx with Some c -> hex c | None -> error lx "truncated escape" in
+      advance lx;
+      let h2 = match peek_char lx with Some c -> hex c | None -> error lx "truncated escape" in
+      advance lx;
+      Char.chr ((h1 * 16) + h2)
+  | Some c -> error lx "unknown escape '\\%c'" c
+  | None -> error lx "truncated escape"
+
+let next_token lx =
+  skip_ws lx;
+  match peek_char lx with
+  | None -> EOF
+  | Some c when is_digit c ->
+      let start = lx.pos in
+      if
+        c = '0'
+        && lx.pos + 1 < String.length lx.src
+        && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+      then begin
+        advance lx;
+        advance lx;
+        let hstart = lx.pos in
+        while
+          match peek_char lx with
+          | Some c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+          | None -> false
+        do
+          advance lx
+        done;
+        if lx.pos = hstart then error lx "empty hex literal";
+        let lit = "0x" ^ String.sub lx.src hstart (lx.pos - hstart) in
+        (try INT (Int64.of_string lit)
+         with Failure _ -> error lx "integer literal %s out of range" lit)
+      end
+      else begin
+        while match peek_char lx with Some c -> is_digit c | None -> false do
+          advance lx
+        done;
+        let lit = String.sub lx.src start (lx.pos - start) in
+        (try INT (Int64.of_string lit)
+         with Failure _ -> error lx "integer literal %s out of range" lit)
+      end
+  | Some '\'' ->
+      advance lx;
+      let c =
+        match peek_char lx with
+        | Some '\\' -> lex_escape lx
+        | Some c ->
+            advance lx;
+            c
+        | None -> error lx "truncated character literal"
+      in
+      (match peek_char lx with
+      | Some '\'' -> advance lx
+      | _ -> error lx "unterminated character literal");
+      INT (Int64.of_int (Char.code c))
+  | Some '"' ->
+      advance lx;
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek_char lx with
+        | Some '"' -> advance lx
+        | Some '\\' ->
+            Buffer.add_char b (lex_escape lx);
+            go ()
+        | Some c ->
+            advance lx;
+            Buffer.add_char b c;
+            go ()
+        | None -> error lx "unterminated string literal"
+      in
+      go ();
+      STRING (Buffer.contents b)
+  | Some c when is_ident_start c ->
+      let start = lx.pos in
+      while match peek_char lx with Some c -> is_ident_char c | None -> false do
+        advance lx
+      done;
+      let word = String.sub lx.src start (lx.pos - start) in
+      if List.mem word keywords then KW word else IDENT word
+  | Some _ -> (
+      let matches op =
+        let n = String.length op in
+        lx.pos + n <= String.length lx.src && String.sub lx.src lx.pos n = op
+      in
+      match List.find_opt matches operators with
+      | Some op ->
+          for _ = 1 to String.length op do
+            advance lx
+          done;
+          PUNCT op
+      | None -> error lx "unexpected character %C" lx.src.[lx.pos])
+
+(* ------------------------------ parser ----------------------------- *)
+
+type parser_state = {
+  lx : lexer;
+  mutable tok : token;
+}
+
+let perror ps fmt =
+  Printf.ksprintf
+    (fun message -> raise (Parse_error { line = ps.lx.line; message }))
+    fmt
+
+let token_name = function
+  | INT v -> Printf.sprintf "integer %Ld" v
+  | STRING _ -> "string literal"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW s -> Printf.sprintf "keyword %S" s
+  | PUNCT s -> Printf.sprintf "%S" s
+  | EOF -> "end of input"
+
+let bump ps = ps.tok <- next_token ps.lx
+
+let expect_punct ps p =
+  match ps.tok with
+  | PUNCT q when q = p -> bump ps
+  | t -> perror ps "expected %S, found %s" p (token_name t)
+
+let expect_ident ps =
+  match ps.tok with
+  | IDENT name ->
+      bump ps;
+      name
+  | t -> perror ps "expected an identifier, found %s" (token_name t)
+
+let accept_punct ps p =
+  match ps.tok with
+  | PUNCT q when q = p ->
+      bump ps;
+      true
+  | _ -> false
+
+let width_of_kw = function
+  | "u8" -> Some Ir.W1
+  | "u16" -> Some Ir.W2
+  | "u32" -> Some Ir.W4
+  | "u64" -> Some Ir.W8
+  | _ -> None
+
+(* precedence climbing; level 0 is loosest *)
+let binop_levels =
+  [
+    [ ("||", Ir.Lor) ];
+    [ ("&&", Ir.Land) ];
+    [ ("|", Ir.Bor) ];
+    [ ("^", Ir.Bxor) ];
+    [ ("&", Ir.Band) ];
+    [ ("==", Ir.Eq); ("!=", Ir.Ne) ];
+    [ ("<u", Ir.Ltu); (">=u", Ir.Geu); ("<=", Ir.Le); (">=", Ir.Ge);
+      ("<", Ir.Lt); (">", Ir.Gt) ];
+    [ ("<<", Ir.Shl); (">>a", Ir.Sar); (">>", Ir.Shr) ];
+    [ ("+", Ir.Add); ("-", Ir.Sub) ];
+    [ ("*", Ir.Mul); ("/", Ir.Div); ("%", Ir.Rem) ];
+  ]
+
+let rec parse_expr ps = parse_level ps 0
+
+and parse_level ps level =
+  if level >= List.length binop_levels then parse_unary ps
+  else begin
+    let ops = List.nth binop_levels level in
+    let lhs = ref (parse_level ps (level + 1)) in
+    let rec go () =
+      match ps.tok with
+      | PUNCT p -> (
+          match List.assoc_opt p ops with
+          | Some op ->
+              bump ps;
+              let rhs = parse_level ps (level + 1) in
+              lhs := Ir.Binop (op, !lhs, rhs);
+              go ()
+          | None -> ())
+      | _ -> ()
+    in
+    go ();
+    !lhs
+  end
+
+and parse_unary ps =
+  match ps.tok with
+  | PUNCT "-" ->
+      bump ps;
+      Ir.Unop (Ir.Neg, parse_unary ps)
+  | PUNCT "!" ->
+      bump ps;
+      Ir.Unop (Ir.Lnot, parse_unary ps)
+  | PUNCT "~" ->
+      bump ps;
+      Ir.Unop (Ir.Bnot, parse_unary ps)
+  | PUNCT "&" ->
+      bump ps;
+      Ir.Fnptr (expect_ident ps)
+  | _ -> parse_postfix ps
+
+and parse_args ps =
+  expect_punct ps "(";
+  if accept_punct ps ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr ps in
+      if accept_punct ps "," then go (e :: acc)
+      else begin
+        expect_punct ps ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_postfix ps =
+  match ps.tok with
+  | IDENT name -> (
+      bump ps;
+      match ps.tok with
+      | PUNCT "(" -> postfix_calls ps (Ir.Call (name, parse_args ps))
+      | _ -> Ir.Var name)
+  | _ -> postfix_calls ps (parse_primary ps)
+
+(* a parenthesised expression (or a call's result) followed by an
+   argument list is an indirect call: (f)(x) *)
+and postfix_calls ps e =
+  match ps.tok with
+  | PUNCT "(" -> postfix_calls ps (Ir.Icall (e, parse_args ps))
+  | _ -> e
+
+and parse_primary ps =
+  match ps.tok with
+  | INT v ->
+      bump ps;
+      Ir.Int v
+  | STRING s ->
+      bump ps;
+      Ir.Str s
+  | IDENT name ->
+      bump ps;
+      Ir.Var name
+  | KW kw when width_of_kw kw <> None ->
+      let w = Option.get (width_of_kw kw) in
+      bump ps;
+      expect_punct ps "[";
+      let a = parse_expr ps in
+      expect_punct ps "]";
+      Ir.Load (w, a)
+  | PUNCT "(" ->
+      bump ps;
+      let e = parse_expr ps in
+      expect_punct ps ")";
+      e
+  | t -> perror ps "expected an expression, found %s" (token_name t)
+
+let rec parse_stmt ps =
+  match ps.tok with
+  | KW "if" ->
+      bump ps;
+      expect_punct ps "(";
+      let c = parse_expr ps in
+      expect_punct ps ")";
+      let bt = parse_block ps in
+      let bf =
+        match ps.tok with
+        | KW "else" ->
+            bump ps;
+            (match ps.tok with
+            | KW "if" -> [ parse_stmt ps ]
+            | _ -> parse_block ps)
+        | _ -> []
+      in
+      Ir.If (c, bt, bf)
+  | KW "while" ->
+      bump ps;
+      expect_punct ps "(";
+      let c = parse_expr ps in
+      expect_punct ps ")";
+      Ir.While (c, parse_block ps)
+  | KW "guard" ->
+      bump ps;
+      expect_punct ps "(";
+      let e = parse_expr ps in
+      expect_punct ps ")";
+      Ir.Guard (e, parse_block ps)
+  | KW "return" ->
+      bump ps;
+      if accept_punct ps ";" then Ir.Return None
+      else begin
+        let e = parse_expr ps in
+        expect_punct ps ";";
+        Ir.Return (Some e)
+      end
+  | KW "break" ->
+      bump ps;
+      expect_punct ps ";";
+      Ir.Break
+  | KW "continue" ->
+      bump ps;
+      expect_punct ps ";";
+      Ir.Continue
+  | KW kw when width_of_kw kw <> None ->
+      let w = Option.get (width_of_kw kw) in
+      bump ps;
+      expect_punct ps "[";
+      let a = parse_expr ps in
+      expect_punct ps "]";
+      expect_punct ps "=";
+      let value = parse_expr ps in
+      expect_punct ps ";";
+      Ir.Store (w, a, value)
+  | IDENT name -> (
+      bump ps;
+      match ps.tok with
+      | PUNCT "=" ->
+          bump ps;
+          let e = parse_expr ps in
+          expect_punct ps ";";
+          Ir.Assign (name, e)
+      | PUNCT "(" ->
+          let call = Ir.Call (name, parse_args ps) in
+          (* a call may itself be called (a returned function pointer) *)
+          let e = if (match ps.tok with PUNCT "(" -> true | _ -> false)
+                  then Ir.Icall (call, parse_args ps) else call in
+          expect_punct ps ";";
+          Ir.Expr e
+      | t -> perror ps "expected '=' or '(' after identifier, found %s" (token_name t))
+  | _ ->
+      let e = parse_expr ps in
+      expect_punct ps ";";
+      Ir.Expr e
+
+and parse_block ps =
+  expect_punct ps "{";
+  let rec go acc =
+    if accept_punct ps "}" then List.rev acc else go (parse_stmt ps :: acc)
+  in
+  go []
+
+let parse_locals ps =
+  let rec go acc =
+    match ps.tok with
+    | KW "var" ->
+        bump ps;
+        let name = expect_ident ps in
+        let local =
+          if accept_punct ps "[" then begin
+            let size =
+              match ps.tok with
+              | INT v ->
+                  bump ps;
+                  Int64.to_int v
+              | t -> perror ps "expected an array size, found %s" (token_name t)
+            in
+            expect_punct ps "]";
+            { Ir.lname = name; array = Some size }
+          end
+          else { Ir.lname = name; array = None }
+        in
+        expect_punct ps ";";
+        go (local :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_func ps =
+  let name = expect_ident ps in
+  expect_punct ps "(";
+  let params =
+    if accept_punct ps ")" then []
+    else begin
+      let rec go acc =
+        let p = expect_ident ps in
+        if accept_punct ps "," then go (p :: acc)
+        else begin
+          expect_punct ps ")";
+          List.rev (p :: acc)
+        end
+      in
+      go []
+    end
+  in
+  expect_punct ps "{";
+  let locals = parse_locals ps in
+  let rec go acc =
+    if accept_punct ps "}" then List.rev acc else go (parse_stmt ps :: acc)
+  in
+  let body = go [] in
+  { Ir.fname = name; params; locals; body }
+
+let parse_global ps =
+  let name = expect_ident ps in
+  expect_punct ps "=";
+  let datum =
+    match ps.tok with
+    | STRING s ->
+        bump ps;
+        Ir.Bytes s
+    | KW "zeros" ->
+        bump ps;
+        expect_punct ps "(";
+        let n =
+          match ps.tok with
+          | INT v ->
+              bump ps;
+              Int64.to_int v
+          | t -> perror ps "expected a size, found %s" (token_name t)
+        in
+        expect_punct ps ")";
+        Ir.Zeros n
+    | KW "words" ->
+        bump ps;
+        expect_punct ps "(";
+        let rec go acc =
+          match ps.tok with
+          | INT v ->
+              bump ps;
+              let neg = false in
+              ignore neg;
+              if accept_punct ps "," then go (v :: acc)
+              else begin
+                expect_punct ps ")";
+                List.rev (v :: acc)
+              end
+          | PUNCT "-" ->
+              bump ps;
+              (match ps.tok with
+              | INT v ->
+                  bump ps;
+                  let v = Int64.neg v in
+                  if accept_punct ps "," then go (v :: acc)
+                  else begin
+                    expect_punct ps ")";
+                    List.rev (v :: acc)
+                  end
+              | t -> perror ps "expected an integer, found %s" (token_name t))
+          | t -> perror ps "expected an integer, found %s" (token_name t)
+        in
+        Ir.Words (go [])
+    | t -> perror ps "expected a global initialiser, found %s" (token_name t)
+  in
+  expect_punct ps ";";
+  { Ir.gname = name; datum }
+
+let program src =
+  let ps = { lx = { src; pos = 0; line = 1 }; tok = EOF } in
+  bump ps;
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match ps.tok with
+    | EOF -> ()
+    | KW "global" ->
+        bump ps;
+        globals := parse_global ps :: !globals;
+        go ()
+    | KW "func" ->
+        bump ps;
+        funcs := parse_func ps :: !funcs;
+        go ()
+    | t -> perror ps "expected 'global' or 'func', found %s" (token_name t)
+  in
+  go ();
+  { Ir.globals = List.rev !globals; funcs = List.rev !funcs }
+
+let program_of_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  program src

@@ -1,0 +1,39 @@
+(** Parser for the IR's concrete syntax, so guest programs can be kept
+    in source files and run with [shiftc exec].
+
+    The language ("tinyc"):
+
+    {[
+      // a comment
+      global banner = "hi";          // NUL-terminated bytes
+      global table  = zeros(64);    // zero-filled region
+      global pair   = words(1, 2);  // 64-bit little-endian words
+
+      func classify(ch) {
+        var k;                      // scalar (64-bit)
+        var buf[32];                // byte array, stack-allocated
+        k = ch + 1;
+        u8[buf + k] = ch;           // store (u8/u16/u32/u64)
+        if (ch == 'x' || k <u 10) { return u8[buf]; } else { k = k - 1; }
+        while (k > 0) { k = k - 1; if (k == 2) { break; } }
+        guard (k) { return -1; }    // §3.3.3 taint guard
+        p = &classify;              // function pointer
+        return strlen("abc") + (p)(0);   // (expr)(args) calls indirectly
+      }
+
+      func main() { return classify(7); }
+    ]}
+
+    Operators, loosest to tightest: [||] [&&] [|] [^] [&] [== !=]
+    [< <= > >= <u >=u] [<< >> >>a] [+ -] [* / %], unary [- ! ~ &].
+    Integer literals are decimal, hex ([0x..]) or characters (['a']).
+
+    Declarations ([var]) must precede statements in a function body. *)
+
+exception Parse_error of { line : int; message : string }
+
+val program : string -> Ir.program
+(** Parse a whole compilation unit.  @raise Parse_error *)
+
+val program_of_file : string -> Ir.program
+(** Read and parse a file.  @raise Parse_error and [Sys_error]. *)

@@ -1,0 +1,1 @@
+lib/isa/cond.ml: Format Int64

@@ -1,0 +1,1 @@
+lib/isa/cond.mli: Format

@@ -1,0 +1,1 @@
+lib/isa/instr.ml: Cond Format Int64 List Pred Printf Prov Reg

@@ -1,0 +1,1 @@
+lib/isa/instr.mli: Cond Format Pred Prov Reg

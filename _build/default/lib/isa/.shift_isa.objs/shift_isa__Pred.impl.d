@@ -1,0 +1,1 @@
+lib/isa/pred.ml: Format Printf

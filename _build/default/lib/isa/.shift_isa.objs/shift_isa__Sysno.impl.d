@@ -1,0 +1,1 @@
+lib/isa/sysno.ml: Printf

@@ -1,0 +1,54 @@
+type t = Eq | Ne | Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu
+
+let eval c a b =
+  match c with
+  | Eq -> Int64.equal a b
+  | Ne -> not (Int64.equal a b)
+  | Lt -> Int64.compare a b < 0
+  | Le -> Int64.compare a b <= 0
+  | Gt -> Int64.compare a b > 0
+  | Ge -> Int64.compare a b >= 0
+  | Ltu -> Int64.unsigned_compare a b < 0
+  | Leu -> Int64.unsigned_compare a b <= 0
+  | Gtu -> Int64.unsigned_compare a b > 0
+  | Geu -> Int64.unsigned_compare a b >= 0
+
+let negate = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+  | Ltu -> Geu
+  | Leu -> Gtu
+  | Gtu -> Leu
+  | Geu -> Ltu
+
+let swap = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | Ltu -> Gtu
+  | Leu -> Geu
+  | Gtu -> Ltu
+  | Geu -> Leu
+
+let all = [ Eq; Ne; Lt; Le; Gt; Ge; Ltu; Leu; Gtu; Geu ]
+
+let to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Ltu -> "ltu"
+  | Leu -> "leu"
+  | Gtu -> "gtu"
+  | Geu -> "geu"
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

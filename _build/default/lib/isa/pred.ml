@@ -1,0 +1,7 @@
+type t = int
+
+let count = 64
+let p0 = 0
+let is_valid p = p >= 0 && p < count
+let to_string p = Printf.sprintf "p%d" p
+let pp ppf p = Format.pp_print_string ppf (to_string p)

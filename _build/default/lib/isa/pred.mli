@@ -1,0 +1,19 @@
+(** Predicate registers.
+
+    Every instruction is qualified by a predicate register; the
+    instruction only takes effect when the predicate is true.  [p0] is
+    hard-wired to true, so unpredicated instructions are encoded with
+    qualifying predicate [p0]. *)
+
+type t = int
+
+val count : int
+(** Number of predicate registers (64, as on Itanium). *)
+
+val p0 : t
+(** The always-true predicate. *)
+
+val is_valid : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,66 @@
+type item = Label of string | I of Instr.t
+
+type t = {
+  code : Instr.t array;
+  labels : (string, int) Hashtbl.t;
+}
+
+exception Assembly_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Assembly_error s)) fmt
+
+let referenced_labels (i : Instr.t) =
+  match i.op with
+  | Instr.Br l | Instr.Call l | Instr.Lea (_, l) -> [ l ]
+  | Instr.Chk_s { recovery; _ } -> [ recovery ]
+  | _ -> []
+
+let assemble items =
+  let labels = Hashtbl.create 64 in
+  let code = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label l ->
+          if Hashtbl.mem labels l then err "duplicate label %S" l;
+          Hashtbl.add labels l !n
+      | I i ->
+          code := i :: !code;
+          incr n)
+    items;
+  let code = Array.of_list (List.rev !code) in
+  Array.iter
+    (fun i ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem labels l) then err "unknown label %S" l)
+        (referenced_labels i))
+    code;
+  { code; labels }
+
+let target t l =
+  match Hashtbl.find_opt t.labels l with
+  | Some n -> n
+  | None -> err "unknown label %S" l
+
+let has_label t l = Hashtbl.mem t.labels l
+let size t = Array.length t.code
+
+let count_prov t p =
+  Array.fold_left (fun acc (i : Instr.t) -> if i.prov = p then acc + 1 else acc) 0 t.code
+
+let pp_listing ppf t =
+  let at = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun l n ->
+      let existing = try Hashtbl.find at n with Not_found -> [] in
+      Hashtbl.replace at n (l :: existing))
+    t.labels;
+  Array.iteri
+    (fun n i ->
+      (match Hashtbl.find_opt at n with
+      | Some ls -> List.iter (fun l -> Format.fprintf ppf "%s:@." l) (List.sort compare ls)
+      | None -> ());
+      Format.fprintf ppf "  %4d  %s@." n (Instr.to_string i))
+    t.code

@@ -1,0 +1,34 @@
+(** Assembled programs: a flat instruction array plus a label table.
+
+    The compiler emits a list of items (labels interleaved with
+    instructions); [assemble] flattens it, resolves every label to an
+    instruction index and checks that all branch targets exist. *)
+
+type item = Label of string | I of Instr.t
+
+type t = private {
+  code : Instr.t array;
+  labels : (string, int) Hashtbl.t;
+}
+
+exception Assembly_error of string
+
+val assemble : item list -> t
+(** Flattens and checks.  @raise Assembly_error on a duplicate label or a
+    branch/call/check targeting an unknown label. *)
+
+val target : t -> string -> int
+(** Instruction index of a label.  @raise Assembly_error if unknown. *)
+
+val has_label : t -> string -> bool
+
+val size : t -> int
+(** Number of instructions (the static code size the paper's Table 3
+    measures). *)
+
+val count_prov : t -> Prov.t -> int
+(** Number of instructions with the given provenance. *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** Disassembly listing with labels, for debugging and the trace
+    example. *)

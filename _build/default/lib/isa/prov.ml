@@ -1,0 +1,46 @@
+type t =
+  | Orig
+  | Ld_compute
+  | Ld_mem
+  | St_compute
+  | St_mem
+  | Cmp_relax
+  | Nat_gen
+  | Shadow
+
+let is_instrumentation = function Orig -> false | _ -> true
+
+let index = function
+  | Orig -> 0
+  | Ld_compute -> 1
+  | Ld_mem -> 2
+  | St_compute -> 3
+  | St_mem -> 4
+  | Cmp_relax -> 5
+  | Nat_gen -> 6
+  | Shadow -> 7
+
+let card = 8
+
+let of_index = function
+  | 0 -> Orig
+  | 1 -> Ld_compute
+  | 2 -> Ld_mem
+  | 3 -> St_compute
+  | 4 -> St_mem
+  | 5 -> Cmp_relax
+  | 6 -> Nat_gen
+  | 7 -> Shadow
+  | _ -> invalid_arg "Prov.of_index"
+
+let to_string = function
+  | Orig -> "orig"
+  | Ld_compute -> "ld-compute"
+  | Ld_mem -> "ld-mem"
+  | St_compute -> "st-compute"
+  | St_mem -> "st-mem"
+  | Cmp_relax -> "cmp-relax"
+  | Nat_gen -> "nat-gen"
+  | Shadow -> "shadow"
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

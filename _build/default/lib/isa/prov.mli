@@ -1,0 +1,29 @@
+(** Instruction provenance.
+
+    Every instruction is tagged with where it came from: the original
+    program, or one of the instrumentation categories the SHIFT compiler
+    pass inserts.  The machine accounts issue slots per provenance, which
+    is how the Figure-9 overhead breakdown (computation vs. memory access
+    in load and store instrumentation) is regenerated. *)
+
+type t =
+  | Orig        (** an instruction of the original program *)
+  | Ld_compute  (** load instrumentation: tag-address computation and tests *)
+  | Ld_mem      (** load instrumentation: bitmap memory access *)
+  | St_compute  (** store instrumentation: tag computation and NaT test *)
+  | St_mem      (** store instrumentation: bitmap memory access *)
+  | Cmp_relax   (** compare-relaxation code (NaT stripping around [cmp]) *)
+  | Nat_gen     (** NaT-source generation and reserved-register setup *)
+  | Shadow      (** software-DBT baseline shadow-tag propagation code *)
+
+val is_instrumentation : t -> bool
+(** True for everything except [Orig]. *)
+
+val index : t -> int
+(** A dense index in [0, card). *)
+
+val card : int
+val of_index : int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

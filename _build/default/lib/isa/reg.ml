@@ -1,0 +1,23 @@
+type t = int
+
+let count = 128
+let zero = 0
+let ret = 8
+let sp = 12
+let sysnum = 15
+let impl_mask = 29
+let scratch_slot = 30
+let nat_src = 31
+let max_args = 8
+
+let arg i =
+  if i < 0 || i >= max_args then invalid_arg "Reg.arg";
+  16 + i
+
+let sysarg i =
+  if i < 0 || i >= 6 then invalid_arg "Reg.sysarg";
+  32 + i
+
+let is_valid r = r >= 0 && r < count
+let to_string r = Printf.sprintf "r%d" r
+let pp ppf r = Format.pp_print_string ppf (to_string r)

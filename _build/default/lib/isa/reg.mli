@@ -1,0 +1,53 @@
+(** General-purpose registers of the simulated IA-64-like ISA.
+
+    The machine has 128 general registers, each extended with a NaT
+    ("Not a Thing") bit that records a deferred exception.  SHIFT reuses
+    the NaT bit as the taint tag for register state. *)
+
+type t = int
+(** A register number in [0, count). *)
+
+val count : int
+(** Number of general registers (128, as on Itanium). *)
+
+val zero : t
+(** [r0], hard-wired to the value 0 with a clear NaT bit. *)
+
+val ret : t
+(** [r8], the function return-value register. *)
+
+val sp : t
+(** [r12], the stack pointer by software convention. *)
+
+val sysnum : t
+(** [r15], the system-call number register. *)
+
+val impl_mask : t
+(** [r29], reserved: holds the implemented-address-bits mask used by the
+    instrumentation to translate data addresses to tag addresses. *)
+
+val scratch_slot : t
+(** [r30], reserved: holds the address of the per-program scratch memory
+    slot used by NaT-stripping (spill/fill) sequences. *)
+
+val nat_src : t
+(** [r31], reserved: the NaT source register.  Its value is 0 and its NaT
+    bit is set; adding it to a register taints that register without
+    changing its value (Figure 5 of the paper). *)
+
+val arg : int -> t
+(** [arg i] is the register carrying the [i]-th function argument
+    (r16 + i, for i in [0, 8)). *)
+
+val sysarg : int -> t
+(** [sysarg i] is the register carrying the [i]-th system-call argument
+    (r32 + i, for i in [0, 6)). *)
+
+val max_args : int
+(** Maximum number of function arguments passed in registers. *)
+
+val is_valid : t -> bool
+(** Whether the register number is in range. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

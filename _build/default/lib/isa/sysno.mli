@@ -1,0 +1,58 @@
+(** System-call numbers: the ABI between compiled guest programs and the
+    simulated OS layer.  The number goes in r15, up to six arguments in
+    r32-r37, the result comes back in r8. *)
+
+val exit_ : int
+
+(** [read(fd, buf, len)] *)
+val read : int
+
+(** [write(fd, buf, len)] *)
+val write : int
+
+(** [open(path)] -> fd or -1; policy H1/H2 sink. *)
+val open_ : int
+
+val close : int
+
+(** [recv(sock, buf, len)]; network taint source. *)
+val recv : int
+
+(** [send(sock, buf, len)] *)
+val send : int
+
+(** [sbrk(n)] -> old break. *)
+val sbrk : int
+
+(** [sendfile(sock, fd, len)]: kernel-side copy, no guest loads/stores. *)
+val sendfile : int
+
+(** [system(cmd)]; policy H4 sink. *)
+val system : int
+
+(** [sql_exec(query)]; policy H3 sink. *)
+val sql_exec : int
+
+(** [html_out(buf, len)]; policy H5 sink. *)
+val html_out : int
+
+(** [taint_set(addr, len, flag)]: explicit taint source. *)
+val taint_set : int
+
+(** [taint_chk(addr, len)] -> tainted byte count (for tests). *)
+val taint_chk : int
+
+(** Raised by software-DBT inline checks. *)
+val dbt_alert : int
+
+(** [accept()] -> socket fd for the next request. *)
+val accept : int
+
+(** [spawn(entry, arg)] -> hart id: start a thread (SMP runs only). *)
+val spawn : int
+
+(** [join(tid)] -> the thread's result; spins until it finishes. *)
+val join : int
+
+(** Human-readable name, for traces. *)
+val name : int -> string

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Cache Cond Fault Fun Instr Int64 Pipeline Pred Program Prov Reg Shift_isa Shift_mem Stack Stats

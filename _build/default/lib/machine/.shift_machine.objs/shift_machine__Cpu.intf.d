@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Cache Fault Pipeline Shift_isa Shift_mem Stack Stats

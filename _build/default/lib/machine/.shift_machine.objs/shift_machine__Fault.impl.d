@@ -1,0 +1,1 @@
+lib/machine/fault.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/machine/pipeline.ml: Array List Shift_isa

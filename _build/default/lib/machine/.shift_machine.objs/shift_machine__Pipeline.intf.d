@@ -1,0 +1,1 @@
+lib/machine/pipeline.mli: Shift_isa

@@ -1,0 +1,1 @@
+lib/machine/smp.ml: Array Cpu Fault Int64 List Option Shift_isa

@@ -1,0 +1,1 @@
+lib/machine/smp.mli: Cpu Fault

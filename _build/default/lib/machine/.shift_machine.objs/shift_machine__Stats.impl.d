@@ -1,0 +1,1 @@
+lib/machine/stats.ml: Array Format Fun List Shift_isa

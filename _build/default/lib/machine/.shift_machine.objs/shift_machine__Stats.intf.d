@@ -1,0 +1,1 @@
+lib/machine/stats.mli: Format Shift_isa

@@ -1,0 +1,39 @@
+type t = {
+  line_shift : int;
+  set_count : int;
+  lines : int64 array;  (* line address per set; -1 = invalid *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let miss_penalty = 12
+
+let log2 n =
+  let rec go k acc = if acc >= n then k else go (k + 1) (acc * 2) in
+  go 0 1
+
+let create ?(size_kb = 16) ?(line_bytes = 64) () =
+  let set_count = size_kb * 1024 / line_bytes in
+  {
+    line_shift = log2 line_bytes;
+    set_count;
+    lines = Array.make set_count (-1L);
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let access t addr =
+  let line = Int64.shift_right_logical addr t.line_shift in
+  let set = Int64.to_int (Int64.unsigned_rem line (Int64.of_int t.set_count)) in
+  if Int64.equal t.lines.(set) line then begin
+    t.hit_count <- t.hit_count + 1;
+    true
+  end
+  else begin
+    t.lines.(set) <- line;
+    t.miss_count <- t.miss_count + 1;
+    false
+  end
+
+let hits t = t.hit_count
+let misses t = t.miss_count

@@ -1,0 +1,23 @@
+(** A small direct-mapped L1 data cache model.
+
+    Only load latency depends on it (stores are assumed write-buffered
+    but allocate their line).  Its role in the reproduction: the
+    byte-level taint bitmap has 8x the footprint of the word-level one
+    (one bit per byte vs. one bit per 8-byte word), so byte-level
+    tracking suffers more bitmap misses — one of the reasons byte-level
+    SHIFT is slower in the paper's Figure 7. *)
+
+type t
+
+val create : ?size_kb:int -> ?line_bytes:int -> unit -> t
+(** Defaults: 16 KB, 64-byte lines (Itanium-2-like L1D). *)
+
+val access : t -> int64 -> bool
+(** Look up the line containing the address and allocate it; [true] on
+    hit. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val miss_penalty : int
+(** Extra load-use latency on a miss (cycles). *)

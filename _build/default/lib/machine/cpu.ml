@@ -1,0 +1,326 @@
+open Shift_isa
+
+type t = {
+  program : Program.t;
+  mem : Shift_mem.Memory.t;
+  values : int64 array;
+  nats : bool array;
+  preds : bool array;
+  mutable unat : int64;
+  mutable ip : int;
+  stats : Stats.t;
+  pipe : Pipeline.t;
+  cache : Cache.t;
+  mutable syscall_handler : (t -> unit) option;
+  mutable trace : (t -> int -> Instr.t -> unit) option;
+  call_stack : (int * int64) Stack.t;
+}
+
+type outcome =
+  | Exited of int64
+  | Faulted of Fault.t * int
+  | Out_of_fuel
+
+exception Exit_requested of int64
+exception Fault_exn of Fault.t
+exception Halt_exn of int64
+
+let branch_penalty = 1
+let chk_penalty = 5
+let syscall_overhead = 100
+let call_stack_limit = 100_000
+
+let create ?(entry = "_start") ?mem program =
+  let preds = Array.make Pred.count false in
+  preds.(Pred.p0) <- true;
+  {
+    program;
+    mem = (match mem with Some m -> m | None -> Shift_mem.Memory.create ());
+    values = Array.make Reg.count 0L;
+    nats = Array.make Reg.count false;
+    preds;
+    unat = 0L;
+    ip = (if Program.has_label program entry then Program.target program entry else 0);
+    stats = Stats.create ();
+    pipe = Pipeline.create ();
+    cache = Cache.create ();
+    syscall_handler = None;
+    trace = None;
+    call_stack = Stack.create ();
+  }
+
+let get_value t r = t.values.(r)
+
+let set_value t r v = if r <> Reg.zero then t.values.(r) <- v
+
+let get_nat t r = t.nats.(r)
+
+let set_nat t r b = if r <> Reg.zero then t.nats.(r) <- b
+
+let add_io_cycles t n =
+  t.stats.io_cycles <- t.stats.io_cycles + n;
+  Pipeline.stall t.pipe n
+
+let latency_of (op : Instr.op) =
+  match op with
+  | Instr.Ld _ -> 2
+  | Instr.Arith (Instr.Mul, _, _, _) -> 3
+  | Instr.Arith ((Instr.Div | Instr.Rem), _, _, _) -> 12
+  | _ -> 1
+
+let shift_amount b = Int64.to_int (Int64.logand b 63L)
+
+let eval_arith a x y =
+  match (a : Instr.arith) with
+  | Instr.Add -> Int64.add x y
+  | Instr.Sub -> Int64.sub x y
+  | Instr.Mul -> Int64.mul x y
+  | Instr.Div ->
+      if Int64.equal y 0L then raise (Fault_exn Fault.Div_by_zero)
+      else if Int64.equal y (-1L) then Int64.neg x
+      else Int64.div x y
+  | Instr.Rem ->
+      if Int64.equal y 0L then raise (Fault_exn Fault.Div_by_zero)
+      else if Int64.equal y (-1L) then 0L
+      else Int64.rem x y
+  | Instr.And -> Int64.logand x y
+  | Instr.Or -> Int64.logor x y
+  | Instr.Xor -> Int64.logxor x y
+  | Instr.Andcm -> Int64.logand x (Int64.lognot y)
+  | Instr.Shl -> Int64.shift_left x (shift_amount y)
+  | Instr.Shr -> Int64.shift_right_logical x (shift_amount y)
+  | Instr.Sar -> Int64.shift_right x (shift_amount y)
+
+let operand_value t = function
+  | Instr.R r -> t.values.(r)
+  | Instr.Imm i -> i
+
+let operand_nat t = function
+  | Instr.R r -> t.nats.(r)
+  | Instr.Imm _ -> false
+
+let set_pred t p b = if p <> Pred.p0 then t.preds.(p) <- b
+
+let unat_bit addr = Int64.to_int (Int64.logand (Int64.shift_right_logical addr 3) 63L)
+
+let goto t target =
+  t.ip <- target;
+  t.stats.branches <- t.stats.branches + 1;
+  Pipeline.redirect t.pipe ~penalty:branch_penalty
+
+let push_call t =
+  if Stack.length t.call_stack >= call_stack_limit then
+    raise (Fault_exn Fault.Call_stack_overflow);
+  Stack.push (t.ip + 1, t.unat) t.call_stack
+
+let indirect_target t v =
+  let n = Int64.to_int v in
+  if Int64.compare v 0L < 0 || n >= Program.size t.program then
+    raise (Fault_exn (Fault.Invalid_branch v));
+  n
+
+(* Executes the functional effect of one instruction whose qualifying
+   predicate is true, and advances [t.ip]. *)
+let exec_op t (op : Instr.op) =
+  match op with
+  | Instr.Nop ->
+      t.ip <- t.ip + 1
+  | Instr.Halt -> raise (Halt_exn t.values.(Reg.ret))
+  | Instr.Movi (d, v) ->
+      set_value t d v;
+      set_nat t d false;
+      t.ip <- t.ip + 1
+  | Instr.Mov (d, s) ->
+      set_value t d t.values.(s);
+      set_nat t d t.nats.(s);
+      t.ip <- t.ip + 1
+  | Instr.Lea (d, l) ->
+      set_value t d (Int64.of_int (Program.target t.program l));
+      set_nat t d false;
+      t.ip <- t.ip + 1
+  | Instr.Arith (a, d, s1, o) ->
+      let v = eval_arith a t.values.(s1) (operand_value t o) in
+      (* xor r = s, s and sub r = s, s are the recognised clear idioms
+         (paper §3.3.2): the result does not depend on the source value,
+         so the taint is purged. *)
+      let clear_idiom =
+        match (a, o) with
+        | (Instr.Xor | Instr.Sub), Instr.R s2 -> s1 = s2
+        | _ -> false
+      in
+      let nat =
+        (not clear_idiom) && (t.nats.(s1) || operand_nat t o)
+      in
+      set_value t d v;
+      set_nat t d nat;
+      t.ip <- t.ip + 1
+  | Instr.Cmp { cond; pt; pf; src1; src2; taint_aware } ->
+      let nat = t.nats.(src1) || operand_nat t src2 in
+      if nat && not taint_aware then begin
+        (* Baseline deferred-exception behaviour: survive speculation
+           failure by clearing both branch predicates. *)
+        set_pred t pt false;
+        set_pred t pf false
+      end
+      else begin
+        let r = Cond.eval cond t.values.(src1) (operand_value t src2) in
+        set_pred t pt r;
+        set_pred t pf (not r)
+      end;
+      t.ip <- t.ip + 1
+  | Instr.Tnat { pt; pf; src } ->
+      set_pred t pt t.nats.(src);
+      set_pred t pf (not t.nats.(src));
+      t.ip <- t.ip + 1
+  | Instr.Extr { dst; src; pos; len } ->
+      let mask = Int64.sub (Int64.shift_left 1L (len land 63)) 1L in
+      set_value t dst (Int64.logand (Int64.shift_right_logical t.values.(src) (pos land 63)) mask);
+      set_nat t dst t.nats.(src);
+      t.ip <- t.ip + 1
+  | Instr.Ld { width; dst; addr; spec; fill } ->
+      let a = t.values.(addr) in
+      let invalid = t.nats.(addr) || not (Shift_mem.Addr.is_valid a) in
+      if invalid then
+        if spec then begin
+          set_value t dst 0L;
+          set_nat t dst true
+        end
+        else if t.nats.(addr) then
+          raise (Fault_exn (Fault.Nat_consumption Fault.Load_address))
+        else raise (Fault_exn (Fault.Invalid_address a))
+      else begin
+        let v = Shift_mem.Memory.read t.mem a ~width:(Instr.bytes_of_width width) in
+        set_value t dst v;
+        set_nat t dst (fill && Int64.logand (Int64.shift_right_logical t.unat (unat_bit a)) 1L = 1L);
+        t.stats.loads <- t.stats.loads + 1
+      end;
+      t.ip <- t.ip + 1
+  | Instr.St { width; addr; src; spill } ->
+      let a = t.values.(addr) in
+      if t.nats.(addr) then
+        raise (Fault_exn (Fault.Nat_consumption Fault.Store_address));
+      if not (Shift_mem.Addr.is_valid a) then
+        raise (Fault_exn (Fault.Invalid_address a));
+      if t.nats.(src) && not spill then
+        raise (Fault_exn (Fault.Nat_consumption Fault.Store_value));
+      if spill then begin
+        let bit = unat_bit a in
+        let mask = Int64.shift_left 1L bit in
+        t.unat <-
+          (if t.nats.(src) then Int64.logor t.unat mask
+           else Int64.logand t.unat (Int64.lognot mask))
+      end;
+      Shift_mem.Memory.write t.mem a ~width:(Instr.bytes_of_width width) t.values.(src);
+      t.stats.stores <- t.stats.stores + 1;
+      t.ip <- t.ip + 1
+  | Instr.Chk_s { src; recovery } ->
+      if t.nats.(src) then begin
+        t.ip <- Program.target t.program recovery;
+        t.stats.branches <- t.stats.branches + 1;
+        Pipeline.redirect t.pipe ~penalty:chk_penalty
+      end
+      else t.ip <- t.ip + 1
+  | Instr.Br l -> goto t (Program.target t.program l)
+  | Instr.Br_reg r ->
+      if t.nats.(r) then
+        raise (Fault_exn (Fault.Nat_consumption Fault.Branch_target));
+      goto t (indirect_target t t.values.(r))
+  | Instr.Call l ->
+      push_call t;
+      goto t (Program.target t.program l)
+  | Instr.Call_reg r ->
+      if t.nats.(r) then
+        raise (Fault_exn (Fault.Nat_consumption Fault.Call_target));
+      let target = indirect_target t t.values.(r) in
+      push_call t;
+      goto t target
+  | Instr.Ret ->
+      if Stack.is_empty t.call_stack then
+        raise (Fault_exn Fault.Call_stack_underflow);
+      let rip, unat = Stack.pop t.call_stack in
+      t.unat <- unat;
+      goto t rip
+  | Instr.Fetchadd { dst; addr; inc } ->
+      let a = t.values.(addr) in
+      if t.nats.(addr) then
+        raise (Fault_exn (Fault.Nat_consumption Fault.Load_address));
+      if not (Shift_mem.Addr.is_valid a) then raise (Fault_exn (Fault.Invalid_address a));
+      let old = Shift_mem.Memory.read t.mem a ~width:8 in
+      Shift_mem.Memory.write t.mem a ~width:8 (Int64.add old t.values.(inc));
+      set_value t dst old;
+      set_nat t dst false;
+      t.stats.loads <- t.stats.loads + 1;
+      t.stats.stores <- t.stats.stores + 1;
+      t.ip <- t.ip + 1
+  | Instr.Setnat r ->
+      set_nat t r true;
+      t.ip <- t.ip + 1
+  | Instr.Clrnat r ->
+      set_nat t r false;
+      t.ip <- t.ip + 1
+  | Instr.Syscall ->
+      t.stats.syscalls <- t.stats.syscalls + 1;
+      Pipeline.stall t.pipe syscall_overhead;
+      (match t.syscall_handler with
+      | Some h -> h t
+      | None -> ());
+      t.ip <- t.ip + 1
+
+let finish t outcome =
+  t.stats.cycles <- Pipeline.cycles t.pipe;
+  outcome
+
+let step t =
+  if t.ip < 0 || t.ip >= Program.size t.program then
+    Some (finish t (Faulted (Fault.Invalid_branch (Int64.of_int t.ip), t.ip)))
+  else begin
+    let start_ip = t.ip in
+    let i = t.program.code.(t.ip) in
+    (match t.trace with Some f -> f t t.ip i | None -> ());
+    let executing = t.preds.(i.qp) in
+    t.stats.instructions <- t.stats.instructions + 1;
+    t.stats.slots_by_prov.(Prov.index i.prov) <-
+      t.stats.slots_by_prov.(Prov.index i.prov) + 1;
+    if not executing then t.stats.predicated_off <- t.stats.predicated_off + 1;
+    (* loads consult the cache model for their use-latency; stores
+       allocate their line but are assumed write-buffered *)
+    let latency =
+      match i.op with
+      | Instr.Ld { addr; _ }
+        when executing && (not t.nats.(addr)) && Shift_mem.Addr.is_valid t.values.(addr) ->
+          if Cache.access t.cache t.values.(addr) then latency_of i.op
+          else latency_of i.op + Cache.miss_penalty
+      | Instr.St { addr; _ }
+        when executing && (not t.nats.(addr)) && Shift_mem.Addr.is_valid t.values.(addr) ->
+          ignore (Cache.access t.cache t.values.(addr));
+          latency_of i.op
+      | op -> latency_of op
+    in
+    Pipeline.issue t.pipe ~executing ~reads:(Instr.reads i.op)
+      ~writes:(Instr.writes i.op)
+      ~pred_writes:(Instr.writes_preds i.op)
+      ~qp:i.qp ~is_mem:(Instr.is_mem i.op) ~latency;
+    if executing then
+      try
+        exec_op t i.op;
+        None
+      with
+      | Fault_exn f -> Some (finish t (Faulted (f, start_ip)))
+      | Halt_exn v | Exit_requested v -> Some (finish t (Exited v))
+    else begin
+      t.ip <- t.ip + 1;
+      None
+    end
+  end
+
+let run ?(fuel = 2_000_000_000) t =
+  let rec go fuel =
+    if fuel <= 0 then finish t Out_of_fuel
+    else
+      match step t with
+      | Some outcome -> outcome
+      | None -> go (fuel - 1)
+  in
+  (* keep the cycle count consistent even when a syscall handler raises
+     (policy violations propagate as exceptions) *)
+  Fun.protect ~finally:(fun () -> t.stats.cycles <- Pipeline.cycles t.pipe) (fun () -> go fuel)

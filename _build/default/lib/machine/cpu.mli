@@ -1,0 +1,65 @@
+(** The CPU simulator: functional semantics plus pipeline timing.
+
+    Implements the deferred-exception lifecycle SHIFT builds on
+    (paper §2.2):
+
+    - every general register carries a NaT bit;
+    - NaT bits propagate OR-wise through computation;
+    - a speculative load from an invalid address sets the target's NaT
+      bit instead of faulting;
+    - [chk.s] redirects to recovery code when it meets a NaT bit;
+    - consuming a NaT bit in a memory address, a stored value (non-spill)
+      or a control-transfer target raises a NaT-consumption fault — the
+      hardware half of policies L1-L3;
+    - [st.spill]/[ld.fill] round-trip the NaT bit through UNAT, and UNAT
+      is preserved across calls (as the Itanium ABI does);
+    - compares with a NaT source clear both target predicates unless the
+      compare is the §6.3 taint-aware variant. *)
+
+type t = {
+  program : Shift_isa.Program.t;
+  mem : Shift_mem.Memory.t;
+  values : int64 array;
+  nats : bool array;
+  preds : bool array;
+  mutable unat : int64;
+  mutable ip : int;
+  stats : Stats.t;
+  pipe : Pipeline.t;
+  cache : Cache.t;
+  mutable syscall_handler : (t -> unit) option;
+  mutable trace : (t -> int -> Shift_isa.Instr.t -> unit) option;
+  call_stack : (int * int64) Stack.t;
+}
+
+type outcome =
+  | Exited of int64            (** [halt] reached; exit status from r8 *)
+  | Faulted of Fault.t * int   (** fault and the faulting instruction index *)
+  | Out_of_fuel                (** fuel exhausted before termination *)
+
+exception Exit_requested of int64
+(** A syscall handler raises this to terminate the program (exit(2)). *)
+
+val create : ?entry:string -> ?mem:Shift_mem.Memory.t -> Shift_isa.Program.t -> t
+(** Fresh machine with zeroed registers and [ip] at [entry] (default
+    ["_start"], or instruction 0 if absent).  [mem] shares an existing
+    memory (SMP harts); by default the machine gets its own. *)
+
+val get_value : t -> Shift_isa.Reg.t -> int64
+val set_value : t -> Shift_isa.Reg.t -> int64 -> unit
+val get_nat : t -> Shift_isa.Reg.t -> bool
+val set_nat : t -> Shift_isa.Reg.t -> bool -> unit
+
+val add_io_cycles : t -> int -> unit
+(** Charge I/O time from a syscall handler. *)
+
+val run : ?fuel:int -> t -> outcome
+(** Execute until halt, fault or fuel exhaustion (default fuel 2e9
+    instructions).  Cycle counts are finalised into [t.stats] on
+    return.  Exceptions raised by the syscall handler other than
+    {!Exit_requested} propagate (the policy engine uses this for
+    alerts). *)
+
+val step : t -> outcome option
+(** Execute a single instruction; [None] while the program is still
+    running. *)

@@ -1,0 +1,32 @@
+type nat_use =
+  | Load_address
+  | Store_address
+  | Store_value
+  | Branch_target
+  | Call_target
+
+type t =
+  | Nat_consumption of nat_use
+  | Invalid_address of int64
+  | Invalid_branch of int64
+  | Div_by_zero
+  | Call_stack_overflow
+  | Call_stack_underflow
+
+let nat_use_to_string = function
+  | Load_address -> "load address"
+  | Store_address -> "store address"
+  | Store_value -> "store value"
+  | Branch_target -> "branch target"
+  | Call_target -> "call target"
+
+let to_string = function
+  | Nat_consumption u ->
+      Printf.sprintf "NaT consumption fault (%s)" (nat_use_to_string u)
+  | Invalid_address a -> Printf.sprintf "invalid address 0x%Lx" a
+  | Invalid_branch a -> Printf.sprintf "invalid branch target %Ld" a
+  | Div_by_zero -> "division by zero"
+  | Call_stack_overflow -> "call stack overflow"
+  | Call_stack_underflow -> "call stack underflow"
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

@@ -1,0 +1,25 @@
+(** Machine faults.
+
+    NaT-consumption faults are the hardware half of SHIFT's low-level
+    policies: using tainted (NaT) data as a load address is policy L1,
+    as a store address L2, and as a control-transfer target L3
+    (paper Table 1 and §3.3.3). *)
+
+type nat_use =
+  | Load_address    (** tainted register used as a load address (L1) *)
+  | Store_address   (** tainted register used as a store address (L2) *)
+  | Store_value     (** non-spill store of a NaT register *)
+  | Branch_target   (** tainted indirect branch target (L3) *)
+  | Call_target     (** tainted indirect call target (L3) *)
+
+type t =
+  | Nat_consumption of nat_use
+  | Invalid_address of int64  (** non-canonical or null-guard access *)
+  | Invalid_branch of int64   (** indirect transfer outside the code *)
+  | Div_by_zero
+  | Call_stack_overflow
+  | Call_stack_underflow
+
+val nat_use_to_string : nat_use -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

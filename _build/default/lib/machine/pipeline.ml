@@ -1,0 +1,65 @@
+type t = {
+  mutable cycle : int;
+  mutable slots_used : int;
+  mutable mem_used : int;
+  reg_ready : int array;
+  pred_ready : int array;
+}
+
+let width = 6
+let mem_ports = 2
+
+let create () =
+  {
+    cycle = 0;
+    slots_used = 0;
+    mem_used = 0;
+    reg_ready = Array.make Shift_isa.Reg.count 0;
+    pred_ready = Array.make Shift_isa.Pred.count 0;
+  }
+
+let next_cycle t =
+  t.cycle <- t.cycle + 1;
+  t.slots_used <- 0;
+  t.mem_used <- 0
+
+let advance_to t c =
+  if c > t.cycle then begin
+    t.cycle <- c;
+    t.slots_used <- 0;
+    t.mem_used <- 0
+  end
+
+let issue t ~executing ~reads ~writes ~pred_writes ~qp ~is_mem ~latency =
+  advance_to t t.pred_ready.(qp);
+  if executing then
+    List.iter (fun r -> advance_to t t.reg_ready.(r)) reads;
+  while
+    t.slots_used >= width || (executing && is_mem && t.mem_used >= mem_ports)
+  do
+    next_cycle t
+  done;
+  t.slots_used <- t.slots_used + 1;
+  if executing && is_mem then t.mem_used <- t.mem_used + 1;
+  if executing then begin
+    List.iter
+      (fun r -> if r <> Shift_isa.Reg.zero then t.reg_ready.(r) <- t.cycle + latency)
+      writes;
+    List.iter
+      (fun p -> if p <> Shift_isa.Pred.p0 then t.pred_ready.(p) <- t.cycle + 1)
+      pred_writes
+  end
+
+let redirect t ~penalty =
+  t.cycle <- t.cycle + penalty;
+  t.slots_used <- 0;
+  t.mem_used <- 0
+
+let stall t n =
+  if n > 0 then begin
+    t.cycle <- t.cycle + n;
+    t.slots_used <- 0;
+    t.mem_used <- 0
+  end
+
+let cycles t = t.cycle

@@ -1,0 +1,44 @@
+(** In-order issue timing model.
+
+    Approximates an Itanium-2-like EPIC core: 6 issue slots per cycle,
+    two memory ports, in-order issue with register scoreboarding, and
+    predication (a predicated-off instruction occupies its slot but
+    neither waits for nor produces operands).  This is what lets the
+    instrumentation code overlap with program computation, which is the
+    mechanism behind the paper's modest slowdowns: the deferred-exception
+    hardware tracks register taint for free, and the inserted bitmap code
+    competes mainly for memory ports and issue slots. *)
+
+type t
+
+val create : unit -> t
+
+(** Issue slots per cycle (6). *)
+val width : int
+
+(** Memory operations per cycle (2). *)
+val mem_ports : int
+
+val issue :
+  t ->
+  executing:bool ->
+  reads:Shift_isa.Reg.t list ->
+  writes:Shift_isa.Reg.t list ->
+  pred_writes:Shift_isa.Pred.t list ->
+  qp:Shift_isa.Pred.t ->
+  is_mem:bool ->
+  latency:int ->
+  unit
+(** Account one instruction.  [executing] is false when the qualifying
+    predicate was false.  [latency] is the cycles until the destination
+    registers are ready (1 for ALU, 2 for loads, ...). *)
+
+val redirect : t -> penalty:int -> unit
+(** A taken control transfer: close the current issue group and charge a
+    front-end redirect penalty. *)
+
+val stall : t -> int -> unit
+(** Charge [n] cycles of dead time (system-call I/O costs). *)
+
+val cycles : t -> int
+(** Cycles elapsed so far. *)

@@ -1,0 +1,84 @@
+type state =
+  | Running
+  | Done of int64
+  | Crashed of Fault.t * int
+
+type hart = { id : int; cpu : Cpu.t; mutable state : state }
+
+type t = {
+  quantum : int;
+  stack_top : int64;
+  stack_stride : int64;
+  mutable harts : hart list; (* kept in id order *)
+}
+
+let create ?(quantum = 50) ~stack_top ~stack_stride cpu =
+  { quantum; stack_top; stack_stride; harts = [ { id = 0; cpu; state = Running } ] }
+
+let spawn t ~parent ~entry ~arg =
+  let id = List.length t.harts in
+  let cpu = Cpu.create ~mem:parent.Cpu.mem parent.Cpu.program in
+  (* inherit the register file: the reserved instrumentation constants
+     (implemented-bits mask, scratch slot, NaT source) must be live in
+     the child too *)
+  Array.blit parent.Cpu.values 0 cpu.Cpu.values 0 (Array.length parent.Cpu.values);
+  Array.blit parent.Cpu.nats 0 cpu.Cpu.nats 0 (Array.length parent.Cpu.nats);
+  cpu.Cpu.syscall_handler <- parent.Cpu.syscall_handler;
+  Cpu.set_value cpu Shift_isa.Reg.sp
+    (Int64.sub t.stack_top (Int64.mul (Int64.of_int id) t.stack_stride));
+  Cpu.set_nat cpu Shift_isa.Reg.sp false;
+  Cpu.set_value cpu (Shift_isa.Reg.arg 0) arg;
+  Cpu.set_nat cpu (Shift_isa.Reg.arg 0) false;
+  cpu.Cpu.ip <- Int64.to_int entry;
+  t.harts <- t.harts @ [ { id; cpu; state = Running } ];
+  id
+
+let state_of t id =
+  List.find_opt (fun h -> h.id = id) t.harts |> Option.map (fun h -> h.state)
+
+let cpu_of t id =
+  List.find_opt (fun h -> h.id = id) t.harts |> Option.map (fun h -> h.cpu)
+
+(* run one quantum on a hart; returns the instructions actually spent *)
+let run_quantum t hart =
+  let spent = ref 0 in
+  (try
+     while !spent < t.quantum && hart.state = Running do
+       incr spent;
+       match Cpu.step hart.cpu with
+       | None -> ()
+       | Some (Cpu.Exited v) -> hart.state <- Done v
+       | Some (Cpu.Faulted (Fault.Call_stack_underflow, _)) when hart.id > 0 ->
+           (* a secondary hart returning from its entry function is a
+              normal thread exit; its result is in r8 *)
+           hart.state <- Done (Cpu.get_value hart.cpu Shift_isa.Reg.ret)
+       | Some (Cpu.Faulted (f, ip)) -> hart.state <- Crashed (f, ip)
+       | Some Cpu.Out_of_fuel -> assert false
+     done
+   with Cpu.Exit_requested v -> hart.state <- Done v);
+  !spent
+
+let run ?(fuel = 2_000_000_000) t =
+  let remaining = ref fuel in
+  let outcome = ref None in
+  while !outcome = None && !remaining > 0 do
+    let progressed = ref false in
+    List.iter
+      (fun hart ->
+        if hart.state = Running && !outcome = None then begin
+          let spent = run_quantum t hart in
+          if spent > 0 then progressed := true;
+          remaining := !remaining - spent
+        end;
+        if hart.id = 0 then
+          match hart.state with
+          | Done v -> outcome := Some (Cpu.Exited v)
+          | Crashed (f, ip) -> outcome := Some (Cpu.Faulted (f, ip))
+          | Running -> ())
+      t.harts;
+    if not !progressed && !outcome = None then
+      (* every hart is finished or crashed but hart 0 was not: cannot
+         happen (hart 0 Running always progresses), but stay safe *)
+      outcome := Some Cpu.Out_of_fuel
+  done;
+  match !outcome with Some o -> o | None -> Cpu.Out_of_fuel

@@ -1,0 +1,43 @@
+(** Multi-hart execution over shared memory — the paper's future-work
+    item ("extend SHIFT for multi-threaded applications", §4.4 and §8).
+
+    Harts share the memory image (and with it the taint bitmap) but have
+    private register files, pipelines and caches.  Scheduling is a
+    deterministic round robin with a configurable quantum; instructions
+    never interleave mid-operation, so [fetchadd] is atomic and guest
+    ticket locks work.
+
+    This layer is exactly where the paper's §4.4 caveat lives: the
+    instrumentation's bitmap read-modify-write sequences are {e not}
+    serialised, so two harts updating tag bits that share a bitmap byte
+    can lose an update (see test/test_smp.ml, which demonstrates the
+    race the paper cites). *)
+
+type state =
+  | Running
+  | Done of int64               (** returned (or halted) with this value *)
+  | Crashed of Fault.t * int
+
+type t
+
+val create : ?quantum:int -> stack_top:int64 -> stack_stride:int64 -> Cpu.t -> t
+(** Wrap an initialised machine as hart 0.  New harts get stacks at
+    [stack_top - id * stack_stride].  [quantum] (default 50) is how many
+    instructions a hart runs before the next takes over. *)
+
+val spawn : t -> parent:Cpu.t -> entry:int64 -> arg:int64 -> int
+(** Start a new hart at code address [entry] with [arg] in the first
+    argument register.  The register file is copied from [parent] (so
+    the reserved instrumentation registers are inherited), then the
+    stack pointer is rebased.  Returns the hart id. *)
+
+val state_of : t -> int -> state option
+(** [None] for an unknown hart id. *)
+
+val cpu_of : t -> int -> Cpu.t option
+
+val run : ?fuel:int -> t -> Cpu.outcome
+(** Schedule all harts until hart 0 finishes (its outcome is returned),
+    a fault escapes, or the combined instruction budget runs out.  A
+    hart that returns from its entry function simply finishes with its
+    result; other harts keep running only as long as hart 0 does. *)

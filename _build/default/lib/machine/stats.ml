@@ -1,0 +1,44 @@
+type t = {
+  mutable instructions : int;
+  mutable cycles : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable predicated_off : int;
+  mutable syscalls : int;
+  mutable io_cycles : int;
+  slots_by_prov : int array;
+}
+
+let create () =
+  {
+    instructions = 0;
+    cycles = 0;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    predicated_off = 0;
+    syscalls = 0;
+    io_cycles = 0;
+    slots_by_prov = Array.make Shift_isa.Prov.card 0;
+  }
+
+let copy t = { t with slots_by_prov = Array.copy t.slots_by_prov }
+
+let slots t p = t.slots_by_prov.(Shift_isa.Prov.index p)
+let total_slots t = Array.fold_left ( + ) 0 t.slots_by_prov
+
+let instrumentation_slots t =
+  total_slots t - slots t Shift_isa.Prov.Orig
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>instructions: %d@ cycles: %d@ loads: %d@ stores: %d@ branches: %d@ \
+     predicated-off: %d@ syscalls: %d@ io-cycles: %d@ %a@]"
+    t.instructions t.cycles t.loads t.stores t.branches t.predicated_off
+    t.syscalls t.io_cycles
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf i ->
+         Format.fprintf ppf "%s-slots: %d"
+           (Shift_isa.Prov.to_string (Shift_isa.Prov.of_index i))
+           t.slots_by_prov.(i)))
+    (List.init Shift_isa.Prov.card Fun.id)

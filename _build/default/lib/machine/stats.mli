@@ -1,0 +1,30 @@
+(** Execution statistics.
+
+    [cycles] comes from the pipeline timing model; slowdowns in the
+    paper's Figures 6-8 are ratios of instrumented to baseline cycles.
+    Issue slots are accounted per instruction provenance, which drives
+    the Figure-9 overhead breakdown. *)
+
+type t = {
+  mutable instructions : int;   (** dynamically executed instructions *)
+  mutable cycles : int;         (** total cycles incl. I/O costs *)
+  mutable loads : int;          (** executed (non-predicated-off) loads *)
+  mutable stores : int;
+  mutable branches : int;       (** taken control transfers *)
+  mutable predicated_off : int; (** slots spent on false-predicate instructions *)
+  mutable syscalls : int;
+  mutable io_cycles : int;      (** cycles charged by syscall handlers *)
+  slots_by_prov : int array;    (** issue slots per {!Shift_isa.Prov.t} index *)
+}
+
+val create : unit -> t
+val copy : t -> t
+
+val slots : t -> Shift_isa.Prov.t -> int
+
+val total_slots : t -> int
+
+val instrumentation_slots : t -> int
+(** Slots spent on non-[Orig] instructions. *)
+
+val pp : Format.formatter -> t -> unit

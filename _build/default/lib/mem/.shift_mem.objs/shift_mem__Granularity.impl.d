@@ -1,0 +1,1 @@
+lib/mem/granularity.ml: Format

@@ -1,0 +1,1 @@
+lib/mem/memory.ml: Buffer Bytes Char Hashtbl Int64 String

@@ -1,0 +1,1 @@
+lib/mem/taint.ml: Addr Granularity Int64 List Memory String

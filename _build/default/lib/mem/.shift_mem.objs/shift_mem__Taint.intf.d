@@ -1,0 +1,1 @@
+lib/mem/taint.mli: Granularity Memory

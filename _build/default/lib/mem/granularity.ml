@@ -1,0 +1,5 @@
+type t = Byte | Word
+
+let all = [ Byte; Word ]
+let to_string = function Byte -> "byte" | Word -> "word"
+let pp ppf g = Format.pp_print_string ppf (to_string g)

@@ -1,0 +1,11 @@
+(** Taint-tracking granularity.
+
+    The paper evaluates SHIFT at byte level (one tag bit per byte of
+    memory) and word level (one tag bit per 8-byte word, the paper's
+    definition of a word). *)
+
+type t = Byte | Word
+
+val all : t list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

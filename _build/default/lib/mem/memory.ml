@@ -1,0 +1,66 @@
+type t = { pages : (int64, bytes) Hashtbl.t }
+
+let page_size = 4096
+let page_shift = 12
+let page_mask = Int64.of_int (page_size - 1)
+
+let create () = { pages = Hashtbl.create 1024 }
+
+let page t a =
+  let key = Int64.shift_right_logical a page_shift in
+  match Hashtbl.find_opt t.pages key with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.add t.pages key p;
+      p
+
+let read_u8 t a =
+  let p = page t a in
+  Char.code (Bytes.get p (Int64.to_int (Int64.logand a page_mask)))
+
+let write_u8 t a v =
+  let p = page t a in
+  Bytes.set p (Int64.to_int (Int64.logand a page_mask)) (Char.chr (v land 0xff))
+
+let read t a ~width =
+  let rec go i acc =
+    if i >= width then acc
+    else
+      let b = read_u8 t (Int64.add a (Int64.of_int i)) in
+      go (i + 1) (Int64.logor acc (Int64.shift_left (Int64.of_int b) (8 * i)))
+  in
+  go 0 0L
+
+let write t a ~width v =
+  for i = 0 to width - 1 do
+    let b = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL) in
+    write_u8 t (Int64.add a (Int64.of_int i)) b
+  done
+
+let read_bytes t a ~len =
+  String.init len (fun i -> Char.chr (read_u8 t (Int64.add a (Int64.of_int i))))
+
+let write_bytes t a s =
+  String.iteri (fun i c -> write_u8 t (Int64.add a (Int64.of_int i)) (Char.code c)) s
+
+let read_cstring ?(max = 65536) t a =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i >= max then ()
+    else
+      let b = read_u8 t (Int64.add a (Int64.of_int i)) in
+      if b = 0 then ()
+      else begin
+        Buffer.add_char buf (Char.chr b);
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let write_cstring t a s =
+  write_bytes t a s;
+  write_u8 t (Int64.add a (Int64.of_int (String.length s))) 0
+
+let allocated_pages t = Hashtbl.length t.pages

@@ -1,0 +1,34 @@
+(** Sparse paged physical backing for the 64-bit virtual address space.
+
+    Pages are allocated lazily and zero-filled, which conveniently gives
+    the taint bitmap (region 0) an all-clear initial state.  Validity of
+    addresses (canonicality, null guard) is the machine's concern; this
+    module only moves bytes. *)
+
+type t
+
+val create : unit -> t
+
+val page_size : int
+
+val read_u8 : t -> int64 -> int
+val write_u8 : t -> int64 -> int -> unit
+
+val read : t -> int64 -> width:int -> int64
+(** Little-endian read of [width] bytes (1, 2, 4 or 8), zero-extended. *)
+
+val write : t -> int64 -> width:int -> int64 -> unit
+(** Little-endian write of the low [width] bytes of the value. *)
+
+val read_bytes : t -> int64 -> len:int -> string
+val write_bytes : t -> int64 -> string -> unit
+
+val read_cstring : ?max:int -> t -> int64 -> string
+(** Read a NUL-terminated string (at most [max] bytes, default 65536;
+    truncated if no NUL is found). *)
+
+val write_cstring : t -> int64 -> string -> unit
+(** Write the string followed by a NUL byte. *)
+
+val allocated_pages : t -> int
+(** Number of pages touched so far (for tests and reporting). *)

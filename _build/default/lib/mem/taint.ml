@@ -1,0 +1,54 @@
+let get_bit mem g a =
+  let byte = Memory.read_u8 mem (Addr.tag_addr g a) in
+  byte lsr Addr.tag_bit g a land 1 = 1
+
+let set_bit mem g a v =
+  let ta = Addr.tag_addr g a in
+  let bit = Addr.tag_bit g a in
+  let byte = Memory.read_u8 mem ta in
+  let byte = if v then byte lor (1 lsl bit) else byte land lnot (1 lsl bit) in
+  Memory.write_u8 mem ta byte
+
+let grain = function Granularity.Byte -> 1 | Granularity.Word -> 8
+
+let set_range mem g ~addr ~len ~tainted =
+  if len > 0 then begin
+    let step = grain g in
+    (* align the walk to the grain so every covered unit is touched *)
+    let first = Int64.logand addr (Int64.of_int (lnot (step - 1))) in
+    let last = Int64.add addr (Int64.of_int (len - 1)) in
+    let a = ref first in
+    while Int64.unsigned_compare !a last <= 0 do
+      set_bit mem g !a tainted;
+      a := Int64.add !a (Int64.of_int step)
+    done
+  end
+
+let is_tainted mem g a = get_bit mem g a
+
+let fold_range mem g ~addr ~len f init =
+  let acc = ref init in
+  for i = 0 to len - 1 do
+    let a = Int64.add addr (Int64.of_int i) in
+    acc := f !acc i (get_bit mem g a)
+  done;
+  !acc
+
+let any_tainted mem g ~addr ~len =
+  fold_range mem g ~addr ~len (fun acc _ b -> acc || b) false
+
+let count_tainted mem g ~addr ~len =
+  fold_range mem g ~addr ~len (fun acc _ b -> if b then acc + 1 else acc) 0
+
+let first_tainted mem g ~addr ~len =
+  fold_range mem g ~addr ~len
+    (fun acc i b -> match acc with Some _ -> acc | None -> if b then Some i else None)
+    None
+
+let tainted_string_positions mem g addr s =
+  let out = ref [] in
+  String.iteri
+    (fun i _ ->
+      if get_bit mem g (Int64.add addr (Int64.of_int i)) then out := i :: !out)
+    s;
+  List.rev !out

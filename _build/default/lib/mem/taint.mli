@@ -1,0 +1,28 @@
+(** Host-side access to the in-memory taint bitmap.
+
+    The bitmap lives inside guest memory (region 0), exactly where the
+    instrumented code reads and updates it; this module is how the OS
+    layer (taint sources, paper §3.3.1) and the policy engine (sinks)
+    manipulate the same bits from outside the guest. *)
+
+val set_range :
+  Memory.t -> Granularity.t -> addr:int64 -> len:int -> tainted:bool -> unit
+(** Mark [len] bytes starting at [addr] tainted or clean.  With word
+    granularity this conservatively covers every 8-byte word the range
+    touches, as real word-level SHIFT does. *)
+
+val is_tainted : Memory.t -> Granularity.t -> int64 -> bool
+(** Whether the byte at the address is tainted (at word granularity:
+    whether its enclosing word is). *)
+
+val any_tainted : Memory.t -> Granularity.t -> addr:int64 -> len:int -> bool
+
+val count_tainted : Memory.t -> Granularity.t -> addr:int64 -> len:int -> int
+(** Number of tainted bytes in the range. *)
+
+val first_tainted : Memory.t -> Granularity.t -> addr:int64 -> len:int -> int option
+(** Offset within the range of the first tainted byte, if any. *)
+
+val tainted_string_positions : Memory.t -> Granularity.t -> int64 -> string -> int list
+(** For a NUL-terminated guest string already read out as [s], the
+    positions of its tainted bytes. *)

@@ -1,0 +1,1 @@
+lib/os/world.ml: Array Buffer Hashtbl Int64 List Option Reg Shift_isa Shift_machine Shift_mem Shift_policy String Sysno

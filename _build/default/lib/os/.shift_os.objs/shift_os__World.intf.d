@@ -1,0 +1,1 @@
+lib/os/world.mli: Shift_machine Shift_mem Shift_policy

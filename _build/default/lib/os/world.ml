@@ -1,0 +1,295 @@
+open Shift_isa
+module Cpu = Shift_machine.Cpu
+module Taint = Shift_mem.Taint
+module Policy = Shift_policy.Policy
+module Alert = Shift_policy.Alert
+
+type io_cost = { per_call : int; per_byte : int; sendfile_per_byte : int }
+
+let default_io_cost = { per_call = 600; per_byte = 2; sendfile_per_byte = 1 }
+
+type stream = {
+  content : string;
+  mutable pos : int;
+  tainted : bool;
+  path : string option;  (* None for sockets *)
+}
+
+type t = {
+  pol : Policy.t;
+  gran : Shift_mem.Granularity.t;
+  io : io_cost;
+  files : (string, string * bool) Hashtbl.t;  (* path -> content, tainted *)
+  fds : (int, stream) Hashtbl.t;
+  mutable next_fd : int;
+  mutable pending : string list;  (* queued network connections *)
+  out_buf : Buffer.t;
+  html_buf : Buffer.t;
+  mutable sql : string list;
+  mutable commands : string list;
+  mutable alert_log : Alert.t list;
+  mutable brk : int64;
+  (* thread support, wired up by the SMP runner; [None] = single
+     threaded (spawn fails, join returns immediately) *)
+  mutable spawn_hook : (Cpu.t -> entry:int64 -> arg:int64 -> int) option;
+  mutable join_hook : (int -> int64 option) option;
+}
+
+let create ?(policy = Policy.default) ?(gran = Shift_mem.Granularity.Word)
+    ?(io_cost = default_io_cost) () =
+  {
+    pol = policy;
+    gran;
+    io = io_cost;
+    files = Hashtbl.create 16;
+    fds = Hashtbl.create 16;
+    next_fd = 3;
+    pending = [];
+    out_buf = Buffer.create 256;
+    html_buf = Buffer.create 256;
+    sql = [];
+    commands = [];
+    alert_log = [];
+    brk = 0L; (* set on first sbrk from the constant below *)
+    spawn_hook = None;
+    join_hook = None;
+  }
+
+(* matches Layout.heap_base without depending on the compiler library *)
+let heap_base = Shift_mem.Addr.in_region 1 0x2000_0000L
+
+let policy t = t.pol
+
+(* the OS resolves every path against a root working directory, so
+   excess ".." components clamp at "/" as on a real system *)
+let resolve path =
+  let n = Policy.normalize_path ("/" ^ path) in
+  if n = "/" then "/" else String.sub n 1 (String.length n - 1)
+
+let add_file t ?tainted path content =
+  let tainted = Option.value tainted ~default:t.pol.Policy.taint_files in
+  Hashtbl.replace t.files (resolve path) (content, tainted)
+
+let queue_request t req = t.pending <- t.pending @ [ req ]
+
+(* keyboard input, §3.3.1 source (3); fd 0, tainted unless said
+   otherwise *)
+let set_stdin t ?(tainted = true) content =
+  Hashtbl.replace t.fds 0 { content; pos = 0; tainted; path = None }
+
+let output t = Buffer.contents t.out_buf
+let html_output t = Buffer.contents t.html_buf
+let sql_queries t = List.rev t.sql
+let system_commands t = List.rev t.commands
+let alerts t = List.rev t.alert_log
+
+let raise_alert t alert =
+  match t.pol.Policy.action with
+  | Policy.Halt_program -> raise (Alert.Violation alert)
+  | Policy.Log_only -> t.alert_log <- alert :: t.alert_log
+
+let arg cpu i = Cpu.get_value cpu (Reg.sysarg i)
+
+let ret_val cpu v =
+  Cpu.set_value cpu Reg.ret v;
+  Cpu.set_nat cpu Reg.ret false
+
+let charge t cpu ~bytes ~per_byte =
+  Cpu.add_io_cycles cpu (t.io.per_call + (bytes * per_byte))
+
+let taint_positions t cpu addr s =
+  Taint.tainted_string_positions cpu.Cpu.mem t.gran addr s
+
+(* Word-granularity tags smear to the enclosing 8-byte word, so the
+   clean program text adjacent to a tainted fragment looks tainted too
+   (and stale tags from reused stack words survive sub-word stores,
+   which never clear at word granularity).  For the meta-character
+   policies (H3-H5), which need positional precision, a position only
+   counts when its whole +/-7-byte neighbourhood is tainted: boundary
+   smear and isolated stale words are discounted, while genuine
+   attacker fragments (always longer than a word) keep their interior.
+   Byte granularity is exact and needs no filter. *)
+let strong_taint_positions t cpu addr s =
+  let raw = taint_positions t cpu addr s in
+  match t.gran with
+  | Shift_mem.Granularity.Byte -> raw
+  | Shift_mem.Granularity.Word ->
+      let n = String.length s in
+      let tainted = Array.make (max n 1) false in
+      List.iter (fun p -> if p < n then tainted.(p) <- true) raw;
+      List.filter
+        (fun p ->
+          let ok = ref true in
+          for q = max 0 (p - 7) to min (n - 1) (p + 7) do
+            if not tainted.(q) then ok := false
+          done;
+          !ok)
+        raw
+
+let read_guest_string cpu addr = Shift_mem.Memory.read_cstring cpu.Cpu.mem addr
+
+let alloc_fd t stream =
+  let fd = t.next_fd in
+  t.next_fd <- t.next_fd + 1;
+  Hashtbl.replace t.fds fd stream;
+  fd
+
+let do_open t cpu =
+  let path_addr = arg cpu 0 in
+  let path = read_guest_string cpu path_addr in
+  let tainted = taint_positions t cpu path_addr path in
+  (match Policy.check_open t.pol ~path ~tainted with
+  | Some a -> raise_alert t a
+  | None -> ());
+  charge t cpu ~bytes:0 ~per_byte:0;
+  match Hashtbl.find_opt t.files (resolve path) with
+  | Some (content, file_tainted) ->
+      ret_val cpu (Int64.of_int (alloc_fd t { content; pos = 0; tainted = file_tainted; path = Some path }))
+  | None -> ret_val cpu (-1L)
+
+let do_read t cpu =
+  let fd = Int64.to_int (arg cpu 0) in
+  let buf = arg cpu 1 in
+  let len = Int64.to_int (arg cpu 2) in
+  match Hashtbl.find_opt t.fds fd with
+  | None -> ret_val cpu (-1L)
+  | Some s ->
+      let n = min len (String.length s.content - s.pos) in
+      let n = max n 0 in
+      let chunk = String.sub s.content s.pos n in
+      s.pos <- s.pos + n;
+      Shift_mem.Memory.write_bytes cpu.Cpu.mem buf chunk;
+      (* the kernel marks incoming data according to the configured
+         taint sources (paper §3.3.1); clean input clears stale tags in
+         reused buffers *)
+      if n > 0 then
+        Taint.set_range cpu.Cpu.mem t.gran ~addr:buf ~len:n ~tainted:s.tainted;
+      charge t cpu ~bytes:n ~per_byte:t.io.per_byte;
+      ret_val cpu (Int64.of_int n)
+
+let do_fd_write t cpu =
+  (* write(fd, buf, len) / send(sock, buf, len): fd ignored, everything
+     lands in the output buffer *)
+  let buf = arg cpu 1 in
+  let len = Int64.to_int (arg cpu 2) in
+  let bytes = Shift_mem.Memory.read_bytes cpu.Cpu.mem buf ~len in
+  Buffer.add_string t.out_buf bytes;
+  charge t cpu ~bytes:len ~per_byte:t.io.per_byte;
+  ret_val cpu (Int64.of_int len)
+
+let do_accept t cpu =
+  charge t cpu ~bytes:0 ~per_byte:0;
+  match t.pending with
+  | [] -> ret_val cpu (-1L)
+  | req :: rest ->
+      t.pending <- rest;
+      let fd =
+        alloc_fd t { content = req; pos = 0; tainted = t.pol.Policy.taint_network; path = None }
+      in
+      ret_val cpu (Int64.of_int fd)
+
+let do_sendfile t cpu =
+  let fd = Int64.to_int (arg cpu 1) in
+  let len = Int64.to_int (arg cpu 2) in
+  match Hashtbl.find_opt t.fds fd with
+  | None -> ret_val cpu (-1L)
+  | Some s ->
+      let n = max 0 (min len (String.length s.content - s.pos)) in
+      Buffer.add_string t.out_buf (String.sub s.content s.pos n);
+      s.pos <- s.pos + n;
+      charge t cpu ~bytes:n ~per_byte:t.io.sendfile_per_byte;
+      ret_val cpu (Int64.of_int n)
+
+let do_sbrk t cpu =
+  if Int64.equal t.brk 0L then t.brk <- heap_base;
+  let n = arg cpu 0 in
+  let old = t.brk in
+  t.brk <- Int64.add t.brk n;
+  ret_val cpu old
+
+let do_string_sink t cpu ~check ~record =
+  let addr = arg cpu 0 in
+  let s = read_guest_string cpu addr in
+  let tainted = strong_taint_positions t cpu addr s in
+  (match check ~s ~tainted with Some a -> raise_alert t a | None -> ());
+  record s;
+  charge t cpu ~bytes:String.(length s) ~per_byte:1;
+  ret_val cpu 0L
+
+let do_html_out t cpu =
+  let buf = arg cpu 0 in
+  let len = Int64.to_int (arg cpu 1) in
+  let html = Shift_mem.Memory.read_bytes cpu.Cpu.mem buf ~len in
+  let tainted = strong_taint_positions t cpu buf html in
+  (match Policy.check_html t.pol ~html ~tainted with
+  | Some a -> raise_alert t a
+  | None -> ());
+  Buffer.add_string t.html_buf html;
+  charge t cpu ~bytes:len ~per_byte:t.io.per_byte;
+  ret_val cpu (Int64.of_int len)
+
+let do_taint_set t cpu =
+  let addr = arg cpu 0 in
+  let len = Int64.to_int (arg cpu 1) in
+  let flag = not (Int64.equal (arg cpu 2) 0L) in
+  Taint.set_range cpu.Cpu.mem t.gran ~addr ~len ~tainted:flag;
+  ret_val cpu 0L
+
+let do_taint_chk t cpu =
+  let addr = arg cpu 0 in
+  let len = Int64.to_int (arg cpu 1) in
+  ret_val cpu (Int64.of_int (Taint.count_tainted cpu.Cpu.mem t.gran ~addr ~len))
+
+let set_threads t ~spawn ~join =
+  t.spawn_hook <- Some spawn;
+  t.join_hook <- Some join
+
+let do_spawn t cpu =
+  match t.spawn_hook with
+  | None -> ret_val cpu (-1L)
+  | Some spawn -> ret_val cpu (Int64.of_int (spawn cpu ~entry:(arg cpu 0) ~arg:(arg cpu 1)))
+
+let do_join t cpu =
+  match t.join_hook with
+  | None -> ret_val cpu (-1L)
+  | Some join -> (
+      match join (Int64.to_int (arg cpu 0)) with
+      | Some v -> ret_val cpu v
+      | None ->
+          (* not finished: rewind onto the syscall so the hart retries
+             on its next quantum (a busy wait at OS granularity) *)
+          cpu.Cpu.ip <- cpu.Cpu.ip - 1)
+
+let handler t cpu =
+  let n = Int64.to_int (Cpu.get_value cpu Reg.sysnum) in
+  if n = Sysno.exit_ then raise (Cpu.Exit_requested (arg cpu 0))
+  else if n = Sysno.read then do_read t cpu
+  else if n = Sysno.write then do_fd_write t cpu
+  else if n = Sysno.open_ then do_open t cpu
+  else if n = Sysno.close then begin
+    Hashtbl.remove t.fds (Int64.to_int (arg cpu 0));
+    ret_val cpu 0L
+  end
+  else if n = Sysno.recv then do_read t cpu
+  else if n = Sysno.send then do_fd_write t cpu
+  else if n = Sysno.sbrk then do_sbrk t cpu
+  else if n = Sysno.sendfile then do_sendfile t cpu
+  else if n = Sysno.system then
+    do_string_sink t cpu
+      ~check:(fun ~s ~tainted -> Policy.check_system t.pol ~cmd:s ~tainted)
+      ~record:(fun s -> t.commands <- s :: t.commands)
+  else if n = Sysno.sql_exec then
+    do_string_sink t cpu
+      ~check:(fun ~s ~tainted -> Policy.check_sql t.pol ~query:s ~tainted)
+      ~record:(fun s -> t.sql <- s :: t.sql)
+  else if n = Sysno.html_out then do_html_out t cpu
+  else if n = Sysno.taint_set then do_taint_set t cpu
+  else if n = Sysno.taint_chk then do_taint_chk t cpu
+  else if n = Sysno.dbt_alert then
+    raise_alert t
+      (Alert.make ~policy:"L1"
+         "software-DBT inline check: tainted data used as an address")
+  else if n = Sysno.accept then do_accept t cpu
+  else if n = Sysno.spawn then do_spawn t cpu
+  else if n = Sysno.join then do_join t cpu
+  else ret_val cpu (-1L)

@@ -1,0 +1,75 @@
+(** The simulated OS: file system, network, heap break, syscall
+    dispatch, taint sources and policy sinks.
+
+    This layer plays the role of the kernel plus the paper's
+    configuration-driven taint sources (§3.3.1): data entering through
+    [read]/[recv] is marked in the bitmap according to the policy, and
+    the high-level policies (Table 1) are enforced when tainted data
+    reaches an OS sink ([open], [system], [sql_exec], [html_out]).
+
+    I/O syscalls charge cycle costs so that I/O-bound workloads (the
+    Apache experiment, Figure 6) show instrumentation overhead diluted
+    by I/O time, as on real hardware. *)
+
+type io_cost = {
+  per_call : int;      (** fixed kernel-crossing cost, cycles *)
+  per_byte : int;      (** cost per byte moved by read/write/recv/send *)
+  sendfile_per_byte : int;  (** cheaper: no user-space copy *)
+}
+
+val default_io_cost : io_cost
+
+type t
+
+val create :
+  ?policy:Shift_policy.Policy.t ->
+  ?gran:Shift_mem.Granularity.t ->
+  ?io_cost:io_cost ->
+  unit ->
+  t
+(** Granularity defaults to [Word]; it must match the compilation mode
+    of the guest so host-side bitmap reads agree with the instrumented
+    code. *)
+
+val policy : t -> Shift_policy.Policy.t
+
+val add_file : t -> ?tainted:bool -> string -> string -> unit
+(** [add_file t path content]; [tainted] defaults to the policy's
+    [taint_files]. *)
+
+val queue_request : t -> string -> unit
+(** Enqueue a network connection whose payload [recv] will return;
+    [accept] pops the queue. *)
+
+val set_stdin : t -> ?tainted:bool -> string -> unit
+(** Install keyboard input (paper §3.3.1 source 3): what [read]ing
+    fd 0 returns.  Tainted by default. *)
+
+val output : t -> string
+(** Everything the guest wrote with [write]/[send]. *)
+
+val html_output : t -> string
+val sql_queries : t -> string list
+val system_commands : t -> string list
+
+val alerts : t -> Shift_policy.Alert.t list
+(** Alerts recorded so far (all of them under [Log_only]; under
+    [Halt_program] the first one is instead raised as
+    {!Shift_policy.Alert.Violation}). *)
+
+val handler : t -> Shift_machine.Cpu.t -> unit
+(** The syscall dispatcher to install as
+    [cpu.syscall_handler]. *)
+
+val set_threads :
+  t ->
+  spawn:(Shift_machine.Cpu.t -> entry:int64 -> arg:int64 -> int) ->
+  join:(int -> int64 option) ->
+  unit
+(** Enable the [spawn]/[join] syscalls (wired to {!Shift_machine.Smp}
+    by [Session.run_mt]); [join] returning [None] means "still
+    running" and makes the caller spin. *)
+
+val taint_positions : t -> Shift_machine.Cpu.t -> int64 -> string -> int list
+(** Positions of tainted bytes of a guest string at an address (reads
+    the bitmap at this world's granularity). *)

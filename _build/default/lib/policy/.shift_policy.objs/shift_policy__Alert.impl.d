@@ -1,0 +1,1 @@
+lib/policy/alert.ml: Array Format List Printf String

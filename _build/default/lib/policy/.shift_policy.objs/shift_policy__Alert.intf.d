@@ -1,0 +1,1 @@
+lib/policy/alert.mli: Format

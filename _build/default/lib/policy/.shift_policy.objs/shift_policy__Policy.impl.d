@@ -1,0 +1,1 @@
+lib/policy/policy.ml: Alert Fun List Option Printf String

@@ -1,0 +1,31 @@
+type t = { policy : string; message : string; signature : string option }
+
+exception Violation of t
+
+let make ?signature ~policy message = { policy; message; signature }
+
+let to_string a =
+  match a.signature with
+  | None -> Printf.sprintf "[%s] %s" a.policy a.message
+  | Some s -> Printf.sprintf "[%s] %s (signature: %S)" a.policy a.message s
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let extract_signature s ~tainted ~around =
+  let n = String.length s in
+  if around < 0 || around >= n then None
+  else begin
+    let is_tainted = Array.make n false in
+    List.iter (fun p -> if p >= 0 && p < n then is_tainted.(p) <- true) tainted;
+    if not is_tainted.(around) then None
+    else begin
+      let lo = ref around and hi = ref around in
+      while !lo > 0 && is_tainted.(!lo - 1) do
+        decr lo
+      done;
+      while !hi < n - 1 && is_tainted.(!hi + 1) do
+        incr hi
+      done;
+      Some (String.sub s !lo (!hi - !lo + 1))
+    end
+  end

@@ -1,0 +1,26 @@
+(** Security alerts raised when a policy detects misuse of tainted
+    data. *)
+
+type t = {
+  policy : string;   (** e.g. "H1", "L2" *)
+  message : string;  (** human-readable description *)
+  signature : string option;
+      (** For sink alerts: the maximal tainted fragment around the
+          violation — the attacker-controlled bytes that made the sink
+          dangerous.  This is the paper's intrusion-prevention-signature
+          feedback (§1): a filter matching this fragment blocks the
+          attack class at the input. *)
+}
+
+exception Violation of t
+(** Raised out of the running guest when the configured action is to
+    stop the program. *)
+
+val make : ?signature:string -> policy:string -> string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val extract_signature : string -> tainted:int list -> around:int -> string option
+(** The maximal run of tainted bytes containing (or adjacent to)
+    position [around] in the sink string — [None] if [around] is not
+    tainted. *)

@@ -1,0 +1,189 @@
+type action = Halt_program | Log_only
+
+type t = {
+  taint_network : bool;
+  taint_files : bool;
+  h1 : bool;
+  h2 : string option;
+  h3 : bool;
+  h4 : bool;
+  h5 : bool;
+  low_level : bool;
+  action : action;
+}
+
+let default =
+  {
+    taint_network = true;
+    taint_files = false;
+    h1 = false;
+    h2 = None;
+    h3 = false;
+    h4 = false;
+    h5 = false;
+    low_level = true;
+    action = Halt_program;
+  }
+
+let all_on ~document_root =
+  {
+    taint_network = true;
+    taint_files = true;
+    h1 = true;
+    h2 = Some document_root;
+    h3 = true;
+    h4 = true;
+    h5 = true;
+    low_level = true;
+    action = Halt_program;
+  }
+
+let describe t =
+  List.filter_map Fun.id
+    [
+      (if t.taint_network then Some "source: network input is tainted" else None);
+      (if t.taint_files then Some "source: file reads are tainted" else None);
+      (if t.h1 then Some "H1: no tainted absolute file path" else None);
+      Option.map
+        (fun root -> Printf.sprintf "H2: no tainted traversal out of %S" root)
+        t.h2;
+      (if t.h3 then Some "H3: no tainted SQL meta-characters" else None);
+      (if t.h4 then Some "H4: no tainted shell meta-characters" else None);
+      (if t.h5 then Some "H5: no tainted <script> tag in HTML output" else None);
+      (if t.low_level then Some "L1-L3: NaT-consumption faults are violations" else None);
+    ]
+
+let normalize_path p =
+  let absolute = String.length p > 0 && p.[0] = '/' in
+  let parts = String.split_on_char '/' p in
+  let stack =
+    List.fold_left
+      (fun acc part ->
+        match part with
+        | "" | "." -> acc
+        | ".." -> (
+            match acc with
+            | _ :: rest when acc <> [] && List.hd acc <> ".." -> rest
+            | _ -> if absolute then acc else ".." :: acc)
+        | _ -> part :: acc)
+      [] parts
+  in
+  let body = String.concat "/" (List.rev stack) in
+  if absolute then "/" ^ body else if body = "" then "." else body
+
+let check_open t ~path ~tainted =
+  if tainted = [] then None
+  else
+    let signature =
+      match tainted with
+      | p :: _ -> Alert.extract_signature path ~tainted ~around:p
+      | [] -> None
+    in
+    let absolute = String.length path > 0 && path.[0] = '/' in
+    if t.h1 && absolute then
+      Some
+        (Alert.make ?signature ~policy:"H1"
+           (Printf.sprintf "tainted data used as absolute file path %S" path))
+    else
+      match t.h2 with
+      | None -> None
+      | Some root ->
+          let full = if absolute then path else root ^ "/" ^ path in
+          let norm = normalize_path full in
+          let root_norm = normalize_path root in
+          let escapes =
+            not
+              (String.length norm >= String.length root_norm
+              && String.sub norm 0 (String.length root_norm) = root_norm)
+          in
+          if escapes then
+            Some
+              (Alert.make ?signature ~policy:"H2"
+                 (Printf.sprintf "tainted file path %S escapes document root %S" path root))
+          else None
+
+let shell_meta = [ ';'; '|'; '&'; '`'; '$'; '<'; '>' ]
+let sql_meta = [ '\''; '"'; ';' ]
+
+let tainted_meta metas s tainted =
+  List.find_opt (fun i -> i < String.length s && List.mem s.[i] metas) tainted
+
+let check_system t ~cmd ~tainted =
+  if not t.h4 then None
+  else
+    match tainted_meta shell_meta cmd tainted with
+    | Some i ->
+        Some
+          (Alert.make
+             ?signature:(Alert.extract_signature cmd ~tainted ~around:i)
+             ~policy:"H4"
+             (Printf.sprintf "tainted shell meta-character %C at %d in system(%S)" cmd.[i] i cmd))
+    | None -> None
+
+(* "--" comment injection counts even though '-' alone is not a meta
+   character *)
+let tainted_sql_comment q tainted =
+  List.find_opt
+    (fun i -> i + 1 < String.length q && q.[i] = '-' && q.[i + 1] = '-')
+    tainted
+
+let check_sql t ~query ~tainted =
+  if not t.h3 then None
+  else
+    match tainted_meta sql_meta query tainted with
+    | Some i ->
+        Some
+          (Alert.make
+             ?signature:(Alert.extract_signature query ~tainted ~around:i)
+             ~policy:"H3"
+             (Printf.sprintf "tainted SQL meta-character %C at %d in query %S" query.[i] i query))
+    | None -> (
+        match tainted_sql_comment query tainted with
+        | Some i ->
+            Some
+              (Alert.make
+                 ?signature:(Alert.extract_signature query ~tainted ~around:i)
+                 ~policy:"H3"
+                 (Printf.sprintf "tainted SQL comment at %d in query %S" i query))
+        | None -> None)
+
+let lowercase_contains_at s sub i =
+  i + String.length sub <= String.length s
+  && String.lowercase_ascii (String.sub s i (String.length sub)) = sub
+
+let check_html t ~html ~tainted =
+  if not t.h5 then None
+  else
+    let tag = "<script" in
+    let tainted_set = List.sort_uniq compare tainted in
+    let rec scan i =
+      if i + String.length tag > String.length html then None
+      else if
+        lowercase_contains_at html tag i
+        && List.exists (fun p -> p >= i && p < i + String.length tag) tainted_set
+      then
+        let around =
+          List.find_opt (fun p -> p >= i && p < i + String.length tag) tainted_set
+        in
+        Some
+          (Alert.make
+             ?signature:
+               (Option.bind around (fun p ->
+                    Alert.extract_signature html ~tainted ~around:p))
+             ~policy:"H5"
+             (Printf.sprintf "tainted <script> tag at offset %d in HTML output" i))
+      else scan (i + 1)
+    in
+    scan 0
+
+let alert_of_fault use =
+  match use with
+  | "load address" ->
+      Some (Alert.make ~policy:"L1" "tainted data used as a load address")
+  | "store address" ->
+      Some (Alert.make ~policy:"L2" "tainted data used as a store address")
+  | "store value" ->
+      Some (Alert.make ~policy:"L2" "tainted data stored through a non-spill store")
+  | "branch target" | "call target" ->
+      Some (Alert.make ~policy:"L3" "tainted data moved into a control-transfer register")
+  | _ -> None

@@ -1,0 +1,60 @@
+(** Security-policy configuration (paper Table 1).
+
+    SHIFT decouples the taint-tracking mechanism from policy: taint
+    sources and sinks are configured here in software while the hardware
+    (NaT propagation) does the tracking.  High-level policies are
+    checked at the OS boundary; low-level policies are the meaning
+    assigned to NaT-consumption faults.
+
+    {ul
+    {- H1: tainted data cannot be an absolute file path}
+    {- H2: tainted data cannot traverse out of the document root}
+    {- H3: tainted data cannot contribute SQL meta-characters}
+    {- H4: tainted data cannot contribute shell meta-characters}
+    {- H5: no tainted <script> tag in HTML output}
+    {- L1: tainted data cannot be a load address}
+    {- L2: tainted data cannot be a store address}
+    {- L3: tainted data cannot reach special registers / control flow}} *)
+
+type action =
+  | Halt_program  (** raise {!Alert.Violation} and stop the guest *)
+  | Log_only      (** record the alert and let the guest continue *)
+
+type t = {
+  taint_network : bool;  (** network input (recv) is a taint source *)
+  taint_files : bool;    (** file reads are taint sources by default *)
+  h1 : bool;
+  h2 : string option;    (** document root; [Some root] enables H2 *)
+  h3 : bool;
+  h4 : bool;
+  h5 : bool;
+  low_level : bool;      (** interpret NaT-consumption faults as L1-L3 *)
+  action : action;
+}
+
+val default : t
+(** Low-level policies on, network taint source, everything else off. *)
+
+val all_on : document_root:string -> t
+
+val describe : t -> string list
+(** One line per enabled policy, for reports. *)
+
+(** {1 Sink checks}
+
+    Each check receives the string a sink consumed and the positions of
+    its tainted bytes, and returns the alert to raise, if any. *)
+
+val check_open : t -> path:string -> tainted:int list -> Alert.t option
+val check_system : t -> cmd:string -> tainted:int list -> Alert.t option
+val check_sql : t -> query:string -> tainted:int list -> Alert.t option
+val check_html : t -> html:string -> tainted:int list -> Alert.t option
+
+val alert_of_fault : string -> Alert.t option
+(** Map a NaT-consumption fault description (one of the
+    {!Shift_machine.Fault.nat_use} strings) to its L-policy alert.
+    Returns [None] for non-taint faults. *)
+
+val normalize_path : string -> string
+(** Lexical path normalisation (resolves [.] and [..]), exposed for
+    tests. *)

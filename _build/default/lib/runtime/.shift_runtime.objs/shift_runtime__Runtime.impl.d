@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Build Char Ir List

@@ -1,0 +1,398 @@
+open Build
+open Build.Infix
+
+let c ch = i (Char.code ch)
+
+let strlen =
+  func "strlen" ~params:[ "s" ] ~locals:[ scalar "n" ]
+    [
+      set "n" (i 0);
+      while_ (load8 (v "s" +: v "n") <>: i 0) [ set "n" (v "n" +: i 1) ];
+      ret (v "n");
+    ]
+
+let strcpy =
+  func "strcpy" ~params:[ "dst"; "src" ] ~locals:[ scalar "n"; scalar "ch" ]
+    [
+      set "n" (i 0);
+      set "ch" (load8 (v "src"));
+      while_ (v "ch" <>: i 0)
+        [
+          store8 (v "dst" +: v "n") (v "ch");
+          set "n" (v "n" +: i 1);
+          set "ch" (load8 (v "src" +: v "n"));
+        ];
+      store8 (v "dst" +: v "n") (i 0);
+      ret (v "dst");
+    ]
+
+let strncpy =
+  func "strncpy" ~params:[ "dst"; "src"; "n" ] ~locals:[ scalar "k"; scalar "ch" ]
+    [
+      set "k" (i 0);
+      while_ (v "k" <: v "n" -: i 1)
+        [
+          set "ch" (load8 (v "src" +: v "k"));
+          when_ (v "ch" ==: i 0) [ Ir.Break ];
+          store8 (v "dst" +: v "k") (v "ch");
+          set "k" (v "k" +: i 1);
+        ];
+      store8 (v "dst" +: v "k") (i 0);
+      ret (v "dst");
+    ]
+
+let strcat =
+  func "strcat" ~params:[ "dst"; "src" ] ~locals:[]
+    [
+      Ir.Expr (call "strcpy" [ v "dst" +: call "strlen" [ v "dst" ]; v "src" ]);
+      ret (v "dst");
+    ]
+
+let strcmp =
+  func "strcmp" ~params:[ "a"; "b" ] ~locals:[ scalar "k"; scalar "ca"; scalar "cb" ]
+    [
+      set "k" (i 0);
+      while_ (i 1)
+        [
+          set "ca" (load8 (v "a" +: v "k"));
+          set "cb" (load8 (v "b" +: v "k"));
+          when_ (v "ca" <>: v "cb") [ ret (v "ca" -: v "cb") ];
+          when_ (v "ca" ==: i 0) [ ret (i 0) ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (i 0);
+    ]
+
+let strncmp =
+  func "strncmp" ~params:[ "a"; "b"; "n" ]
+    ~locals:[ scalar "k"; scalar "ca"; scalar "cb" ]
+    [
+      set "k" (i 0);
+      while_ (v "k" <: v "n")
+        [
+          set "ca" (load8 (v "a" +: v "k"));
+          set "cb" (load8 (v "b" +: v "k"));
+          when_ (v "ca" <>: v "cb") [ ret (v "ca" -: v "cb") ];
+          when_ (v "ca" ==: i 0) [ ret (i 0) ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (i 0);
+    ]
+
+let tolower =
+  func "tolower" ~params:[ "ch" ] ~locals:[]
+    [
+      when_ ((v "ch" >=: c 'A') &&: (v "ch" <=: c 'Z')) [ ret (v "ch" +: i 32) ];
+      ret (v "ch");
+    ]
+
+let strcasecmp =
+  func "strcasecmp" ~params:[ "a"; "b" ]
+    ~locals:[ scalar "k"; scalar "ca"; scalar "cb" ]
+    [
+      set "k" (i 0);
+      while_ (i 1)
+        [
+          set "ca" (call "tolower" [ load8 (v "a" +: v "k") ]);
+          set "cb" (call "tolower" [ load8 (v "b" +: v "k") ]);
+          when_ (v "ca" <>: v "cb") [ ret (v "ca" -: v "cb") ];
+          when_ (v "ca" ==: i 0) [ ret (i 0) ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (i 0);
+    ]
+
+let strchr =
+  func "strchr" ~params:[ "s"; "ch" ] ~locals:[ scalar "k"; scalar "cur" ]
+    [
+      set "k" (i 0);
+      while_ (i 1)
+        [
+          set "cur" (load8 (v "s" +: v "k"));
+          when_ (v "cur" ==: v "ch") [ ret (v "s" +: v "k") ];
+          when_ (v "cur" ==: i 0) [ ret (i 0) ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (i 0);
+    ]
+
+let strstr =
+  func "strstr" ~params:[ "hay"; "needle" ] ~locals:[ scalar "k"; scalar "j" ]
+    [
+      when_ (load8 (v "needle") ==: i 0) [ ret (v "hay") ];
+      set "k" (i 0);
+      while_ (load8 (v "hay" +: v "k") <>: i 0)
+        [
+          set "j" (i 0);
+          while_
+            ((load8 (v "needle" +: v "j") <>: i 0)
+            &&: (load8 (v "hay" +: v "k" +: v "j") ==: load8 (v "needle" +: v "j")))
+            [ set "j" (v "j" +: i 1) ];
+          when_ (load8 (v "needle" +: v "j") ==: i 0) [ ret (v "hay" +: v "k") ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (i 0);
+    ]
+
+let memcpy =
+  func "memcpy" ~params:[ "dst"; "src"; "n" ] ~locals:[ scalar "k" ]
+    (for_up "k" (i 0) (v "n") [ store8 (v "dst" +: v "k") (load8 (v "src" +: v "k")) ]
+    @ [ ret (v "dst") ])
+
+let memset =
+  func "memset" ~params:[ "dst"; "ch"; "n" ] ~locals:[ scalar "k" ]
+    (for_up "k" (i 0) (v "n") [ store8 (v "dst" +: v "k") (v "ch") ]
+    @ [ ret (v "dst") ])
+
+let memcmp =
+  func "memcmp" ~params:[ "a"; "b"; "n" ] ~locals:[ scalar "k"; scalar "d" ]
+    [
+      set "k" (i 0);
+      while_ (v "k" <: v "n")
+        [
+          set "d" (load8 (v "a" +: v "k") -: load8 (v "b" +: v "k"));
+          when_ (v "d" <>: i 0) [ ret (v "d") ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (i 0);
+    ]
+
+let memchr =
+  func "memchr" ~params:[ "p"; "ch"; "n" ] ~locals:[ scalar "k" ]
+    [
+      set "k" (i 0);
+      while_ (v "k" <: v "n")
+        [
+          when_ (load8 (v "p" +: v "k") ==: v "ch") [ ret (v "p" +: v "k") ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (i 0);
+    ]
+
+let atoi =
+  func "atoi" ~params:[ "s" ]
+    ~locals:[ scalar "k"; scalar "neg"; scalar "acc"; scalar "ch" ]
+    [
+      set "k" (i 0);
+      while_ (load8 (v "s" +: v "k") ==: c ' ') [ set "k" (v "k" +: i 1) ];
+      set "neg" (i 0);
+      if_
+        (load8 (v "s" +: v "k") ==: c '-')
+        [ set "neg" (i 1); set "k" (v "k" +: i 1) ]
+        [ when_ (load8 (v "s" +: v "k") ==: c '+') [ set "k" (v "k" +: i 1) ] ];
+      set "acc" (i 0);
+      set "ch" (load8 (v "s" +: v "k"));
+      while_ ((v "ch" >=: c '0') &&: (v "ch" <=: c '9'))
+        [
+          set "acc" ((v "acc" *: i 10) +: (v "ch" -: c '0'));
+          set "k" (v "k" +: i 1);
+          set "ch" (load8 (v "s" +: v "k"));
+        ];
+      when_ (v "neg" <>: i 0) [ set "acc" (i 0 -: v "acc") ];
+      ret (v "acc");
+    ]
+
+(* decimal rendering; returns the number of bytes written (excluding the
+   NUL terminator) *)
+let itoa =
+  func "itoa" ~params:[ "val"; "buf" ]
+    ~locals:[ array "tmp" 32; scalar "n"; scalar "j"; scalar "neg"; scalar "x" ]
+    [
+      set "x" (v "val");
+      when_ (v "x" ==: i 0)
+        [ store8 (v "buf") (c '0'); store8 (v "buf" +: i 1) (i 0); ret (i 1) ];
+      set "neg" (i 0);
+      when_ (v "x" <: i 0) [ set "neg" (i 1); set "x" (i 0 -: v "x") ];
+      set "n" (i 0);
+      while_ (v "x" >: i 0)
+        [
+          store8 (v "tmp" +: v "n") (c '0' +: (v "x" %: i 10));
+          set "x" (v "x" /: i 10);
+          set "n" (v "n" +: i 1);
+        ];
+      set "j" (i 0);
+      when_ (v "neg" <>: i 0) [ store8 (v "buf") (c '-'); set "j" (i 1) ];
+      set "x" (i 0);
+      while_ (v "x" <: v "n")
+        [
+          store8 (v "buf" +: v "j" +: v "x") (load8 (v "tmp" +: v "n" -: i 1 -: v "x"));
+          set "x" (v "x" +: i 1);
+        ];
+      store8 (v "buf" +: v "j" +: v "n") (i 0);
+      ret (v "j" +: v "n");
+    ]
+
+(* hexadecimal rendering of an unsigned value *)
+let utox =
+  func "utox" ~params:[ "val"; "buf" ]
+    ~locals:[ array "tmp" 32; scalar "n"; scalar "x"; scalar "d"; scalar "k" ]
+    [
+      set "x" (v "val");
+      when_ (v "x" ==: i 0)
+        [ store8 (v "buf") (c '0'); store8 (v "buf" +: i 1) (i 0); ret (i 1) ];
+      set "n" (i 0);
+      while_ (v "x" <>: i 0)
+        [
+          set "d" (v "x" &: i 15);
+          if_ (v "d" <: i 10)
+            [ store8 (v "tmp" +: v "n") (c '0' +: v "d") ]
+            [ store8 (v "tmp" +: v "n") (c 'a' +: v "d" -: i 10) ];
+          set "x" (v "x" >>: i 4);
+          set "n" (v "n" +: i 1);
+        ];
+      set "k" (i 0);
+      while_ (v "k" <: v "n")
+        [
+          store8 (v "buf" +: v "k") (load8 (v "tmp" +: v "n" -: i 1 -: v "k"));
+          set "k" (v "k" +: i 1);
+        ];
+      store8 (v "buf" +: v "n") (i 0);
+      ret (v "n");
+    ]
+
+let malloc =
+  func "malloc" ~params:[ "n" ] ~locals:[]
+    [ ret (call "sys_sbrk" [ (v "n" +: i 7) &: Ir.Unop (Ir.Bnot, i 7) ]) ]
+
+let free = func "free" ~params:[ "p" ] ~locals:[] [ ret0 ]
+
+let print =
+  func "print" ~params:[ "s" ] ~locals:[]
+    [ Ir.Expr (call "sys_write" [ i 1; v "s"; call "strlen" [ v "s" ] ]); ret0 ]
+
+let println =
+  func "println" ~params:[ "s" ] ~locals:[]
+    [
+      ecall "print" [ v "s" ];
+      Ir.Expr (call "sys_write" [ i 1; str "\n"; i 1 ]);
+      ret0;
+    ]
+
+let print_int =
+  func "print_int" ~params:[ "val" ] ~locals:[ array "buf" 32; scalar "n" ]
+    [
+      set "n" (call "itoa" [ v "val"; v "buf" ]);
+      Ir.Expr (call "sys_write" [ i 1; v "buf"; v "n" ]);
+      ret0;
+    ]
+
+(* printf core; see the interface comment.  %n is the format-string
+   attack vector: it stores through a pointer taken from the argument
+   array. *)
+let vformat =
+  func "vformat" ~params:[ "out"; "fmt"; "args" ]
+    ~locals:[ scalar "oi"; scalar "fi"; scalar "ai"; scalar "ch"; scalar "a"; scalar "len" ]
+    [
+      set "oi" (i 0);
+      set "fi" (i 0);
+      set "ai" (i 0);
+      set "ch" (load8 (v "fmt"));
+      while_ (v "ch" <>: i 0)
+        [
+          if_ (v "ch" ==: c '%')
+            [
+              set "fi" (v "fi" +: i 1);
+              set "ch" (load8 (v "fmt" +: v "fi"));
+              if_ (v "ch" ==: c 'd')
+                [
+                  set "a" (load64 (v "args" +: (v "ai" *: i 8)));
+                  set "ai" (v "ai" +: i 1);
+                  set "oi" (v "oi" +: call "itoa" [ v "a"; v "out" +: v "oi" ]);
+                ]
+                [
+                  if_ (v "ch" ==: c 's')
+                    [
+                      set "a" (load64 (v "args" +: (v "ai" *: i 8)));
+                      set "ai" (v "ai" +: i 1);
+                      set "len" (call "strlen" [ v "a" ]);
+                      Ir.Expr (call "memcpy" [ v "out" +: v "oi"; v "a"; v "len" ]);
+                      set "oi" (v "oi" +: v "len");
+                    ]
+                    [
+                      if_ (v "ch" ==: c 'x')
+                        [
+                          set "a" (load64 (v "args" +: (v "ai" *: i 8)));
+                          set "ai" (v "ai" +: i 1);
+                          set "oi" (v "oi" +: call "utox" [ v "a"; v "out" +: v "oi" ]);
+                        ]
+                        [
+                          if_ (v "ch" ==: c 'c')
+                            [
+                              set "a" (load64 (v "args" +: (v "ai" *: i 8)));
+                              set "ai" (v "ai" +: i 1);
+                              store8 (v "out" +: v "oi") (v "a");
+                              set "oi" (v "oi" +: i 1);
+                            ]
+                            [
+                              if_ (v "ch" ==: c 'n')
+                                [
+                                  set "a" (load64 (v "args" +: (v "ai" *: i 8)));
+                                  set "ai" (v "ai" +: i 1);
+                                  store64 (v "a") (v "oi");
+                                ]
+                                [
+                                  store8 (v "out" +: v "oi") (v "ch");
+                                  set "oi" (v "oi" +: i 1);
+                                ];
+                            ];
+                        ];
+                    ];
+                ];
+            ]
+            [ store8 (v "out" +: v "oi") (v "ch"); set "oi" (v "oi" +: i 1) ];
+          set "fi" (v "fi" +: i 1);
+          set "ch" (load8 (v "fmt" +: v "fi"));
+        ];
+      store8 (v "out" +: v "oi") (i 0);
+      ret (v "oi");
+    ]
+
+let sprintf1 =
+  func "sprintf1" ~params:[ "out"; "fmt"; "a0" ] ~locals:[ array "args" 8 ]
+    [ store64 (v "args") (v "a0"); ret (call "vformat" [ v "out"; v "fmt"; v "args" ]) ]
+
+let sprintf2 =
+  func "sprintf2" ~params:[ "out"; "fmt"; "a0"; "a1" ] ~locals:[ array "args" 16 ]
+    [
+      store64 (v "args") (v "a0");
+      store64 (v "args" +: i 8) (v "a1");
+      ret (call "vformat" [ v "out"; v "fmt"; v "args" ]);
+    ]
+
+let sprintf3 =
+  func "sprintf3" ~params:[ "out"; "fmt"; "a0"; "a1"; "a2" ] ~locals:[ array "args" 24 ]
+    [
+      store64 (v "args") (v "a0");
+      store64 (v "args" +: i 8) (v "a1");
+      store64 (v "args" +: i 16) (v "a2");
+      ret (call "vformat" [ v "out"; v "fmt"; v "args" ]);
+    ]
+
+(* A ticket lock over a 16-byte structure: [next] at +0, [serving] at
+   +8.  fetchadd is atomic across harts, so acquisition order is FIFO
+   and exactly one hart holds the lock. *)
+let mutex_lock =
+  func "mutex_lock" ~params:[ "m" ] ~locals:[ scalar "ticket" ]
+    [
+      set "ticket" (call "fetchadd" [ v "m"; i 1 ]);
+      while_ (load64 (v "m" +: i 8) <>: v "ticket") [];
+      ret0;
+    ]
+
+let mutex_unlock =
+  func "mutex_unlock" ~params:[ "m" ] ~locals:[]
+    [
+      store64 (v "m" +: i 8) (load64 (v "m" +: i 8) +: i 1);
+      ret0;
+    ]
+
+let funcs =
+  [
+    strlen; strcpy; strncpy; strcat; strcmp; strncmp; tolower; strcasecmp;
+    strchr; strstr; memcpy; memset; memcmp; memchr; atoi; itoa; utox; malloc;
+    free; print; println; print_int; vformat; sprintf1; sprintf2; sprintf3;
+    mutex_lock; mutex_unlock;
+  ]
+
+let program = { Ir.globals = []; funcs }
+let names = List.map (fun (f : Ir.func) -> f.fname) funcs

@@ -1,0 +1,24 @@
+(** The guest runtime library: a libc subset written in the IR.
+
+    Because these functions are compiled — and therefore instrumented —
+    exactly like application code, taint flows through [strcpy],
+    [memcpy], [sprintf] and friends with no special cases, just as the
+    paper's instrumented glibc (§4.2; the paper needed wrap functions
+    only for assembly routines, which we do not have).
+
+    Functions follow C semantics unless noted:
+    - [strncpy dst src n] copies at most [n-1] bytes and always
+      NUL-terminates (i.e. BSD [strlcpy]);
+    - [malloc] is a bump allocator over [sbrk]; [free] is a no-op;
+    - [vformat out fmt args] is the [printf] core.  [args] points to an
+      array of u64 slots.  Supported: [%d %s %c %x %%] and the dangerous
+      [%n], which stores the output length through a pointer argument —
+      the format-string attack vector (Table 2, Bftpd);
+    - [sprintf1]/[sprintf2]/[sprintf3] are fixed-arity conveniences over
+      [vformat]. *)
+
+val program : Ir.program
+(** All runtime functions, to be merged with application code. *)
+
+val names : string list
+(** Names of the runtime functions (the "glibc" row of Table 3). *)

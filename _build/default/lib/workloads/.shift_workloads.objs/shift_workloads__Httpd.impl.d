@@ -1,0 +1,1 @@
+lib/workloads/httpd.ml: Build Char Inputs Ir Printf Shift_os Shift_policy

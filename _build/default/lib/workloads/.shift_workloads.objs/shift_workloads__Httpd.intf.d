@@ -1,0 +1,1 @@
+lib/workloads/httpd.mli: Ir Shift_os Shift_policy

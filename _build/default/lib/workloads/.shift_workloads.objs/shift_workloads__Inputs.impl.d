@@ -1,0 +1,1 @@
+lib/workloads/inputs.ml: Array Buffer Char Int64 String

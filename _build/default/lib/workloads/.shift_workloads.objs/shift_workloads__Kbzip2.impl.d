@@ -1,0 +1,1 @@
+lib/workloads/kbzip2.ml: Build Inputs Ir Kernel_util

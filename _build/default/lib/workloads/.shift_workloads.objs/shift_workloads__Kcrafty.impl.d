@@ -1,0 +1,1 @@
+lib/workloads/kcrafty.ml: Build Inputs Int64 Ir Kernel_util List

@@ -1,0 +1,1 @@
+lib/workloads/kgcc.ml: Build Char Inputs Ir Kernel_util String

@@ -1,0 +1,1 @@
+lib/workloads/kgzip.ml: Build Inputs Ir Kernel_util

@@ -1,0 +1,1 @@
+lib/workloads/kmcf.ml: Build Inputs Ir Kernel_util

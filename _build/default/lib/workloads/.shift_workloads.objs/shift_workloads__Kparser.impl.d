@@ -1,0 +1,1 @@
+lib/workloads/kparser.ml: Build Char Inputs Ir Kernel_util

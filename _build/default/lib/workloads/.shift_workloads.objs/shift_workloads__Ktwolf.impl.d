@@ -1,0 +1,1 @@
+lib/workloads/ktwolf.ml: Build Inputs Ir Kernel_util

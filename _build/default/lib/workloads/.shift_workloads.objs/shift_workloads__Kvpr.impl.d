@@ -1,0 +1,1 @@
+lib/workloads/kvpr.ml: Build Inputs Ir Kernel_util

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Ir Kbzip2 Kcrafty Kgcc Kgzip Kmcf Kparser Ktwolf Kvpr List Option Shift_os

@@ -1,0 +1,1 @@
+lib/workloads/spec.mli: Ir Shift_os

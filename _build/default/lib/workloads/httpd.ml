@@ -1,0 +1,91 @@
+open Build
+open Build.Infix
+
+let document_root = "www"
+
+let program =
+  {
+    Ir.globals = [];
+    funcs =
+      [
+        (* copy the request path ("GET /name ...") into out; returns
+           its length or -1 on a malformed request *)
+        func "parse_path" ~params:[ "req"; "out" ] ~locals:[ scalar "k"; scalar "ch" ]
+          [
+            when_ (call "strncmp" [ v "req"; str "GET /"; i 5 ] <>: i 0) [ ret (i 0 -: i 1) ];
+            set "k" (i 0);
+            while_ (v "k" <: i 120)
+              [
+                set "ch" (load8 (v "req" +: i 5 +: v "k"));
+                when_ ((v "ch" ==: i 0) ||: (v "ch" ==: i (Char.code ' '))) [ Ir.Break ];
+                store8 (v "out" +: v "k") (v "ch");
+                set "k" (v "k" +: i 1);
+              ];
+            store8 (v "out" +: v "k") (i 0);
+            ret (v "k");
+          ];
+        func "serve_one" ~params:[ "sock" ]
+          ~locals:
+            [ array "req" 512; array "name" 128; array "path" 192; array "hdr" 128;
+              scalar "n"; scalar "fd"; scalar "hlen" ]
+          [
+            set "n" (call "sys_recv" [ v "sock"; v "req"; i 512 ]);
+            when_ (v "n" <=: i 0) [ ret (i 0) ];
+            when_ (call "parse_path" [ v "req"; v "name" ] <: i 0) [ ret (i 0) ];
+            Ir.Expr (call "strcpy" [ v "path"; str "www/" ]);
+            Ir.Expr (call "strcat" [ v "path"; v "name" ]);
+            set "fd" (call "sys_open" [ v "path" ]);
+            when_ (v "fd" <: i 0)
+              [
+                Ir.Expr
+                  (call "sys_send"
+                     [ v "sock"; str "HTTP/1.0 404 Not Found\r\n\r\n"; i 26 ]);
+                ret (i 404);
+              ];
+            set "hlen"
+              (call "sprintf1"
+                 [ v "hdr"; str "HTTP/1.0 200 OK\r\nServer: shift-httpd/%d\r\n\r\n"; i 1 ]);
+            Ir.Expr (call "sys_send" [ v "sock"; v "hdr"; v "hlen" ]);
+            Ir.Expr (call "sys_sendfile" [ v "sock"; v "fd"; i 1073741824 ]);
+            Ir.Expr (call "sys_close" [ v "fd" ]);
+            ret (i 200);
+          ];
+        func "main" ~params:[] ~locals:[ scalar "sock"; scalar "served" ]
+          [
+            set "served" (i 0);
+            while_ (i 1)
+              [
+                set "sock" (call "sys_accept" []);
+                when_ (v "sock" <: i 0) [ Ir.Break ];
+                when_ (call "serve_one" [ v "sock" ] ==: i 200)
+                  [ set "served" (v "served" +: i 1) ];
+                Ir.Expr (call "sys_close" [ v "sock" ]);
+              ];
+            ret (v "served");
+          ];
+      ];
+  }
+
+let policy =
+  { Shift_policy.Policy.default with Shift_policy.Policy.h2 = Some document_root }
+
+(* a network server's syscalls are dominated by kernel crossings and
+   wire time, not by the handful of user-space instructions around
+   them *)
+let io_cost =
+  { Shift_os.World.per_call = 6000; per_byte = 2; sendfile_per_byte = 2 }
+
+let rtt_cycles = 40_000
+
+let file_name ~file_size = Printf.sprintf "file_%dk" (file_size / 1024)
+let request_path ~file_size = file_name ~file_size
+
+let setup ~file_size ~requests world =
+  let body = Inputs.bytes ~seed:80 file_size in
+  Shift_os.World.add_file world ~tainted:false
+    (document_root ^ "/" ^ file_name ~file_size)
+    body;
+  for _ = 1 to requests do
+    Shift_os.World.queue_request world
+      (Printf.sprintf "GET /%s HTTP/1.0\r\nHost: bench\r\n\r\n" (file_name ~file_size))
+  done

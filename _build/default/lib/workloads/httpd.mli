@@ -1,0 +1,27 @@
+(** The Apache-stand-in web server (paper §6.1, Figure 6).
+
+    A static-file HTTP server: accept, parse the request line, open the
+    file under the document root (policy H2 sink), send a header built
+    with the instrumented [sprintf], and ship the body with [sendfile]
+    (kernel copy — as for real Apache, the bytes never cross user
+    space).  Instrumented CPU work is confined to request parsing, so
+    the overhead is diluted by I/O time, most at small file sizes. *)
+
+val program : Ir.program
+
+val document_root : string
+
+val policy : Shift_policy.Policy.t
+(** Network tainted, H2 over the document root, low-level policies. *)
+
+val io_cost : Shift_os.World.io_cost
+(** Network-server cost model: expensive kernel crossings. *)
+
+val rtt_cycles : int
+(** Client round-trip latency added to per-request latency. *)
+
+val setup : file_size:int -> requests:int -> Shift_os.World.t -> unit
+(** Install a static file of [file_size] bytes and queue [requests]
+    GETs for it. *)
+
+val request_path : file_size:int -> string

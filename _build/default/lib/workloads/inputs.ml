@@ -1,0 +1,73 @@
+(* xorshift64* PRNG, deterministic across platforms *)
+type rng = { mutable state : int64 }
+
+let make_rng seed = { state = Int64.of_int (seed * 2654435761 + 88172645463325252) }
+
+let next r =
+  let x = r.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int r bound =
+  let v = Int64.to_int (Int64.shift_right_logical (next r) 17) in
+  v mod bound
+
+let bytes ~seed n =
+  let r = make_rng seed in
+  (* skewed distribution so compression has something to find *)
+  String.init n (fun _ ->
+      if int r 4 = 0 then Char.chr (int r 256) else Char.chr (97 + int r 6))
+
+let text ~seed n =
+  let r = make_rng seed in
+  let b = Buffer.create n in
+  let vocabulary =
+    [| "the"; "linking"; "parser"; "grammar"; "costs"; "worked"; "running";
+       "taints"; "flowed"; "checked"; "moves"; "data"; "table"; "edges";
+       "words"; "timing"; "caches"; "loads" |]
+  in
+  while Buffer.length b < n do
+    if int r 10 = 0 then
+      (* occasional novel word *)
+      for _ = 0 to 3 + int r 5 do
+        Buffer.add_char b (Char.chr (97 + int r 26))
+      done
+    else Buffer.add_string b vocabulary.(int r (Array.length vocabulary));
+    Buffer.add_char b (if int r 8 = 0 then '\n' else ' ')
+  done;
+  Buffer.sub b 0 n
+
+let expressions ~seed n =
+  let r = make_rng seed in
+  let b = Buffer.create n in
+  let rec expr depth =
+    if depth = 0 || int r 3 = 0 then Buffer.add_string b (string_of_int (int r 1000))
+    else begin
+      let paren = int r 3 = 0 in
+      if paren then Buffer.add_char b '(';
+      expr (depth - 1);
+      Buffer.add_char b [| '+'; '-'; '*' |].(int r 3);
+      expr (depth - 1);
+      if paren then Buffer.add_char b ')'
+    end
+  in
+  while Buffer.length b < n do
+    expr 3;
+    Buffer.add_char b ';'
+  done;
+  Buffer.contents b
+
+let pairs ~seed ~count ~max =
+  let r = make_rng seed in
+  let b = Buffer.create (count * 4) in
+  for _ = 1 to count do
+    let a = int r max and c = int r max in
+    Buffer.add_char b (Char.chr (a land 0xff));
+    Buffer.add_char b (Char.chr (a lsr 8));
+    Buffer.add_char b (Char.chr (c land 0xff));
+    Buffer.add_char b (Char.chr (c lsr 8))
+  done;
+  Buffer.contents b

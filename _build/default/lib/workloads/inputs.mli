@@ -1,0 +1,20 @@
+(** Deterministic input generators for the workload suite.
+
+    Everything is seeded and reproducible: the same size always yields
+    the same bytes, so cycle counts are exactly repeatable across runs
+    and modes. *)
+
+val bytes : seed:int -> int -> string
+(** Pseudo-random bytes (xorshift64 star). *)
+
+val text : seed:int -> int -> string
+(** Pseudo-random lowercase words separated by spaces and newlines,
+    roughly [n] bytes. *)
+
+val expressions : seed:int -> int -> string
+(** Arithmetic expressions ("12+3*(45-6);") totalling roughly [n]
+    bytes — the "gcc" kernel's source input. *)
+
+val pairs : seed:int -> count:int -> max:int -> string
+(** [count] little-endian u16 pairs with both members < [max] — net
+    lists and graph arcs. *)

@@ -1,0 +1,113 @@
+(* "bzip2" kernel: block-wise byte-frequency sort, move-to-front coding
+   and run-length encoding — the transform pipeline character of
+   256.bzip2.  The frequency counters are indexed by input bytes (a
+   bounds-checked table access, untainted per the §3.3.2 rules) and the
+   MTF search scans a table with tainted compares. *)
+
+open Build
+open Build.Infix
+
+let block = 256
+
+let program =
+  {
+    Ir.globals = [];
+    funcs =
+      [
+        (* frequency-count a block and return a checksum of the
+           cumulative histogram (the "sorting" phase) *)
+        func "freq_block" ~params:[ "buf"; "len"; "counts" ]
+          ~locals:[ scalar "k"; scalar "idx"; scalar "run"; scalar "sum" ]
+          (for_up "k" (i 0) (i 256) [ store64 (v "counts" +: (v "k" *: i 8)) (i 0) ]
+          @ for_up "k" (i 0) (v "len")
+              [
+                set "idx" (call "untaint" [ load8 (v "buf" +: v "k") &: i 255 ]);
+                store64
+                  (v "counts" +: (v "idx" *: i 8))
+                  (load64 (v "counts" +: (v "idx" *: i 8)) +: i 1);
+              ]
+          @ [ set "run" (i 0); set "sum" (i 0) ]
+          @ for_up "k" (i 0) (i 256)
+              [
+                set "run" (v "run" +: load64 (v "counts" +: (v "k" *: i 8)));
+                set "sum" ((v "sum" *: i 13) ^: v "run");
+              ]
+          @ [ ret (v "sum") ]);
+        (* move-to-front transform of one block into out *)
+        func "mtf_block" ~params:[ "buf"; "len"; "out"; "mtf" ]
+          ~locals:[ scalar "k"; scalar "b"; scalar "j"; scalar "m" ]
+          (for_up "k" (i 0) (i 256) [ store8 (v "mtf" +: v "k") (v "k") ]
+          @ for_up "k" (i 0) (v "len")
+              [
+                set "b" (load8 (v "buf" +: v "k"));
+                set "j" (i 0);
+                while_ (load8 (v "mtf" +: v "j") <>: v "b") [ set "j" (v "j" +: i 1) ];
+                store8 (v "out" +: v "k") (v "j");
+                (* slide [0, j) up by one and put b at the front *)
+                set "m" (v "j");
+                while_ (v "m" >: i 0)
+                  [
+                    store8 (v "mtf" +: v "m") (load8 (v "mtf" +: v "m" -: i 1));
+                    set "m" (v "m" -: i 1);
+                  ];
+                store8 (v "mtf") (v "b");
+              ]
+          @ [ ret (i 0) ]);
+        (* run-length encode: returns encoded length *)
+        func "rle_block" ~params:[ "src"; "len"; "out" ]
+          ~locals:[ scalar "k"; scalar "oi"; scalar "b"; scalar "run" ]
+          [
+            set "k" (i 0);
+            set "oi" (i 0);
+            while_ (v "k" <: v "len")
+              [
+                set "b" (load8 (v "src" +: v "k"));
+                set "run" (i 1);
+                while_
+                  ((v "k" +: v "run" <: v "len") &&: (v "run" <: i 255)
+                  &&: (load8 (v "src" +: v "k" +: v "run") ==: v "b"))
+                  [ set "run" (v "run" +: i 1) ];
+                store8 (v "out" +: v "oi") (v "b");
+                store8 (v "out" +: v "oi" +: i 1) (v "run");
+                set "oi" (v "oi" +: i 2);
+                set "k" (v "k" +: v "run");
+              ];
+            ret (v "oi");
+          ];
+        func "main" ~params:[]
+          ~locals:
+            [ scalar "fd"; scalar "buf"; scalar "n"; scalar "counts"; scalar "mtfbuf";
+              scalar "mtf"; scalar "rle"; scalar "pos"; scalar "len"; scalar "sum";
+              scalar "rlen"; scalar "k" ]
+          (Kernel_util.read_input ~bufsize:65536
+          @ [
+              set "counts" (call "malloc" [ i 2048 ]);
+              set "mtfbuf" (call "malloc" [ i block ]);
+              set "mtf" (call "malloc" [ i 256 ]);
+              set "rle" (call "malloc" [ i (2 * block) ]);
+              set "sum" (i 0);
+              set "pos" (i 0);
+              while_ (v "pos" <: v "n")
+                [
+                  set "len" (v "n" -: v "pos");
+                  when_ (v "len" >: i block) [ set "len" (i block) ];
+                  set "sum" (v "sum" ^: call "freq_block" [ v "buf" +: v "pos"; v "len"; v "counts" ]);
+                  Ir.Expr (call "mtf_block" [ v "buf" +: v "pos"; v "len"; v "mtfbuf"; v "mtf" ]);
+                  set "rlen" (call "rle_block" [ v "mtfbuf"; v "len"; v "rle" ]);
+                  set "k" (i 0);
+                  while_ (v "k" <: v "rlen")
+                    [
+                      set "sum" ((v "sum" *: i 31) +: load8 (v "rle" +: v "k"));
+                      set "k" (v "k" +: i 1);
+                    ];
+                  set "pos" (v "pos" +: v "len");
+                ];
+              ret (v "sum" &: i 0xffffff);
+            ]);
+      ];
+  }
+
+let input ~size = Inputs.bytes ~seed:256 size
+let default_size = 1536
+let name = "bzip2"
+let description = "frequency sort + move-to-front + run-length coding"

@@ -1,0 +1,97 @@
+(* "crafty" kernel: bitboard move generation, the 64-bit-word profile of
+   186.crafty — precomputed attack tables indexed by square, occupancy
+   masks and population counts.  Occupancies come from the input file,
+   so in the unsafe configuration nearly every intermediate is tainted
+   and both the load instrumentation and the compare-relaxation cost
+   show. *)
+
+open Build
+open Build.Infix
+
+(* attack tables computed once, host-side, exactly as crafty's
+   initialisation does *)
+let on_board file rank = file >= 0 && file < 8 && rank >= 0 && rank < 8
+
+let attacks deltas sq =
+  let file = sq mod 8 and rank = sq / 8 in
+  List.fold_left
+    (fun acc (df, dr) ->
+      if on_board (file + df) (rank + dr) then
+        Int64.logor acc (Int64.shift_left 1L (((rank + dr) * 8) + file + df))
+      else acc)
+    0L deltas
+
+let knight_deltas =
+  [ (1, 2); (2, 1); (2, -1); (1, -2); (-1, -2); (-2, -1); (-2, 1); (-1, 2) ]
+
+let king_deltas =
+  [ (1, 0); (1, 1); (0, 1); (-1, 1); (-1, 0); (-1, -1); (0, -1); (1, -1) ]
+
+let tables =
+  [
+    global_words "knight_tab" (List.init 64 (attacks knight_deltas));
+    global_words "king_tab" (List.init 64 (attacks king_deltas));
+  ]
+
+let program =
+  {
+    Ir.globals = tables;
+    funcs =
+      [
+        (* Kernighan popcount: one tainted compare per set bit *)
+        func "popcount" ~params:[ "x" ] ~locals:[ scalar "count" ]
+          [
+            set "count" (i 0);
+            while_ (v "x" <>: i 0)
+              [ set "x" (v "x" &: (v "x" -: i 1)); set "count" (v "count" +: i 1) ];
+            ret (v "count");
+          ];
+        (* score one position: for every friendly piece, count the
+           squares it attacks that are empty or hold an enemy *)
+        func "score_position" ~params:[ "own"; "enemy" ]
+          ~locals:[ scalar "sq"; scalar "piece"; scalar "targets"; scalar "total" ]
+          [
+            set "total" (i 0);
+            set "sq" (i 0);
+            while_ (v "sq" <: i 64)
+              [
+                set "piece" ((v "own" >>: v "sq") &: i 1);
+                when_ (v "piece" <>: i 0)
+                  [
+                    (* alternate piece types by square colour *)
+                    if_ (((v "sq" +: (v "sq" >>: i 3)) &: i 1) ==: i 0)
+                      [ set "targets" (load64 (v "knight_tab" +: (v "sq" *: i 8))) ]
+                      [ set "targets" (load64 (v "king_tab" +: (v "sq" *: i 8))) ];
+                    set "targets" (v "targets" &: Ir.Unop (Ir.Bnot, v "own"));
+                    set "total" (v "total" +: call "popcount" [ v "targets" ]);
+                    (* captures are worth double *)
+                    set "total" (v "total" +: call "popcount" [ v "targets" &: v "enemy" ]);
+                  ];
+                set "sq" (v "sq" +: i 1);
+              ];
+            ret (v "total");
+          ];
+        func "main" ~params:[]
+          ~locals:
+            [ scalar "fd"; scalar "buf"; scalar "n"; scalar "k"; scalar "own";
+              scalar "enemy"; scalar "sum" ]
+          (Kernel_util.read_input ~bufsize:65536
+          @ [
+              set "sum" (i 0);
+              set "k" (i 0);
+              while_ (v "k" +: i 16 <=: v "n")
+                [
+                  set "own" (load64 (v "buf" +: v "k"));
+                  set "enemy" (load64 (v "buf" +: v "k" +: i 8) &: Ir.Unop (Ir.Bnot, v "own"));
+                  set "sum" (v "sum" +: call "score_position" [ v "own"; v "enemy" ]);
+                  set "k" (v "k" +: i 16);
+                ];
+              ret (v "sum" &: i 0xffffff);
+            ]);
+      ];
+  }
+
+let input ~size = Inputs.bytes ~seed:186 size
+let default_size = 4096
+let name = "crafty"
+let description = "bitboard attack tables with population counts"

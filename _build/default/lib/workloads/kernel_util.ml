@@ -1,0 +1,31 @@
+(* Shared guest-code fragments for the SPEC-like kernels. *)
+
+open Build
+open Build.Infix
+
+(* Opens "input.dat" into a fresh heap buffer.  Expects scalar locals
+   "fd", "buf" and "n" in the enclosing function. *)
+let read_input ~bufsize =
+  [
+    set "fd" (call "sys_open" [ str "input.dat" ]);
+    when_ (v "fd" <: i 0) [ ret (i 0 -: i 1) ];
+    set "buf" (call "malloc" [ i bufsize ]);
+    set "n" (call "sys_read" [ v "fd"; v "buf"; i bufsize ]);
+  ]
+
+(* |x| without a branch-free idiom: the kernels are ordinary C-style
+   code *)
+let abs_func =
+  func "k_abs" ~params:[ "x" ] ~locals:[]
+    [ when_ (v "x" <: i 0) [ ret (i 0 -: v "x") ]; ret (v "x") ]
+
+(* the classic 64-bit LCG the placement kernels use for their annealing
+   schedules; state is kept by the caller *)
+let lcg_func =
+  func "k_lcg" ~params:[ "state_ptr" ] ~locals:[ scalar "s" ]
+    [
+      set "s" (load64 (v "state_ptr"));
+      set "s" ((v "s" *: i64 6364136223846793005L) +: i64 1442695040888963407L);
+      store64 (v "state_ptr") (v "s");
+      ret (v "s" >>: i 33);
+    ]

@@ -1,0 +1,164 @@
+(* "gcc" kernel: a compiler front end in miniature, mirroring 176.gcc's
+   profile — character-class table lookups, recursive-descent parsing,
+   bytecode emission and a constant-folding evaluator.  Every input
+   character indexes the class table (an untainted-after-bounds-check
+   lookup, §3.3.2) and steers compare-heavy control flow, which is why
+   the real gcc gains the most from the §6.3 enhancements. *)
+
+open Build
+open Build.Infix
+
+(* character classes: 1 digit, 2 operator, 3 parenthesis, 4 terminator *)
+let class_table =
+  String.init 256 (fun c ->
+      if c >= Char.code '0' && c <= Char.code '9' then '\001'
+      else if c = Char.code '+' || c = Char.code '-' || c = Char.code '*' then '\002'
+      else if c = Char.code '(' || c = Char.code ')' then '\003'
+      else if c = Char.code ';' then '\004'
+      else '\000')
+
+(* bytecode: 1 push-imm (8-byte le operand), 2 add, 3 sub, 4 mul *)
+let program =
+  {
+    Ir.globals =
+      [
+        { Ir.gname = "classtab"; datum = Ir.Bytes class_table };
+        Build.global_zeros "g_src" 8;
+        Build.global_zeros "g_pos" 8;
+        Build.global_zeros "g_code" 8;
+        Build.global_zeros "g_ci" 8;
+      ];
+    funcs =
+      [
+        func "class_of" ~params:[ "ch" ] ~locals:[]
+          [ ret (load8 (v "classtab" +: call "untaint" [ v "ch" &: i 255 ])) ];
+        func "peek" ~params:[] ~locals:[]
+          [ ret (load8 (load64 (v "g_src") +: load64 (v "g_pos"))) ];
+        func "advance" ~params:[] ~locals:[]
+          [ store64 (v "g_pos") (load64 (v "g_pos") +: i 1); ret0 ];
+        func "emit8" ~params:[ "b" ] ~locals:[ scalar "ci" ]
+          [
+            set "ci" (load64 (v "g_ci"));
+            store8 (load64 (v "g_code") +: v "ci") (v "b");
+            store64 (v "g_ci") (v "ci" +: i 1);
+            ret0;
+          ];
+        func "emit_push" ~params:[ "value" ] ~locals:[ scalar "ci" ]
+          [
+            ecall "emit8" [ i 1 ];
+            set "ci" (load64 (v "g_ci"));
+            store64 (load64 (v "g_code") +: v "ci") (v "value");
+            store64 (v "g_ci") (v "ci" +: i 8);
+            ret0;
+          ];
+        func "parse_factor" ~params:[] ~locals:[ scalar "ch"; scalar "acc" ]
+          [
+            set "ch" (call "peek" []);
+            if_ (v "ch" ==: i (Char.code '('))
+              [
+                ecall "advance" [];
+                ecall "parse_expr" [];
+                ecall "advance" [] (* the ')' *);
+              ]
+              [
+                set "acc" (i 0);
+                while_ (call "class_of" [ v "ch" ] ==: i 1)
+                  [
+                    set "acc" ((v "acc" *: i 10) +: (v "ch" -: i (Char.code '0')));
+                    ecall "advance" [];
+                    set "ch" (call "peek" []);
+                  ];
+                ecall "emit_push" [ v "acc" ];
+              ];
+            ret0;
+          ];
+        func "parse_term" ~params:[] ~locals:[ scalar "ch" ]
+          [
+            ecall "parse_factor" [];
+            set "ch" (call "peek" []);
+            while_ (v "ch" ==: i (Char.code '*'))
+              [
+                ecall "advance" [];
+                ecall "parse_factor" [];
+                ecall "emit8" [ i 4 ];
+                set "ch" (call "peek" []);
+              ];
+            ret0;
+          ];
+        func "parse_expr" ~params:[] ~locals:[ scalar "ch" ]
+          [
+            ecall "parse_term" [];
+            set "ch" (call "peek" []);
+            while_ ((v "ch" ==: i (Char.code '+')) ||: (v "ch" ==: i (Char.code '-')))
+              [
+                ecall "advance" [];
+                ecall "parse_term" [];
+                if_ (v "ch" ==: i (Char.code '+')) [ ecall "emit8" [ i 2 ] ] [ ecall "emit8" [ i 3 ] ];
+                set "ch" (call "peek" []);
+              ];
+            ret0;
+          ];
+        (* the constant folder: evaluate the bytecode on a small stack *)
+        func "fold" ~params:[ "code"; "len" ]
+          ~locals:[ array "stack" 256; scalar "sp"; scalar "k"; scalar "op"; scalar "a"; scalar "b" ]
+          [
+            set "sp" (i 0);
+            set "k" (i 0);
+            while_ (v "k" <: v "len")
+              [
+                set "op" (load8 (v "code" +: v "k"));
+                set "k" (v "k" +: i 1);
+                if_ (v "op" ==: i 1)
+                  [
+                    store64 (v "stack" +: (v "sp" *: i 8)) (load64 (v "code" +: v "k"));
+                    set "k" (v "k" +: i 8);
+                    set "sp" (v "sp" +: i 1);
+                  ]
+                  [
+                    set "b" (load64 (v "stack" +: ((v "sp" -: i 1) *: i 8)));
+                    set "a" (load64 (v "stack" +: ((v "sp" -: i 2) *: i 8)));
+                    set "sp" (v "sp" -: i 1);
+                    if_ (v "op" ==: i 2)
+                      [ store64 (v "stack" +: ((v "sp" -: i 1) *: i 8)) (v "a" +: v "b") ]
+                      [
+                        if_ (v "op" ==: i 3)
+                          [ store64 (v "stack" +: ((v "sp" -: i 1) *: i 8)) (v "a" -: v "b") ]
+                          [ store64 (v "stack" +: ((v "sp" -: i 1) *: i 8)) (v "a" *: v "b") ];
+                      ];
+                  ];
+              ];
+            when_ (v "sp" >: i 0) [ ret (load64 (v "stack")) ];
+            ret (i 0);
+          ];
+        func "main" ~params:[]
+          ~locals:
+            [ scalar "fd"; scalar "buf"; scalar "n"; scalar "sum"; scalar "start";
+              scalar "value"; scalar "ch" ]
+          (Kernel_util.read_input ~bufsize:65536
+          @ [
+              store64 (v "g_src") (v "buf");
+              store64 (v "g_pos") (i 0);
+              store64 (v "g_code") (call "malloc" [ i 262144 ]);
+              set "sum" (i 0);
+              while_ (load64 (v "g_pos") <: v "n")
+                [
+                  set "ch" (call "peek" []);
+                  when_ (call "class_of" [ v "ch" ] ==: i 0) [ Ir.Break ];
+                  set "start" (load64 (v "g_ci"));
+                  ecall "parse_expr" [];
+                  set "value"
+                    (call "fold"
+                       [ load64 (v "g_code") +: v "start"; load64 (v "g_ci") -: v "start" ]);
+                  set "sum" ((v "sum" *: i 7) ^: v "value");
+                  (* the ';' *)
+                  ecall "advance" [];
+                ];
+              ret (v "sum" &: i 0xffffff);
+            ]);
+      ];
+  }
+
+let input ~size = Inputs.expressions ~seed:176 size
+let default_size = 2600
+let name = "gcc"
+let description = "expression compiler: tokenize, parse, emit, constant-fold"

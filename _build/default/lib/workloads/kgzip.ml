@@ -1,0 +1,93 @@
+(* "gzip" kernel: greedy LZ77 compression with a 64-byte sliding window
+   and escape-coded literals, the byte-crunching profile of
+   164.gzip.  Every input byte is loaded (tainted in the unsafe
+   configuration), match candidates are compared byte-by-byte, and the
+   compressed stream is stored back — a dense mix of instrumented loads,
+   stores and compares. *)
+
+open Build
+open Build.Infix
+
+let window = 64
+let min_match = 4
+
+let program =
+  {
+    Ir.globals = [];
+    funcs =
+      [
+        (* longest common prefix of buf[a..] and buf[b..], capped *)
+        func "match_len" ~params:[ "buf"; "a"; "b"; "limit" ] ~locals:[ scalar "len" ]
+          [
+            set "len" (i 0);
+            while_
+              ((v "len" <: v "limit")
+              &&: (load8 (v "buf" +: v "a" +: v "len") ==: load8 (v "buf" +: v "b" +: v "len")))
+              [ set "len" (v "len" +: i 1) ];
+            ret (v "len");
+          ];
+        func "compress" ~params:[ "buf"; "n"; "out" ]
+          ~locals:
+            [ scalar "pos"; scalar "oi"; scalar "cand"; scalar "start"; scalar "len";
+              scalar "best_len"; scalar "best_dist"; scalar "cap"; scalar "ch" ]
+          [
+            set "pos" (i 0);
+            set "oi" (i 0);
+            while_ (v "pos" <: v "n")
+              [
+                set "best_len" (i 0);
+                set "best_dist" (i 0);
+                set "start" (v "pos" -: i window);
+                when_ (v "start" <: i 0) [ set "start" (i 0) ];
+                set "cap" (v "n" -: v "pos");
+                when_ (v "cap" >: i 63) [ set "cap" (i 63) ];
+                set "cand" (v "start");
+                while_ (v "cand" <: v "pos")
+                  [
+                    set "len" (call "match_len" [ v "buf"; v "cand"; v "pos"; v "cap" ]);
+                    when_ (v "len" >: v "best_len")
+                      [ set "best_len" (v "len"); set "best_dist" (v "pos" -: v "cand") ];
+                    set "cand" (v "cand" +: i 1);
+                  ];
+                if_ (v "best_len" >=: i min_match)
+                  [
+                    store8 (v "out" +: v "oi") (i 255);
+                    store8 (v "out" +: v "oi" +: i 1) (v "best_dist");
+                    store8 (v "out" +: v "oi" +: i 2) (v "best_len");
+                    set "oi" (v "oi" +: i 3);
+                    set "pos" (v "pos" +: v "best_len");
+                  ]
+                  [
+                    set "ch" (load8 (v "buf" +: v "pos"));
+                    if_ (v "ch" ==: i 255)
+                      [
+                        store8 (v "out" +: v "oi") (i 255);
+                        store8 (v "out" +: v "oi" +: i 1) (i 0);
+                        set "oi" (v "oi" +: i 2);
+                      ]
+                      [ store8 (v "out" +: v "oi") (v "ch"); set "oi" (v "oi" +: i 1) ];
+                    set "pos" (v "pos" +: i 1);
+                  ];
+              ];
+            ret (v "oi");
+          ];
+        func "main" ~params:[]
+          ~locals:
+            [ scalar "fd"; scalar "buf"; scalar "n"; scalar "out"; scalar "oi";
+              scalar "sum"; scalar "k" ]
+          (Kernel_util.read_input ~bufsize:65536
+          @ [
+              set "out" (call "malloc" [ i 131072 ]);
+              set "oi" (call "compress" [ v "buf"; v "n"; v "out" ]);
+              set "sum" (v "oi");
+            ]
+          @ for_up "k" (i 0) (v "oi")
+              [ set "sum" ((v "sum" *: i 31) +: load8 (v "out" +: v "k")) ]
+          @ [ ret (v "sum" &: i 0xffffff) ]);
+      ];
+  }
+
+let input ~size = Inputs.bytes ~seed:164 size
+let default_size = 1600
+let name = "gzip"
+let description = "greedy LZ77 compressor, 64-byte window"

@@ -1,0 +1,96 @@
+(* "mcf" kernel: Bellman-Ford relaxation over a sparse random graph —
+   181.mcf's memory-bound profile.  The distance array is larger than
+   the L1 cache and arcs arrive in random order, so performance is
+   dominated by cache misses and the instrumentation hides behind them:
+   mcf shows both the lowest slowdown and the smallest enhancement gain
+   in the paper. *)
+
+open Build
+open Build.Infix
+
+let nodes = 4096
+let inf = 1 lsl 40
+
+let program =
+  {
+    Ir.globals = [];
+    funcs =
+      [
+        func "relax_round" ~params:[ "tails"; "heads"; "costs"; "dist"; "arcs" ]
+          ~locals:[ scalar "k"; scalar "u"; scalar "w"; scalar "d"; scalar "improved" ]
+          [
+            set "improved" (i 0);
+            set "k" (i 0);
+            while_ (v "k" <: v "arcs")
+              [
+                set "u" (load64 (v "tails" +: (v "k" *: i 8)));
+                set "w" (load64 (v "heads" +: (v "k" *: i 8)));
+                set "d" (load64 (v "dist" +: (v "u" *: i 8)) +: load64 (v "costs" +: (v "k" *: i 8)));
+                when_ (v "d" <: load64 (v "dist" +: (v "w" *: i 8)))
+                  [
+                    store64 (v "dist" +: (v "w" *: i 8)) (v "d");
+                    set "improved" (v "improved" +: i 1);
+                  ];
+                set "k" (v "k" +: i 1);
+              ];
+            ret (v "improved");
+          ];
+        func "main" ~params:[]
+          ~locals:
+            [ scalar "fd"; scalar "buf"; scalar "n"; scalar "arcs"; scalar "tails";
+              scalar "heads"; scalar "costs"; scalar "dist"; scalar "k"; scalar "round";
+              scalar "sum"; scalar "improved" ]
+          (Kernel_util.read_input ~bufsize:131072
+          @ [
+              set "arcs" (v "n" /: i 4);
+              set "tails" (call "malloc" [ v "arcs" *: i 8 ]);
+              set "heads" (call "malloc" [ v "arcs" *: i 8 ]);
+              set "costs" (call "malloc" [ v "arcs" *: i 8 ]);
+              set "dist" (call "malloc" [ i (nodes * 8) ]);
+            ]
+          (* arc endpoints are array indices: masked and untainted at
+             build time (§3.3.2); costs stay tainted *)
+          @ for_up "k" (i 0) (v "arcs")
+              [
+                store64
+                  (v "tails" +: (v "k" *: i 8))
+                  (call "untaint"
+                     [ (load8 (v "buf" +: (v "k" *: i 4))
+                       |: (load8 (v "buf" +: (v "k" *: i 4) +: i 1) <<: i 8))
+                       %: i nodes ]);
+                store64
+                  (v "heads" +: (v "k" *: i 8))
+                  (call "untaint"
+                     [ (load8 (v "buf" +: (v "k" *: i 4) +: i 2)
+                       |: (load8 (v "buf" +: (v "k" *: i 4) +: i 3) <<: i 8))
+                       %: i nodes ]);
+                store64
+                  (v "costs" +: (v "k" *: i 8))
+                  ((load8 (v "buf" +: (v "k" *: i 4)) &: i 63) +: i 1);
+              ]
+          @ for_up "k" (i 0) (i nodes) [ store64 (v "dist" +: (v "k" *: i 8)) (i inf) ]
+          @ [
+              store64 (v "dist") (i 0);
+              set "round" (i 0);
+              while_ (v "round" <: i 10)
+                [
+                  set "improved"
+                    (call "relax_round" [ v "tails"; v "heads"; v "costs"; v "dist"; v "arcs" ]);
+                  when_ (v "improved" ==: i 0) [ Ir.Break ];
+                  set "round" (v "round" +: i 1);
+                ];
+              set "sum" (i 0);
+            ]
+          @ for_up "k" (i 0) (i nodes)
+              [
+                when_ (load64 (v "dist" +: (v "k" *: i 8)) <>: i inf)
+                  [ set "sum" ((v "sum" *: i 17) ^: load64 (v "dist" +: (v "k" *: i 8))) ];
+              ]
+          @ [ ret (v "sum" &: i 0xffffff) ]);
+      ];
+  }
+
+let input ~size = Inputs.pairs ~seed:181 ~count:(size / 4) ~max:65536
+let default_size = 65536
+let name = "mcf"
+let description = "Bellman-Ford relaxations over a cache-hostile graph"

@@ -1,0 +1,103 @@
+(* "parser" kernel: word tokenisation, dictionary hashing with open
+   addressing and suffix-rule classification — 197.parser's profile of
+   byte scanning plus hash-table probing.  Word hashes are tainted; the
+   probe index is masked to the table size and untainted (§3.3.2). *)
+
+open Build
+open Build.Infix
+
+let table_size = 1024
+
+let program =
+  {
+    Ir.globals = [];
+    funcs =
+      [
+        (* djb2 over [len] bytes *)
+        func "hash_word" ~params:[ "s"; "len" ] ~locals:[ scalar "h"; scalar "k" ]
+          [
+            set "h" (i 5381);
+            set "k" (i 0);
+            while_ (v "k" <: v "len")
+              [
+                set "h" ((v "h" *: i 33) ^: load8 (v "s" +: v "k"));
+                set "k" (v "k" +: i 1);
+              ];
+            ret (v "h" &: i64 0x7fffffffL);
+          ];
+        (* insert-or-count: returns 1 for a new word, 0 for a repeat *)
+        func "dict_add" ~params:[ "table"; "h" ] ~locals:[ scalar "idx"; scalar "cur" ]
+          [
+            set "idx" (call "untaint" [ v "h" %: i table_size ]);
+            while_ (i 1)
+              [
+                set "cur" (load64 (v "table" +: (v "idx" *: i 8)));
+                when_ (v "cur" ==: i 0)
+                  [ store64 (v "table" +: (v "idx" *: i 8)) (v "h" |: i 1); ret (i 1) ];
+                when_ (v "cur" ==: (v "h" |: i 1)) [ ret (i 0) ];
+                set "idx" ((v "idx" +: i 1) %: i table_size);
+              ];
+            ret (i 0);
+          ];
+        (* crude part-of-speech guess from suffixes *)
+        func "classify" ~params:[ "s"; "len" ] ~locals:[]
+          [
+            when_
+              ((v "len" >: i 3)
+              &&: (load8 (v "s" +: v "len" -: i 3) ==: i (Char.code 'i'))
+              &&: (load8 (v "s" +: v "len" -: i 2) ==: i (Char.code 'n'))
+              &&: (load8 (v "s" +: v "len" -: i 1) ==: i (Char.code 'g')))
+              [ ret (i 1) (* gerund *) ];
+            when_
+              ((v "len" >: i 2)
+              &&: (load8 (v "s" +: v "len" -: i 2) ==: i (Char.code 'e'))
+              &&: (load8 (v "s" +: v "len" -: i 1) ==: i (Char.code 'd')))
+              [ ret (i 2) (* past tense *) ];
+            when_ ((v "len" >: i 1) &&: (load8 (v "s" +: v "len" -: i 1) ==: i (Char.code 's')))
+              [ ret (i 3) (* plural *) ];
+            ret (i 0);
+          ];
+        func "is_letter" ~params:[ "ch" ] ~locals:[]
+          [ ret ((v "ch" >=: i (Char.code 'a')) &&: (v "ch" <=: i (Char.code 'z'))) ];
+        func "main" ~params:[]
+          ~locals:
+            [ scalar "fd"; scalar "buf"; scalar "n"; scalar "table"; scalar "pos";
+              scalar "start"; scalar "len"; scalar "h"; scalar "fresh"; scalar "classes";
+              scalar "uniques"; scalar "words" ]
+          (Kernel_util.read_input ~bufsize:65536
+          @ [
+              set "table" (call "malloc" [ i (table_size * 8) ]);
+              set "pos" (i 0);
+              set "uniques" (i 0);
+              set "words" (i 0);
+              set "classes" (i 0);
+              while_ (v "pos" <: v "n")
+                [
+                  (* skip separators *)
+                  while_
+                    ((v "pos" <: v "n")
+                    &&: (call "is_letter" [ load8 (v "buf" +: v "pos") ] ==: i 0))
+                    [ set "pos" (v "pos" +: i 1) ];
+                  when_ (v "pos" >=: v "n") [ Ir.Break ];
+                  set "start" (v "pos");
+                  while_
+                    ((v "pos" <: v "n")
+                    &&: (call "is_letter" [ load8 (v "buf" +: v "pos") ] <>: i 0))
+                    [ set "pos" (v "pos" +: i 1) ];
+                  set "len" (v "pos" -: v "start");
+                  set "h" (call "hash_word" [ v "buf" +: v "start"; v "len" ]);
+                  set "fresh" (call "dict_add" [ v "table"; v "h" ]);
+                  set "uniques" (v "uniques" +: v "fresh");
+                  set "words" (v "words" +: i 1);
+                  set "classes"
+                    (v "classes" +: call "classify" [ v "buf" +: v "start"; v "len" ]);
+                ];
+              ret (((v "uniques" <<: i 20) +: (v "classes" <<: i 8) +: v "words") &: i 0xffffff);
+            ]);
+      ];
+  }
+
+let input ~size = Inputs.text ~seed:197 size
+let default_size = 9000
+let name = "parser"
+let description = "tokenizer + hashed dictionary + suffix classification"

@@ -1,0 +1,116 @@
+(* "twolf" kernel: standard-cell row ordering by annealing, 300.twolf's
+   profile.  Unlike the vpr kernel this one is 1-D, keeps an inverse
+   permutation, and its cost mixes wirelength with cell-width overlap
+   penalties whose widths stay tainted, so more tainted data flows
+   through the arithmetic. *)
+
+open Build
+open Build.Infix
+
+let ncells = 96
+
+let program =
+  {
+    Ir.globals = [ global_zeros "rng2_state" 8 ];
+    funcs =
+      [
+        Kernel_util.abs_func;
+        Kernel_util.lcg_func;
+        (* wire cost over nets plus pairwise overlap penalty between
+           row neighbours *)
+        func "row_cost" ~params:[ "na"; "nb"; "nets"; "posof"; "widths" ]
+          ~locals:[ scalar "k"; scalar "total"; scalar "a"; scalar "b" ]
+          [
+            set "total" (i 0);
+            set "k" (i 0);
+            while_ (v "k" <: v "nets")
+              [
+                set "a" (load64 (v "na" +: (v "k" *: i 8)));
+                set "b" (load64 (v "nb" +: (v "k" *: i 8)));
+                set "total"
+                  (v "total"
+                  +: call "k_abs"
+                       [ load64 (v "posof" +: (v "a" *: i 8))
+                         -: load64 (v "posof" +: (v "b" *: i 8)) ]
+                  +: ((load64 (v "widths" +: (v "a" *: i 8))
+                      +: load64 (v "widths" +: (v "b" *: i 8)))
+                     >>: i 4));
+                set "k" (v "k" +: i 1);
+              ];
+            ret (v "total");
+          ];
+        func "main" ~params:[]
+          ~locals:
+            [ scalar "fd"; scalar "buf"; scalar "n"; scalar "nets"; scalar "na"; scalar "nb";
+              scalar "order"; scalar "posof"; scalar "widths"; scalar "k"; scalar "cost";
+              scalar "trial"; scalar "p"; scalar "q"; scalar "cp"; scalar "cq";
+              scalar "newcost" ]
+          (Kernel_util.read_input ~bufsize:65536
+          @ [
+              set "nets" (v "n" /: i 4);
+              when_ (v "nets" >: i 320) [ set "nets" (i 320) ];
+              set "na" (call "malloc" [ v "nets" *: i 8 ]);
+              set "nb" (call "malloc" [ v "nets" *: i 8 ]);
+              set "order" (call "malloc" [ i (ncells * 8) ]);
+              set "posof" (call "malloc" [ i (ncells * 8) ]);
+              set "widths" (call "malloc" [ i (ncells * 8) ]);
+            ]
+          @ for_up "k" (i 0) (i ncells)
+              [
+                store64 (v "order" +: (v "k" *: i 8)) (v "k");
+                store64 (v "posof" +: (v "k" *: i 8)) (v "k");
+                (* widths from input bytes: tainted data in the cost *)
+                store64 (v "widths" +: (v "k" *: i 8)) (load8 (v "buf" +: v "k") &: i 31);
+              ]
+          @ for_up "k" (i 0) (v "nets")
+              [
+                store64
+                  (v "na" +: (v "k" *: i 8))
+                  (call "untaint"
+                     [ (load8 (v "buf" +: (v "k" *: i 4))
+                       |: (load8 (v "buf" +: (v "k" *: i 4) +: i 1) <<: i 8))
+                       %: i ncells ]);
+                store64
+                  (v "nb" +: (v "k" *: i 8))
+                  (call "untaint"
+                     [ (load8 (v "buf" +: (v "k" *: i 4) +: i 2)
+                       |: (load8 (v "buf" +: (v "k" *: i 4) +: i 3) <<: i 8))
+                       %: i ncells ]);
+              ]
+          @ [
+              store64 (v "rng2_state") (i 300);
+              set "cost" (call "row_cost" [ v "na"; v "nb"; v "nets"; v "posof"; v "widths" ]);
+              set "trial" (i 0);
+              while_ (v "trial" <: i 100)
+                [
+                  set "p" (call "k_lcg" [ v "rng2_state" ] %: i ncells);
+                  set "q" (call "k_lcg" [ v "rng2_state" ] %: i ncells);
+                  (* swap the cells sitting at row positions p and q *)
+                  set "cp" (load64 (v "order" +: (v "p" *: i 8)));
+                  set "cq" (load64 (v "order" +: (v "q" *: i 8)));
+                  store64 (v "order" +: (v "p" *: i 8)) (v "cq");
+                  store64 (v "order" +: (v "q" *: i 8)) (v "cp");
+                  store64 (v "posof" +: (v "cp" *: i 8)) (v "q");
+                  store64 (v "posof" +: (v "cq" *: i 8)) (v "p");
+                  set "newcost" (call "row_cost" [ v "na"; v "nb"; v "nets"; v "posof"; v "widths" ]);
+                  if_
+                    ((v "newcost" <: v "cost")
+                    ||: ((call "k_lcg" [ v "rng2_state" ] &: i 15) ==: i 0))
+                    [ set "cost" (v "newcost") ]
+                    [
+                      store64 (v "order" +: (v "p" *: i 8)) (v "cp");
+                      store64 (v "order" +: (v "q" *: i 8)) (v "cq");
+                      store64 (v "posof" +: (v "cp" *: i 8)) (v "p");
+                      store64 (v "posof" +: (v "cq" *: i 8)) (v "q");
+                    ];
+                  set "trial" (v "trial" +: i 1);
+                ];
+              ret (v "cost" &: i 0xffffff);
+            ]);
+      ];
+  }
+
+let input ~size = Inputs.pairs ~seed:300 ~count:(size / 4) ~max:ncells
+let default_size = 1280
+let name = "twolf"
+let description = "row ordering annealing with overlap penalties"

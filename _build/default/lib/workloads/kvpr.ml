@@ -1,0 +1,114 @@
+(* "vpr" kernel: FPGA-style placement by simulated annealing on a 2-D
+   grid, 175.vpr's profile — net-list scans, coordinate arithmetic and
+   data-dependent swaps driven by a deterministic LCG.  Net endpoints
+   come from the input (masked and untainted at build time, like vpr's
+   own bounds-checked indices). *)
+
+open Build
+open Build.Infix
+
+let grid = 16
+let cells = grid * grid
+
+let program =
+  {
+    Ir.globals = [ global_zeros "rng_state" 8 ];
+    funcs =
+      [
+        Kernel_util.abs_func;
+        Kernel_util.lcg_func;
+        (* total wirelength: sum of manhattan distances over all nets *)
+        func "wirelength" ~params:[ "na"; "nb"; "nets"; "cx"; "cy" ]
+          ~locals:[ scalar "k"; scalar "a"; scalar "b"; scalar "total" ]
+          [
+            set "total" (i 0);
+            set "k" (i 0);
+            while_ (v "k" <: v "nets")
+              [
+                set "a" (load64 (v "na" +: (v "k" *: i 8)));
+                set "b" (load64 (v "nb" +: (v "k" *: i 8)));
+                set "total"
+                  (v "total"
+                  +: call "k_abs"
+                       [ load64 (v "cx" +: (v "a" *: i 8)) -: load64 (v "cx" +: (v "b" *: i 8)) ]
+                  +: call "k_abs"
+                       [ load64 (v "cy" +: (v "a" *: i 8)) -: load64 (v "cy" +: (v "b" *: i 8)) ]);
+                set "k" (v "k" +: i 1);
+              ];
+            ret (v "total");
+          ];
+        func "swap_cells" ~params:[ "cx"; "cy"; "ca"; "cb" ]
+          ~locals:[ scalar "tx"; scalar "ty" ]
+          [
+            set "tx" (load64 (v "cx" +: (v "ca" *: i 8)));
+            store64 (v "cx" +: (v "ca" *: i 8)) (load64 (v "cx" +: (v "cb" *: i 8)));
+            store64 (v "cx" +: (v "cb" *: i 8)) (v "tx");
+            set "ty" (load64 (v "cy" +: (v "ca" *: i 8)));
+            store64 (v "cy" +: (v "ca" *: i 8)) (load64 (v "cy" +: (v "cb" *: i 8)));
+            store64 (v "cy" +: (v "cb" *: i 8)) (v "ty");
+            ret0;
+          ];
+        func "main" ~params:[]
+          ~locals:
+            [ scalar "fd"; scalar "buf"; scalar "n"; scalar "nets"; scalar "na"; scalar "nb";
+              scalar "cx"; scalar "cy"; scalar "k"; scalar "cost"; scalar "trial";
+              scalar "ca"; scalar "cb"; scalar "newcost"; scalar "iters" ]
+          (Kernel_util.read_input ~bufsize:65536
+          @ [
+              set "nets" (v "n" /: i 4);
+              when_ (v "nets" >: i 400) [ set "nets" (i 400) ];
+              set "na" (call "malloc" [ v "nets" *: i 8 ]);
+              set "nb" (call "malloc" [ v "nets" *: i 8 ]);
+              set "cx" (call "malloc" [ i (cells * 8) ]);
+              set "cy" (call "malloc" [ i (cells * 8) ]);
+            ]
+          (* initial placement: row-major *)
+          @ for_up "k" (i 0) (i cells)
+              [
+                store64 (v "cx" +: (v "k" *: i 8)) (v "k" %: i grid);
+                store64 (v "cy" +: (v "k" *: i 8)) (v "k" /: i grid);
+              ]
+          (* build the net list from input pairs; endpoints are masked
+             to the cell count and untainted (bounds-checked indices) *)
+          @ for_up "k" (i 0) (v "nets")
+              [
+                store64
+                  (v "na" +: (v "k" *: i 8))
+                  (call "untaint"
+                     [ (load8 (v "buf" +: (v "k" *: i 4))
+                       |: (load8 (v "buf" +: (v "k" *: i 4) +: i 1) <<: i 8))
+                       %: i cells ]);
+                store64
+                  (v "nb" +: (v "k" *: i 8))
+                  (call "untaint"
+                     [ (load8 (v "buf" +: (v "k" *: i 4) +: i 2)
+                       |: (load8 (v "buf" +: (v "k" *: i 4) +: i 3) <<: i 8))
+                       %: i cells ]);
+              ]
+          @ [
+              store64 (v "rng_state") (i 175);
+              set "cost" (call "wirelength" [ v "na"; v "nb"; v "nets"; v "cx"; v "cy" ]);
+              set "iters" (i 120);
+              set "trial" (i 0);
+              while_ (v "trial" <: v "iters")
+                [
+                  set "ca" (call "k_lcg" [ v "rng_state" ] %: i cells);
+                  set "cb" (call "k_lcg" [ v "rng_state" ] %: i cells);
+                  ecall "swap_cells" [ v "cx"; v "cy"; v "ca"; v "cb" ];
+                  set "newcost" (call "wirelength" [ v "na"; v "nb"; v "nets"; v "cx"; v "cy" ]);
+                  if_
+                    ((v "newcost" <: v "cost")
+                    ||: ((call "k_lcg" [ v "rng_state" ] &: i 7) ==: i 0))
+                    [ set "cost" (v "newcost") ]
+                    [ ecall "swap_cells" [ v "cx"; v "cy"; v "ca"; v "cb" ] ];
+                  set "trial" (v "trial" +: i 1);
+                ];
+              ret (v "cost" &: i 0xffffff);
+            ]);
+      ];
+  }
+
+let input ~size = Inputs.pairs ~seed:175 ~count:(size / 4) ~max:cells
+let default_size = 1600
+let name = "vpr"
+let description = "grid placement annealing over a net list"

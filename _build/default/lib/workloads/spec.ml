@@ -1,0 +1,28 @@
+type kernel = {
+  name : string;
+  description : string;
+  program : Ir.program;
+  input : size:int -> string;
+  default_size : int;
+}
+
+let k name description program input default_size =
+  { name; description; program; input; default_size }
+
+let all =
+  [
+    k Kgzip.name Kgzip.description Kgzip.program Kgzip.input Kgzip.default_size;
+    k Kgcc.name Kgcc.description Kgcc.program Kgcc.input Kgcc.default_size;
+    k Kcrafty.name Kcrafty.description Kcrafty.program Kcrafty.input Kcrafty.default_size;
+    k Kbzip2.name Kbzip2.description Kbzip2.program Kbzip2.input Kbzip2.default_size;
+    k Kvpr.name Kvpr.description Kvpr.program Kvpr.input Kvpr.default_size;
+    k Kmcf.name Kmcf.description Kmcf.program Kmcf.input Kmcf.default_size;
+    k Kparser.name Kparser.description Kparser.program Kparser.input Kparser.default_size;
+    k Ktwolf.name Ktwolf.description Ktwolf.program Ktwolf.input Ktwolf.default_size;
+  ]
+
+let find name = List.find_opt (fun kr -> kr.name = name) all
+
+let setup ?size ~tainted kernel world =
+  let size = Option.value size ~default:kernel.default_size in
+  Shift_os.World.add_file world ~tainted "input.dat" (kernel.input ~size)

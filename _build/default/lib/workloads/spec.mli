@@ -1,0 +1,23 @@
+(** The SPEC-INT2000-like kernel suite (paper §6.2).
+
+    Eight kernels mirror the computational character of the eight
+    benchmarks the paper measures (gzip, gcc, crafty, bzip2, vpr, mcf,
+    parser, twolf).  Each reads its input from the file "input.dat";
+    taint the file to reproduce the paper's "unsafe" configuration,
+    leave it clean for "safe". *)
+
+type kernel = {
+  name : string;
+  description : string;
+  program : Ir.program;
+  input : size:int -> string;
+  default_size : int;
+}
+
+val all : kernel list
+(** In the paper's Figure-7 order. *)
+
+val find : string -> kernel option
+
+val setup : ?size:int -> tainted:bool -> kernel -> Shift_os.World.t -> unit
+(** Install the kernel's input file into a world. *)

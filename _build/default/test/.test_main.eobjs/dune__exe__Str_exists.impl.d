@@ -1,0 +1,1 @@
+test/str_exists.ml: String

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Build Cond Instr Program Prov Reg Shift Shift_compiler Shift_isa Util

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest List Printf Shift Shift_attacks Shift_compiler Shift_os Shift_policy Str_exists Util

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Build Int64 Ir List Printf QCheck QCheck_alcotest Shift Shift_compiler Shift_isa Shift_mem Util

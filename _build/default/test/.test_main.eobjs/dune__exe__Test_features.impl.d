@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Build Char Fun Int64 Ir List Printf Shift Shift_compiler Shift_mem Shift_policy Util

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Build Format Ir List Shift_compiler Str_exists Util

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Cond Instr Int64 List Program Prov QCheck QCheck_alcotest Reg Shift_isa Str_exists String Util

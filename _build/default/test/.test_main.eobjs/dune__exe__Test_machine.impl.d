@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cond Instr Int64 List Program Reg Shift_isa Shift_machine Shift_mem Util

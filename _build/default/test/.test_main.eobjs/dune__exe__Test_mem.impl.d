@@ -1,0 +1,1 @@
+test/test_mem.ml: Addr Granularity Int64 List Memory QCheck QCheck_alcotest Shift_mem Taint Util

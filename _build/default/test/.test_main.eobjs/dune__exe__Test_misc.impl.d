@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Build Cond Format Instr Ir List Printf Program QCheck QCheck_alcotest Reg Shift Shift_compiler Shift_isa Shift_machine Shift_os Shift_policy Str_exists String Util

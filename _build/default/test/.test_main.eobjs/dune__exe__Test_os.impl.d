@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Build Ir List Shift Shift_compiler Shift_machine Shift_os Shift_policy String Util

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Char Int64 Parse Printf Shift Shift_compiler Util

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest List Printf Shift Shift_attacks Shift_compiler Shift_policy Str_exists Util

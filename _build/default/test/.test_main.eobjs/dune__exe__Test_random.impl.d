@@ -1,0 +1,1 @@
+test/test_random.ml: Array Build Gen Ir List Printf QCheck QCheck_alcotest Random Shift Shift_compiler Shift_mem Util

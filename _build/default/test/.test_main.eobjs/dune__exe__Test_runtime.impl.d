@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Build Char Int64 Ir List Shift Shift_compiler Shift_mem Util

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Build Ir List Shift Shift_compiler Shift_mem Shift_policy Util

@@ -1,0 +1,1 @@
+test/test_smp.ml: Alcotest Buffer Build Int64 Ir List Printf Shift Shift_compiler Shift_mem Shift_os Shift_policy String Util

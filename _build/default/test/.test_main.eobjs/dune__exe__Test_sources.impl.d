@@ -1,0 +1,1 @@
+test/test_sources.ml: Alcotest Buffer Build Fun Ir List Printf Shift Shift_compiler Shift_mem Shift_os Shift_policy Util

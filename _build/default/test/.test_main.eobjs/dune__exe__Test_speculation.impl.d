@@ -1,0 +1,1 @@
+test/test_speculation.ml: Alcotest Cond Instr Int64 Printf Program Reg Shift_isa Shift_machine Shift_mem Util

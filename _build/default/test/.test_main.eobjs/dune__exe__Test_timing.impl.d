@@ -1,0 +1,1 @@
+test/test_timing.ml: Int64 Shift_isa Shift_machine Util

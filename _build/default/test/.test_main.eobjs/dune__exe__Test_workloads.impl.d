@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Printf Shift Shift_compiler Shift_mem Shift_os Shift_policy Shift_workloads Str_exists String Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Build Ir Shift Shift_compiler Shift_mem

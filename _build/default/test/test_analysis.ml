@@ -1,0 +1,164 @@
+(* The static may-taint analysis that drives selective compare
+   relaxation. *)
+
+open Shift_isa
+module TA = Shift_compiler.Taint_analysis
+
+let tc = Util.tc
+let m ?qp op = Program.I (Instr.mk ?qp op)
+let lbl l = Program.Label l
+
+(* index the instruction *after* the given prefix of I items *)
+let tainted_at items index r = TA.may_be_tainted (TA.analyse items) ~index r
+
+let basic_tests =
+  [
+    tc "arguments are tainted at entry, fresh registers are not" (fun () ->
+        let items = [ lbl "f"; m Instr.Nop ] in
+        Util.check_bool "arg0" true (tainted_at items 0 (Reg.arg 0));
+        Util.check_bool "r8" true (tainted_at items 0 Reg.ret);
+        Util.check_bool "r50" false (tainted_at items 0 50));
+    tc "movi cleans, loads taint" (fun () ->
+        let items =
+          [
+            lbl "f";
+            m (Instr.Movi (50, 1L));
+            m (Instr.Ld { width = Instr.W8; dst = 51; addr = 50; spec = false; fill = false });
+            m Instr.Nop;
+          ]
+        in
+        Util.check_bool "r50 clean" false (tainted_at items 2 50);
+        Util.check_bool "r51 tainted" true (tainted_at items 2 51));
+    tc "taint propagates through arithmetic and mov" (fun () ->
+        let items =
+          [
+            lbl "f";
+            m (Instr.Ld { width = Instr.W8; dst = 50; addr = 12; spec = false; fill = false });
+            m (Instr.Arith (Instr.Add, 51, 50, Instr.Imm 1L));
+            m (Instr.Mov (52, 51));
+            m Instr.Nop;
+          ]
+        in
+        Util.check_bool "derived" true (tainted_at items 3 52));
+    tc "clrnat (untaint) scrubs" (fun () ->
+        let items =
+          [
+            lbl "f";
+            m (Instr.Ld { width = Instr.W8; dst = 50; addr = 12; spec = false; fill = false });
+            m (Instr.Clrnat 50);
+            m Instr.Nop;
+          ]
+        in
+        Util.check_bool "scrubbed" false (tainted_at items 2 50));
+    tc "the clear idiom is recognised" (fun () ->
+        let items =
+          [
+            lbl "f";
+            m (Instr.Ld { width = Instr.W8; dst = 50; addr = 12; spec = false; fill = false });
+            m (Instr.Arith (Instr.Xor, 50, 50, Instr.R 50));
+            m Instr.Nop;
+          ]
+        in
+        Util.check_bool "xor r,r,r" false (tainted_at items 2 50));
+    tc "syscalls return clean values, calls do not" (fun () ->
+        let items =
+          [ lbl "f"; m Instr.Syscall; m Instr.Nop; m (Instr.Call "g"); m Instr.Nop; lbl "g"; m Instr.Ret ]
+        in
+        Util.check_bool "after syscall" false (tainted_at items 2 Reg.ret);
+        Util.check_bool "after call" true (tainted_at items 4 Reg.ret));
+    tc "predicated writes merge instead of killing" (fun () ->
+        let items =
+          [
+            lbl "f";
+            m (Instr.Ld { width = Instr.W8; dst = 50; addr = 12; spec = false; fill = false });
+            m ~qp:3 (Instr.Movi (50, 0L));
+            m Instr.Nop;
+          ]
+        in
+        (* the movi may be squashed, so r50 may still be tainted *)
+        Util.check_bool "still may-tainted" true (tainted_at items 2 50));
+  ]
+
+let loop_items =
+  [
+    lbl "f";
+    m (Instr.Movi (50, 0L));
+    lbl "head";
+    m (Instr.Arith (Instr.Add, 51, 50, Instr.Imm 0L));
+    m (Instr.Ld { width = Instr.W8; dst = 50; addr = 12; spec = false; fill = false });
+    m (Instr.Cmp { cond = Cond.Ne; pt = 1; pf = 2; src1 = 51; src2 = Instr.Imm 0L; taint_aware = false });
+    m ~qp:1 (Instr.Br "head");
+    m Instr.Ret;
+  ]
+
+let fixpoint_tests =
+  [
+    tc "loop-carried taint reaches the loop head" (fun () ->
+        (* at the add (index 1), r50 is clean on the first iteration but
+           tainted via the back edge; may-analysis must say tainted *)
+        Util.check_bool "merged over back edge" true (tainted_at loop_items 1 50));
+    tc "branch join merges both paths" (fun () ->
+        let items =
+          [
+            lbl "f";
+            m (Instr.Cmp { cond = Cond.Eq; pt = 1; pf = 2; src1 = Reg.zero; src2 = Instr.Imm 0L; taint_aware = false });
+            m ~qp:1 (Instr.Br "then");
+            m (Instr.Movi (50, 1L));
+            m (Instr.Br "join");
+            lbl "then";
+            m (Instr.Ld { width = Instr.W8; dst = 50; addr = 12; spec = false; fill = false });
+            lbl "join";
+            m Instr.Nop;
+          ]
+        in
+        Util.check_bool "tainted on one path" true (tainted_at items 6 50));
+    tc "chk.s recovery target inherits state" (fun () ->
+        let items =
+          [
+            lbl "f";
+            m (Instr.Ld { width = Instr.W8; dst = 50; addr = 12; spec = false; fill = false });
+            m (Instr.Chk_s { src = 50; recovery = "rec" });
+            m Instr.Ret;
+            lbl "rec";
+            m Instr.Nop;
+          ]
+        in
+        Util.check_bool "recovery sees taint" true (tainted_at items 3 50));
+  ]
+
+(* the pass only relaxes compares the analysis cannot prove clean *)
+let selective_relax_tests =
+  let open Build in
+  let open Build.Infix in
+  [
+    tc "counter-only loops need no relaxation" (fun () ->
+        let prog =
+          Util.main_returning ~locals:[ scalar "k"; scalar "sum" ]
+            ([ set "sum" (i 0) ]
+            @ for_up "k" (i 0) (i 10) [ set "sum" (v "sum" +: v "k") ]
+            @ [ ret (v "sum") ])
+        in
+        let image = Shift.Session.build ~with_runtime:false ~mode:Shift_compiler.Mode.shift_word prog in
+        Util.check_int "no relax code" 0
+          (Shift_isa.Program.count_prov image.Shift_compiler.Image.program Prov.Cmp_relax));
+    tc "loaded data still gets relaxation" (fun () ->
+        let prog =
+          Util.main_returning ~locals:[ array "a" 8; scalar "x" ]
+            [
+              store64 (v "a") (i 1);
+              set "x" (load64 (v "a"));
+              when_ (v "x" ==: i 1) [ ret (i 5) ];
+              ret (i 0);
+            ]
+        in
+        let image = Shift.Session.build ~with_runtime:false ~mode:Shift_compiler.Mode.shift_word prog in
+        Util.check_bool "relax present" true
+          (Shift_isa.Program.count_prov image.Shift_compiler.Image.program Prov.Cmp_relax > 0));
+  ]
+
+let suites =
+  [
+    ("analysis.transfer", basic_tests);
+    ("analysis.fixpoint", fixpoint_tests);
+    ("analysis.selective-relax", selective_relax_tests);
+  ]

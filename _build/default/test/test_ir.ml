@@ -1,0 +1,89 @@
+open Build
+open Build.Infix
+
+let tc = Util.tc
+
+let validate ?(globals = []) funcs =
+  Ir.validate ~externals:Shift_compiler.Codegen.externals { Ir.globals; funcs }
+
+let expect_invalid msg ?globals funcs =
+  match validate ?globals funcs with
+  | () -> Alcotest.failf "%s: expected Ir.Invalid" msg
+  | exception Ir.Invalid _ -> ()
+
+let validate_tests =
+  [
+    tc "well-formed program passes" (fun () ->
+        validate ~globals:[ global_bytes "g" "hi" ]
+          [
+            func "main" ~params:[] ~locals:[ scalar "x"; array "buf" 16 ]
+              [
+                set "x" (i 1);
+                store8 (v "buf") (v "x");
+                when_ (v "x" >: i 0) [ ret (load8 (v "g")) ];
+                ret (i 0);
+              ];
+          ]);
+    tc "unbound variable rejected" (fun () ->
+        expect_invalid "unbound" [ func "main" ~params:[] ~locals:[] [ ret (v "nope") ] ]);
+    tc "assignment to array rejected" (fun () ->
+        expect_invalid "array assign"
+          [ func "main" ~params:[] ~locals:[ array "a" 8 ] [ set "a" (i 1) ] ]);
+    tc "assignment to global rejected" (fun () ->
+        expect_invalid "global assign" ~globals:[ global_zeros "g" 8 ]
+          [ func "main" ~params:[] ~locals:[] [ set "g" (i 1) ] ]);
+    tc "unknown function rejected" (fun () ->
+        expect_invalid "unknown call"
+          [ func "main" ~params:[] ~locals:[] [ ret (call "mystery" []) ] ]);
+    tc "intrinsics are known" (fun () ->
+        validate [ func "main" ~params:[] ~locals:[] [ ret (call "sys_sbrk" [ i 8 ]) ] ]);
+    tc "arity mismatch rejected" (fun () ->
+        expect_invalid "arity"
+          [
+            func "f" ~params:[ "a"; "b" ] ~locals:[] [ ret (v "a" +: v "b") ];
+            func "main" ~params:[] ~locals:[] [ ret (call "f" [ i 1 ]) ];
+          ]);
+    tc "break outside loop rejected" (fun () ->
+        expect_invalid "break" [ func "main" ~params:[] ~locals:[] [ Ir.Break ] ]);
+    tc "break inside loop ok" (fun () ->
+        validate [ func "main" ~params:[] ~locals:[] [ while_ (i 1) [ Ir.Break ]; ret (i 0) ] ]);
+    tc "duplicate local rejected" (fun () ->
+        expect_invalid "dup"
+          [ func "main" ~params:[] ~locals:[ scalar "x"; scalar "x" ] [ ret (i 0) ] ]);
+    tc "local shadowing a global rejected" (fun () ->
+        expect_invalid "shadow" ~globals:[ global_zeros "x" 8 ]
+          [ func "main" ~params:[] ~locals:[ scalar "x" ] [ ret (i 0) ] ]);
+    tc "zero-sized array rejected" (fun () ->
+        expect_invalid "empty array"
+          [ func "main" ~params:[] ~locals:[ array "a" 0 ] [ ret (i 0) ] ]);
+    tc "duplicate function rejected" (fun () ->
+        expect_invalid "dup func"
+          [
+            func "main" ~params:[] ~locals:[] [ ret (i 0) ];
+            func "main" ~params:[] ~locals:[] [ ret (i 1) ];
+          ]);
+  ]
+
+let misc_tests =
+  [
+    tc "merge concatenates" (fun () ->
+        let a = { Ir.globals = [ global_zeros "g1" 8 ]; funcs = [] } in
+        let b = { Ir.globals = []; funcs = [ func "f" ~params:[] ~locals:[] [ ret (i 0) ] ] } in
+        let p = Ir.merge a b in
+        Util.check_int "globals" 1 (List.length p.Ir.globals);
+        Util.check_bool "func" true (Ir.find_func p "f" <> None));
+    tc "pretty printer produces C-like text" (fun () ->
+        let p =
+          Util.main_returning
+            [ when_ (i 1 <: i 2) [ ret (i 3) ]; ret (i 0) ]
+        in
+        let s = Format.asprintf "%a" Ir.pp_program p in
+        Util.check_bool "has func" true (Str_exists.contains s "func main");
+        Util.check_bool "has if" true (Str_exists.contains s "if"));
+    tc "for_up builds the canonical loop" (fun () ->
+        match for_up "k" (i 0) (i 10) [] with
+        | [ Ir.Assign ("k", _); Ir.While (Ir.Binop (Ir.Lt, Ir.Var "k", _), _) ] -> ()
+        | _ -> Alcotest.fail "unexpected shape");
+  ]
+
+let suites = [ ("ir.validate", validate_tests); ("ir.misc", misc_tests) ]

@@ -1,0 +1,113 @@
+open Shift_isa
+
+let tc = Util.tc
+
+let arb_int64 = QCheck.map Int64.of_int QCheck.int
+
+let prop name ?(count = 200) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let cond_tests =
+  [
+    tc "eq" (fun () ->
+        Util.check_bool "3 = 3" true (Cond.eval Cond.Eq 3L 3L);
+        Util.check_bool "3 = 4" false (Cond.eval Cond.Eq 3L 4L));
+    tc "signed vs unsigned" (fun () ->
+        Util.check_bool "-1 < 0 signed" true (Cond.eval Cond.Lt (-1L) 0L);
+        Util.check_bool "-1 < 0 unsigned" false (Cond.eval Cond.Ltu (-1L) 0L);
+        Util.check_bool "-1 > 0 unsigned" true (Cond.eval Cond.Gtu (-1L) 0L));
+    prop "negate flips result" QCheck.(pair arb_int64 arb_int64) (fun (a, b) ->
+        List.for_all
+          (fun c -> Cond.eval c a b = not (Cond.eval (Cond.negate c) a b))
+          Cond.all);
+    prop "swap mirrors operands" QCheck.(pair arb_int64 arb_int64) (fun (a, b) ->
+        List.for_all (fun c -> Cond.eval c a b = Cond.eval (Cond.swap c) b a) Cond.all);
+    prop "negate is an involution" QCheck.unit (fun () ->
+        List.for_all (fun c -> Cond.negate (Cond.negate c) = c) Cond.all);
+  ]
+
+let instr_tests =
+  [
+    tc "reads and writes of arith" (fun () ->
+        let op = Instr.Arith (Instr.Add, 5, 6, Instr.R 7) in
+        Util.check_bool "reads" true (Instr.reads op = [ 6; 7 ]);
+        Util.check_bool "writes" true (Instr.writes op = [ 5 ]));
+    tc "store reads both registers, writes none" (fun () ->
+        let op = Instr.St { width = Instr.W8; addr = 3; src = 4; spill = false } in
+        Util.check_bool "reads" true (Instr.reads op = [ 3; 4 ]);
+        Util.check_bool "writes" true (Instr.writes op = []));
+    tc "call writes the return register" (fun () ->
+        Util.check_bool "ret" true (Instr.writes (Instr.Call "f") = [ Reg.ret ]));
+    tc "memory classification" (fun () ->
+        Util.check_bool "ld" true
+          (Instr.is_mem (Instr.Ld { width = Instr.W1; dst = 1; addr = 2; spec = false; fill = false }));
+        Util.check_bool "add" false (Instr.is_mem (Instr.Arith (Instr.Add, 1, 2, Instr.Imm 0L))));
+    tc "pretty printing mentions the mnemonic" (fun () ->
+        let s = Instr.to_string (Instr.mk (Instr.Movi (4, 42L))) in
+        Util.check_bool "movl" true
+          (String.length s > 0 && String.trim s <> ""
+          && Str_exists.contains s "movl"));
+    tc "width bytes" (fun () ->
+        Util.check_int "w1" 1 (Instr.bytes_of_width Instr.W1);
+        Util.check_int "w8" 8 (Instr.bytes_of_width Instr.W8));
+  ]
+
+let program_tests =
+  [
+    tc "assemble resolves labels" (fun () ->
+        let p =
+          Program.assemble
+            [
+              Program.Label "a";
+              Program.I (Instr.mk Instr.Nop);
+              Program.Label "b";
+              Program.I (Instr.mk (Instr.Br "a"));
+            ]
+        in
+        Util.check_int "a" 0 (Program.target p "a");
+        Util.check_int "b" 1 (Program.target p "b");
+        Util.check_int "size" 2 (Program.size p));
+    tc "duplicate label rejected" (fun () ->
+        Alcotest.check_raises "dup"
+          (Program.Assembly_error "duplicate label \"x\"")
+          (fun () ->
+            ignore (Program.assemble [ Program.Label "x"; Program.Label "x" ])));
+    tc "unknown branch target rejected" (fun () ->
+        Alcotest.check_raises "unknown"
+          (Program.Assembly_error "unknown label \"nowhere\"")
+          (fun () -> ignore (Program.assemble [ Program.I (Instr.mk (Instr.Br "nowhere")) ])));
+    tc "lea target checked too" (fun () ->
+        Alcotest.check_raises "unknown"
+          (Program.Assembly_error "unknown label \"f\"")
+          (fun () -> ignore (Program.assemble [ Program.I (Instr.mk (Instr.Lea (1, "f"))) ])));
+    tc "count_prov" (fun () ->
+        let p =
+          Program.assemble
+            [
+              Program.I (Instr.mk ~prov:Prov.Ld_mem Instr.Nop);
+              Program.I (Instr.mk Instr.Nop);
+              Program.I (Instr.mk ~prov:Prov.Ld_mem Instr.Nop);
+            ]
+        in
+        Util.check_int "ld-mem" 2 (Program.count_prov p Prov.Ld_mem);
+        Util.check_int "orig" 1 (Program.count_prov p Prov.Orig));
+  ]
+
+let prov_tests =
+  [
+    tc "index/of_index roundtrip" (fun () ->
+        for i = 0 to Prov.card - 1 do
+          Util.check_int "roundtrip" i (Prov.index (Prov.of_index i))
+        done);
+    tc "orig is not instrumentation" (fun () ->
+        Util.check_bool "orig" false (Prov.is_instrumentation Prov.Orig);
+        Util.check_bool "shadow" true (Prov.is_instrumentation Prov.Shadow));
+  ]
+
+let suites =
+  [
+    ("isa.cond", cond_tests);
+    ("isa.instr", instr_tests);
+    ("isa.program", program_tests);
+    ("isa.prov", prov_tests);
+  ]

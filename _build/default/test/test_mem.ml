@@ -1,0 +1,149 @@
+open Shift_mem
+
+let tc = Util.tc
+
+let prop name ?(count = 300) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* a valid region-1 address with room above the null guard *)
+let arb_addr =
+  QCheck.map
+    (fun n -> Addr.in_region 1 (Int64.of_int (4096 + abs n mod 1_000_000)))
+    QCheck.int
+
+let addr_tests =
+  [
+    tc "region extraction" (fun () ->
+        Util.check_int "r1" 1 (Addr.region (Addr.in_region 1 0x1234L));
+        Util.check_int "r7" 7 (Addr.region (Addr.in_region 7 0x1234L));
+        Util.check_int "r0" 0 (Addr.region 0x42L));
+    tc "offset extraction" (fun () ->
+        Util.check_i64 "off" 0x1234L (Addr.offset (Addr.in_region 3 0x1234L)));
+    tc "canonical addresses" (fun () ->
+        Util.check_bool "plain" true (Addr.is_canonical (Addr.in_region 1 0x1000L));
+        Util.check_bool "unimplemented bit" false
+          (Addr.is_canonical (Int64.shift_left 1L 45));
+        Util.check_bool "region bits alone ok" true
+          (Addr.is_canonical (Addr.in_region 5 0L)));
+    tc "null guard" (fun () ->
+        Util.check_bool "null" false (Addr.is_valid (Addr.in_region 1 0L));
+        Util.check_bool "4095" false (Addr.is_valid (Addr.in_region 1 4095L));
+        Util.check_bool "4096" true (Addr.is_valid (Addr.in_region 1 4096L)));
+    prop "tag addresses live in region 0" arb_addr (fun a ->
+        Addr.region (Addr.tag_addr Granularity.Byte a) = 0
+        && Addr.region (Addr.tag_addr Granularity.Word a) = 0);
+    prop "tag bit in range" arb_addr (fun a ->
+        let b1 = Addr.tag_bit Granularity.Byte a in
+        let b2 = Addr.tag_bit Granularity.Word a in
+        b1 >= 0 && b1 < 8 && b2 >= 0 && b2 < 8);
+    prop "adjacent bytes share a bitmap byte at byte granularity" arb_addr (fun a ->
+        let a' = Int64.add (Int64.logand a (Int64.lognot 7L)) 3L in
+        Addr.tag_addr Granularity.Byte a' = Addr.tag_addr Granularity.Byte (Int64.add a' 1L))
+    ;
+    tc "different regions map to disjoint tag bytes" (fun () ->
+        let a1 = Addr.in_region 1 0x5000L and a2 = Addr.in_region 2 0x5000L in
+        Util.check_bool "disjoint" true
+          (Addr.tag_addr Granularity.Byte a1 <> Addr.tag_addr Granularity.Byte a2));
+    tc "word mask is a single bit" (fun () ->
+        let a = Addr.in_region 1 0x5008L in
+        Util.check_i64 "mask" 2L (Addr.tag_mask Granularity.Word ~width:8 a));
+    tc "byte mask covers the access width" (fun () ->
+        let a = Addr.in_region 1 0x5000L in
+        Util.check_i64 "w8" 0xFFL (Addr.tag_mask Granularity.Byte ~width:8 a);
+        Util.check_i64 "w1" 0x1L (Addr.tag_mask Granularity.Byte ~width:1 a);
+        let a3 = Int64.add a 3L in
+        Util.check_i64 "w1@3" 0x8L (Addr.tag_mask Granularity.Byte ~width:1 a3));
+  ]
+
+let memory_tests =
+  [
+    tc "zero-initialised" (fun () ->
+        let m = Memory.create () in
+        Util.check_i64 "fresh" 0L (Memory.read m (Addr.in_region 1 0x9999L) ~width:8));
+    prop "u8 roundtrip" QCheck.(pair arb_addr (int_bound 255)) (fun (a, b) ->
+        let m = Memory.create () in
+        Memory.write_u8 m a b;
+        Memory.read_u8 m a = b);
+    prop "u64 little-endian roundtrip" QCheck.(pair arb_addr (map Int64.of_int int))
+      (fun (a, value) ->
+        let m = Memory.create () in
+        Memory.write m a ~width:8 value;
+        Memory.read m a ~width:8 = value
+        && Memory.read_u8 m a = Int64.to_int (Int64.logand value 0xffL));
+    prop "narrow writes zero-extend on read" QCheck.(pair arb_addr (map Int64.of_int int))
+      (fun (a, value) ->
+        let m = Memory.create () in
+        Memory.write m a ~width:2 value;
+        Memory.read m a ~width:2 = Int64.logand value 0xffffL);
+    tc "cross-page access" (fun () ->
+        let m = Memory.create () in
+        let a = Addr.in_region 1 (Int64.of_int (8192 - 4)) in
+        Memory.write m a ~width:8 0x1122334455667788L;
+        Util.check_i64 "crosses" 0x1122334455667788L (Memory.read m a ~width:8));
+    tc "cstring roundtrip" (fun () ->
+        let m = Memory.create () in
+        let a = Addr.in_region 1 0x8000L in
+        Memory.write_cstring m a "hello world";
+        Util.check_string "read" "hello world" (Memory.read_cstring m a));
+    tc "bytes roundtrip" (fun () ->
+        let m = Memory.create () in
+        let a = Addr.in_region 1 0x8100L in
+        Memory.write_bytes m a "\x00\x01\x02binary\xff";
+        Util.check_string "read" "\x00\x01\x02binary\xff" (Memory.read_bytes m a ~len:10));
+  ]
+
+let taint_tests =
+  let gran = [ Granularity.Byte; Granularity.Word ] in
+  [
+    tc "fresh memory is clean" (fun () ->
+        let m = Memory.create () in
+        List.iter
+          (fun g ->
+            Util.check_bool "clean" false (Taint.is_tainted m g (Addr.in_region 1 0x7000L)))
+          gran);
+    prop "set then get" QCheck.(pair arb_addr (int_bound 64)) (fun (a, len) ->
+        let len = len + 1 in
+        List.for_all
+          (fun g ->
+            let m = Memory.create () in
+            Taint.set_range m g ~addr:a ~len ~tainted:true;
+            Taint.count_tainted m g ~addr:a ~len = len)
+          gran);
+    prop "set then clear" QCheck.(pair arb_addr (int_bound 64)) (fun (a, len) ->
+        let len = len + 1 in
+        List.for_all
+          (fun g ->
+            let m = Memory.create () in
+            Taint.set_range m g ~addr:a ~len ~tainted:true;
+            Taint.set_range m g ~addr:a ~len ~tainted:false;
+            Taint.count_tainted m g ~addr:a ~len = 0)
+          gran);
+    tc "byte granularity is precise" (fun () ->
+        let m = Memory.create () in
+        let a = Addr.in_region 1 0x7100L in
+        Taint.set_range m Granularity.Byte ~addr:(Int64.add a 1L) ~len:1 ~tainted:true;
+        Util.check_bool "left clean" false (Taint.is_tainted m Granularity.Byte a);
+        Util.check_bool "hit" true (Taint.is_tainted m Granularity.Byte (Int64.add a 1L));
+        Util.check_bool "right clean" false
+          (Taint.is_tainted m Granularity.Byte (Int64.add a 2L)));
+    tc "word granularity is conservative" (fun () ->
+        let m = Memory.create () in
+        let a = Addr.in_region 1 0x7200L in
+        Taint.set_range m Granularity.Word ~addr:(Int64.add a 1L) ~len:1 ~tainted:true;
+        Util.check_bool "whole word tainted" true (Taint.is_tainted m Granularity.Word a);
+        Util.check_bool "next word clean" false
+          (Taint.is_tainted m Granularity.Word (Int64.add a 8L)));
+    tc "first_tainted and positions" (fun () ->
+        let m = Memory.create () in
+        let a = Addr.in_region 1 0x7300L in
+        Taint.set_range m Granularity.Byte ~addr:(Int64.add a 5L) ~len:2 ~tainted:true;
+        Util.check_bool "first" true
+          (Taint.first_tainted m Granularity.Byte ~addr:a ~len:16 = Some 5);
+        Util.check_bool "any" true (Taint.any_tainted m Granularity.Byte ~addr:a ~len:16);
+        Memory.write_cstring m a "0123456789";
+        Util.check_bool "positions" true
+          (Taint.tainted_string_positions m Granularity.Byte a "0123456789" = [ 5; 6 ]));
+  ]
+
+let suites =
+  [ ("mem.addr", addr_tests); ("mem.memory", memory_tests); ("mem.taint", taint_tests) ]

@@ -1,0 +1,245 @@
+(* Coverage for the smaller public surfaces: reports, images, printers,
+   OS edge cases, and compiler error paths. *)
+
+open Build
+open Build.Infix
+module Mode = Shift_compiler.Mode
+module Image = Shift_compiler.Image
+module Policy = Shift_policy.Policy
+module Alert = Shift_policy.Alert
+
+let tc = Util.tc
+
+let report_tests =
+  [
+    tc "detected is false for clean runs" (fun () ->
+        let r = Util.run_prog (Util.main_returning [ ret (i 0) ]) in
+        Util.check_bool "clean" false (Shift.Report.detected r);
+        Util.check_bool "no alert" true (Shift.Report.alert r = None));
+    tc "detected is true for stopping alerts" (fun () ->
+        let prog =
+          Util.main_returning ~locals:[ array "b" 8 ]
+            [
+              Ir.Expr (call "sys_taint_set" [ v "b"; i 8; i 1 ]);
+              ret (load64 (load64 (v "b")));
+            ]
+        in
+        let r = Util.run_prog ~mode:Mode.shift_word prog in
+        Util.check_bool "detected" true (Shift.Report.detected r);
+        Util.check_bool "alert present" true (Shift.Report.alert r <> None));
+    tc "detected is true for logged alerts too" (fun () ->
+        let policy =
+          { (Policy.all_on ~document_root:"/www") with Policy.action = Policy.Log_only }
+        in
+        let prog =
+          Util.main_returning
+            [
+              Ir.Expr (call "sys_taint_set" [ str "/etc/x"; i 6; i 1 ]);
+              Ir.Expr (call "sys_open" [ str "/etc/x" ]);
+              ret (i 0);
+            ]
+        in
+        let r = Util.run_prog ~policy ~mode:Mode.shift_word prog in
+        Util.check_bool "logged" true (Shift.Report.detected r));
+    tc "outcomes print readably" (fun () ->
+        let s o = Format.asprintf "%a" Shift.Report.pp_outcome o in
+        Util.check_bool "exit" true (Str_exists.contains (s (Shift.Report.Exited 3L)) "3");
+        Util.check_bool "alert" true
+          (Str_exists.contains
+             (s (Shift.Report.Alert (Alert.make ~policy:"H1" "boom")))
+             "H1");
+        Util.check_bool "timeout" true (Str_exists.contains (s Shift.Report.Timeout) "timeout"));
+  ]
+
+let image_tests =
+  [
+    tc "symbols resolve and missing ones raise" (fun () ->
+        let prog =
+          { Ir.globals = [ global_bytes "greeting" "yo" ];
+            funcs = [ func "main" ~params:[] ~locals:[] [ ret (i 0) ] ] }
+        in
+        let image = Shift.Session.build ~mode:Mode.Uninstrumented prog in
+        Util.check_bool "greeting exists" true (Image.symbol image "greeting" <> 0L);
+        (match Image.symbol image "missing" with
+        | _ -> Alcotest.fail "expected Not_found"
+        | exception Not_found -> ());
+        Util.check_bool "scratch slot present" true
+          (Image.symbol image Shift_compiler.Layout.scratch_symbol <> 0L));
+    tc "code size equals the sum of unit sizes" (fun () ->
+        let image = Shift.Session.build ~mode:Mode.shift_word (Util.main_returning [ ret (i 0) ]) in
+        Util.check_int "sum" (Image.code_size image)
+          (List.fold_left (fun a (_, n) -> a + n) 0 image.Image.func_sizes));
+    tc "size_of_funcs sums by prefix" (fun () ->
+        let image = Shift.Session.build ~mode:Mode.Uninstrumented (Util.main_returning [ ret (i 0) ]) in
+        Util.check_bool "str* functions counted" true
+          (Image.size_of_funcs image ~prefix:"str" > 0));
+  ]
+
+let printer_tests =
+  [
+    tc "every instruction form prints" (fun () ->
+        let open Shift_isa in
+        let forms =
+          [
+            Instr.Nop; Instr.Movi (1, -5L); Instr.Mov (1, 2);
+            Instr.Arith (Instr.Andcm, 1, 2, Instr.Imm 3L);
+            Instr.Cmp { cond = Cond.Leu; pt = 1; pf = 2; src1 = 3; src2 = Instr.R 4; taint_aware = true };
+            Instr.Tnat { pt = 1; pf = 2; src = 3 };
+            Instr.Extr { dst = 1; src = 2; pos = 3; len = 3 };
+            Instr.Ld { width = Instr.W2; dst = 1; addr = 2; spec = true; fill = false };
+            Instr.Ld { width = Instr.W8; dst = 1; addr = 2; spec = false; fill = true };
+            Instr.St { width = Instr.W4; addr = 1; src = 2; spill = true };
+            Instr.Chk_s { src = 1; recovery = "r" };
+            Instr.Lea (1, "f"); Instr.Br "l"; Instr.Br_reg 1; Instr.Call "f";
+            Instr.Call_reg 1; Instr.Ret;
+            Instr.Fetchadd { dst = 1; addr = 2; inc = 3 };
+            Instr.Setnat 1; Instr.Clrnat 1; Instr.Syscall; Instr.Halt;
+          ]
+        in
+        List.iter
+          (fun op ->
+            Util.check_bool "nonempty" true
+              (String.length (Instr.to_string (Instr.mk op)) > 0))
+          forms);
+    tc "listings include labels" (fun () ->
+        let open Shift_isa in
+        let p =
+          Program.assemble
+            [ Program.Label "entry"; Program.I (Instr.mk Instr.Halt) ]
+        in
+        let s = Format.asprintf "%a" Program.pp_listing p in
+        Util.check_bool "label shown" true (Str_exists.contains s "entry:"));
+    tc "IR programs pretty-print all construct kinds" (fun () ->
+        let prog =
+          {
+            Ir.globals = [ global_words "w" [ 1L ] ];
+            funcs =
+              [
+                func "f" ~params:[ "a" ] ~locals:[ array "b" 8 ]
+                  [
+                    guard (v "a") [ ret (i 0 -: i 1) ];
+                    Ir.Expr (icall (fnptr "f") [ i 1 ]);
+                    while_ (i 1) [ Ir.Break ];
+                    ret0;
+                  ];
+              ];
+          }
+        in
+        let s = Format.asprintf "%a" Ir.pp_program prog in
+        List.iter
+          (fun frag -> Util.check_bool frag true (Str_exists.contains s frag))
+          [ "guard"; "&f"; "while"; "break" ]);
+  ]
+
+let os_edge_tests =
+  [
+    tc "unknown syscall returns -1" (fun () ->
+        let open Shift_isa in
+        let program =
+          Program.assemble
+            [
+              Program.I (Instr.mk (Instr.Movi (Reg.sysnum, 99L)));
+              Program.I (Instr.mk Instr.Syscall);
+              Program.I (Instr.mk Instr.Halt);
+            ]
+        in
+        let cpu = Shift_machine.Cpu.create program in
+        let world = Shift_os.World.create () in
+        cpu.Shift_machine.Cpu.syscall_handler <- Some (Shift_os.World.handler world);
+        match Shift_machine.Cpu.run cpu with
+        | Shift_machine.Cpu.Exited v -> Util.check_i64 "-1" (-1L) v
+        | _ -> Alcotest.fail "expected exit");
+    tc "read from a closed fd fails" (fun () ->
+        let prog =
+          Util.main_returning ~locals:[ scalar "fd"; array "b" 8 ]
+            [
+              set "fd" (call "sys_open" [ str "f" ]);
+              Ir.Expr (call "sys_close" [ v "fd" ]);
+              ret (call "sys_read" [ v "fd"; v "b"; i 8 ]);
+            ]
+        in
+        let r =
+          Util.run_prog ~setup:(fun w -> Shift_os.World.add_file w "f" "data") prog
+        in
+        Util.check_i64 "-1" (-1L) (Util.exit_code r));
+    tc "sendfile of more than remains sends the rest" (fun () ->
+        let prog =
+          Util.main_returning ~locals:[ scalar "fd" ]
+            [
+              set "fd" (call "sys_open" [ str "f" ]);
+              ret (call "sys_sendfile" [ i 1; v "fd"; i 100 ]);
+            ]
+        in
+        let r =
+          Util.run_prog ~setup:(fun w -> Shift_os.World.add_file w "f" "sixteen bytes ok") prog
+        in
+        Util.check_i64 "16" 16L (Util.exit_code r));
+    tc "exit syscall ends the program with its code" (fun () ->
+        let prog =
+          Util.main_returning
+            [ Ir.Expr (call "sys_exit" [ i 7 ]); ret (i 0) ]
+        in
+        Util.check_i64 "7" 7L (Util.exit_code (Util.run_prog prog)));
+  ]
+
+let prop name ?(count = 300) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let arb_path =
+  QCheck.Gen.(
+    let seg = oneofl [ "a"; "bb"; "ccc"; "."; ".."; "" ] in
+    map (fun (abs, segs) -> (if abs then "/" else "") ^ String.concat "/" segs)
+      (pair bool (list_size (int_bound 6) seg)))
+  |> QCheck.make ~print:(fun s -> s)
+
+let path_props =
+  [
+    prop "normalize_path is idempotent" arb_path (fun p ->
+        let n = Policy.normalize_path p in
+        Policy.normalize_path n = n);
+    prop "absolute paths never escape the root" arb_path (fun p ->
+        let n = Policy.normalize_path ("/" ^ p) in
+        String.length n > 0 && n.[0] = '/'
+        && not (String.split_on_char '/' n |> List.exists (( = ) "..")));
+    prop "no duplicate separators or dot segments remain" arb_path (fun p ->
+        let n = Policy.normalize_path p in
+        (not (Str_exists.contains n "//"))
+        && (not (Str_exists.contains n "/./"))
+        && n <> "");
+  ]
+
+let compiler_error_tests =
+  [
+    tc "too many call arguments is a compile error" (fun () ->
+        let args = List.init 9 (fun k -> i k) in
+        let prog =
+          {
+            Ir.globals = [];
+            funcs =
+              [
+                func "many"
+                  ~params:(List.init 9 (Printf.sprintf "p%d"))
+                  ~locals:[] [ ret (i 0) ];
+                func "main" ~params:[] ~locals:[] [ ret (call "many" args) ];
+              ];
+          }
+        in
+        match Shift.Session.build ~mode:Mode.Uninstrumented prog with
+        | _ -> Alcotest.fail "expected Compile.Error"
+        | exception Shift_compiler.Compile.Error _ -> ());
+    tc "wrong untaint arity is a compile error" (fun () ->
+        let prog = Util.main_returning [ ret (call "untaint" [ i 1; i 2 ]) ] in
+        match Shift.Session.build ~mode:Mode.Uninstrumented prog with
+        | _ -> Alcotest.fail "expected Compile.Error"
+        | exception Shift_compiler.Compile.Error _ -> ());
+  ]
+
+let suites =
+  [
+    ("misc.report", report_tests);
+    ("misc.image", image_tests);
+    ("misc.printers", printer_tests);
+    ("misc.os-edges", os_edge_tests);
+    ("misc.path-props", path_props);
+    ("misc.compiler-errors", compiler_error_tests);
+  ]

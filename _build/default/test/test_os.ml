@@ -1,0 +1,183 @@
+open Build
+open Build.Infix
+module Mode = Shift_compiler.Mode
+module Policy = Shift_policy.Policy
+module World = Shift_os.World
+
+let tc = Util.tc
+
+let run ?policy ?setup ?(mode = Mode.shift_word) ?locals body =
+  Util.run_prog ?policy ?setup ~mode (Util.main_returning ?locals body)
+
+let file_tests =
+  [
+    tc "open and read a file" (fun () ->
+        let r =
+          run
+            ~setup:(fun w -> World.add_file w "hello.txt" "file-contents")
+            ~locals:[ scalar "fd"; array "buf" 64; scalar "n" ]
+            [
+              set "fd" (call "sys_open" [ str "hello.txt" ]);
+              set "n" (call "sys_read" [ v "fd"; v "buf"; i 64 ]);
+              Ir.Expr (call "sys_write" [ i 1; v "buf"; v "n" ]);
+              ret (v "n");
+            ]
+        in
+        Util.check_i64 "bytes" 13L (Util.exit_code r);
+        Util.check_string "echoed" "file-contents" r.Shift.Report.output);
+    tc "open of a missing file returns -1" (fun () ->
+        Util.check_i64 "-1" (-1L)
+          (Util.exit_code (run [ ret (call "sys_open" [ str "nope" ]) ])));
+    tc "read past the end returns 0" (fun () ->
+        let r =
+          run
+            ~setup:(fun w -> World.add_file w "f" "ab")
+            ~locals:[ scalar "fd"; array "buf" 16; scalar "a"; scalar "b" ]
+            [
+              set "fd" (call "sys_open" [ str "f" ]);
+              set "a" (call "sys_read" [ v "fd"; v "buf"; i 16 ]);
+              set "b" (call "sys_read" [ v "fd"; v "buf"; i 16 ]);
+              ret ((v "a" *: i 100) +: v "b");
+            ]
+        in
+        Util.check_i64 "2 then 0" 200L (Util.exit_code r));
+    tc "tainted file marks the buffer" (fun () ->
+        let r =
+          run
+            ~setup:(fun w -> World.add_file w ~tainted:true "evil" "xyz")
+            ~locals:[ scalar "fd"; array "buf" 16 ]
+            [
+              set "fd" (call "sys_open" [ str "evil" ]);
+              Ir.Expr (call "sys_read" [ v "fd"; v "buf"; i 16 ]);
+              ret (call "sys_taint_chk" [ v "buf"; i 3 ]);
+            ]
+        in
+        Util.check_i64 "3 tainted" 3L (Util.exit_code r));
+    tc "clean file read clears stale taint" (fun () ->
+        let r =
+          run
+            ~setup:(fun w -> World.add_file w ~tainted:false "ok" "abcd")
+            ~locals:[ scalar "fd"; array "buf" 16 ]
+            [
+              Ir.Expr (call "sys_taint_set" [ v "buf"; i 16; i 1 ]);
+              set "fd" (call "sys_open" [ str "ok" ]);
+              Ir.Expr (call "sys_read" [ v "fd"; v "buf"; i 16 ]);
+              ret (call "sys_taint_chk" [ v "buf"; i 4 ]);
+            ]
+        in
+        Util.check_i64 "cleared" 0L (Util.exit_code r));
+  ]
+
+let net_tests =
+  [
+    tc "accept/recv taints network data" (fun () ->
+        let r =
+          run
+            ~setup:(fun w -> World.queue_request w "GET /x")
+            ~locals:[ scalar "s"; array "buf" 64; scalar "n" ]
+            [
+              set "s" (call "sys_accept" []);
+              set "n" (call "sys_recv" [ v "s"; v "buf"; i 64 ]);
+              ret (call "sys_taint_chk" [ v "buf"; v "n" ]);
+            ]
+        in
+        Util.check_i64 "all tainted" 6L (Util.exit_code r));
+    tc "accept with no pending connection returns -1" (fun () ->
+        Util.check_i64 "-1" (-1L) (Util.exit_code (run [ ret (call "sys_accept" []) ])));
+    tc "multiple queued requests arrive in order" (fun () ->
+        let r =
+          run
+            ~setup:(fun w ->
+              World.queue_request w "first";
+              World.queue_request w "second!")
+            ~locals:[ scalar "s"; array "buf" 64; scalar "total" ]
+            [
+              set "total" (i 0);
+              set "s" (call "sys_accept" []);
+              set "total" (v "total" +: call "sys_recv" [ v "s"; v "buf"; i 64 ]);
+              set "s" (call "sys_accept" []);
+              set "total" (v "total" +: call "sys_recv" [ v "s"; v "buf"; i 64 ]);
+              ret (v "total");
+            ]
+        in
+        Util.check_i64 "5+7" 12L (Util.exit_code r));
+    tc "sendfile moves bytes without guest copies" (fun () ->
+        let r =
+          run
+            ~setup:(fun w -> World.add_file w "big" (String.make 100 'z'))
+            ~locals:[ scalar "fd"; scalar "n" ]
+            [
+              set "fd" (call "sys_open" [ str "big" ]);
+              set "n" (call "sys_sendfile" [ i 1; v "fd"; i 100 ]);
+              ret (v "n");
+            ]
+        in
+        Util.check_i64 "100" 100L (Util.exit_code r);
+        Util.check_int "output" 100 (String.length r.Shift.Report.output));
+  ]
+
+let sink_tests =
+  let all = Policy.all_on ~document_root:"/www" in
+  let exploit_open =
+    [
+      Ir.Expr (call "sys_taint_set" [ str "/etc/passwd"; i 11; i 1 ]);
+      Ir.Expr (call "sys_open" [ str "/etc/passwd" ]);
+      ret (i 0);
+    ]
+  in
+  [
+    tc "H1 alert stops the program" (fun () ->
+        let r = run ~policy:all exploit_open in
+        match r.Shift.Report.outcome with
+        | Shift.Report.Alert a -> Alcotest.(check string) "policy" "H1" a.Shift_policy.Alert.policy
+        | o -> Alcotest.failf "expected alert, got %a" Shift.Report.pp_outcome o);
+    tc "Log_only records the alert and continues" (fun () ->
+        let r = run ~policy:{ all with Policy.action = Policy.Log_only } exploit_open in
+        (match r.Shift.Report.outcome with
+        | Shift.Report.Exited _ -> ()
+        | o -> Alcotest.failf "expected exit, got %a" Shift.Report.pp_outcome o);
+        Util.check_int "one alert" 1 (List.length r.Shift.Report.logged));
+    tc "sql sink records queries" (fun () ->
+        let r = run [ Ir.Expr (call "sys_sql_exec" [ str "SELECT 1" ]); ret (i 0) ] in
+        Util.check_bool "recorded" true (r.Shift.Report.sql = [ "SELECT 1" ]));
+    tc "system sink records commands" (fun () ->
+        let r = run [ Ir.Expr (call "sys_system" [ str "ls" ]); ret (i 0) ] in
+        Util.check_bool "recorded" true (r.Shift.Report.commands = [ "ls" ]));
+    tc "html sink collects output" (fun () ->
+        let r = run [ Ir.Expr (call "sys_html_out" [ str "<b>hi</b>"; i 9 ]); ret (i 0) ] in
+        Util.check_string "html" "<b>hi</b>" r.Shift.Report.html);
+  ]
+
+let cost_tests =
+  [
+    tc "io cycles are charged" (fun () ->
+        let r =
+          run
+            ~setup:(fun w -> World.add_file w "f" (String.make 1000 'a'))
+            ~locals:[ scalar "fd"; array "buf" 1024 ]
+            [
+              set "fd" (call "sys_open" [ str "f" ]);
+              Ir.Expr (call "sys_read" [ v "fd"; v "buf"; i 1024 ]);
+              ret (i 0);
+            ]
+        in
+        Util.check_bool "io cycles" true (r.Shift.Report.stats.Shift_machine.Stats.io_cycles > 2000));
+    tc "sbrk returns increasing breaks" (fun () ->
+        let r =
+          run ~locals:[ scalar "p"; scalar "q" ]
+            [
+              set "p" (call "sys_sbrk" [ i 64 ]);
+              set "q" (call "sys_sbrk" [ i 0 ]);
+              ret (v "q" -: v "p");
+            ]
+        in
+        Util.check_i64 "64" 64L (Util.exit_code r));
+  ]
+
+let suites =
+  [
+    ("os.files", file_tests);
+    ("os.network", net_tests);
+    ("os.sinks", sink_tests);
+    ("os.costs", cost_tests);
+  ]

@@ -1,0 +1,143 @@
+(* The tinyc parser: syntax, semantics of parsed programs, and error
+   reporting. *)
+
+module Mode = Shift_compiler.Mode
+
+let tc = Util.tc
+
+let run ?mode src = Util.exit_code (Util.run_prog ?mode (Parse.program src))
+
+let expect_error src =
+  match Parse.program src with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Parse.Parse_error _ -> ()
+
+let syntax_tests =
+  [
+    tc "minimal program" (fun () ->
+        Util.check_i64 "42" 42L (run "func main() { return 42; }"));
+    tc "hex, char and negative literals" (fun () ->
+        Util.check_i64 "mix" (Int64.of_int ((0x10 + Char.code 'A') * -1))
+          (run "func main() { return -(0x10 + 'A'); }"));
+    tc "string escapes" (fun () ->
+        Util.check_i64 "len" 4L (run {|func main() { return strlen("a\n\x41\\"); }|}));
+    tc "operator precedence" (fun () ->
+        Util.check_i64 "1+2*3" 7L (run "func main() { return 1 + 2 * 3; }");
+        Util.check_i64 "(1+2)*3" 9L (run "func main() { return (1 + 2) * 3; }");
+        Util.check_i64 "shift binds tighter than compare" 1L
+          (run "func main() { return 1 << 3 > 7; }");
+        Util.check_i64 "and/or" 1L (run "func main() { return 0 && 1 || 1; }"));
+    tc "unsigned comparisons" (fun () ->
+        Util.check_i64 "-1 <u 0 is false" 0L (run "func main() { return -1 <u 0; }");
+        Util.check_i64 "-1 >=u 0 is true" 1L (run "func main() { return -1 >=u 0; }"));
+    tc "shift flavours" (fun () ->
+        Util.check_i64 "logical" 1L (run "func main() { return (-8 >> 60) == 15; }");
+        Util.check_i64 "arithmetic" 1L (run "func main() { return (-8 >>a 2) == -2; }"));
+    tc "locals, arrays, loads and stores" (fun () ->
+        Util.check_i64 "sum" 30L
+          (run
+             {|func main() {
+                 var a[16];
+                 var k;
+                 var sum;
+                 k = 0;
+                 while (k < 4) { u64[a + k * 8] = k * 5; k = k + 1; }
+                 sum = 0;
+                 k = 0;
+                 while (k < 4) { sum = sum + u64[a + k * 8]; k = k + 1; }
+                 return sum;
+               }|}));
+    tc "widths load zero-extended" (fun () ->
+        Util.check_i64 "u16" 0xBBAAL
+          (run
+             {|func main() {
+                 var a[8];
+                 u64[a] = 0x11223344CCBBAA;
+                 return u16[a];
+               }|}));
+    tc "if / else if / else" (fun () ->
+        let prog k =
+          Printf.sprintf
+            {|func pick(x) {
+                if (x == 0) { return 10; }
+                else if (x == 1) { return 20; }
+                else { return 30; }
+              }
+              func main() { return pick(%d); }|}
+            k
+        in
+        Util.check_i64 "0" 10L (run (prog 0));
+        Util.check_i64 "1" 20L (run (prog 1));
+        Util.check_i64 "2" 30L (run (prog 2)));
+    tc "break and continue" (fun () ->
+        Util.check_i64 "sum of odds below 8" 16L
+          (run
+             {|func main() {
+                 var k; var sum;
+                 k = 0; sum = 0;
+                 while (1) {
+                   k = k + 1;
+                   if (k >= 8) { break; }
+                   if (k % 2 == 0) { continue; }
+                   sum = sum + k;
+                 }
+                 return sum;
+               }|}));
+    tc "globals of all three kinds" (fun () ->
+        Util.check_i64 "mix" (Int64.of_int (5 + 64 + 7))
+          (run
+             {|global banner = "hello";
+               global gbuf = zeros(1);
+               global ws = words(64, -7);
+               func main() {
+                 u8[gbuf] = 1;
+                 return strlen(banner) + u64[ws] - u64[ws + 8] + u8[gbuf] - 1;
+               }|}));
+    tc "function pointers and indirect calls" (fun () ->
+        Util.check_i64 "indirect" 12L
+          (run
+             {|func triple(x) { return x * 3; }
+               func main() { var f; f = &triple; return (f)(4); }|}));
+    tc "guard syntax parses and fires" (fun () ->
+        let src =
+          {|func main() {
+              var a[8];
+              var x;
+              u64[a] = 3;
+              sys_taint_set(a, 8, 1);
+              x = u64[a];
+              guard (x) { return 77; }
+              return x;
+            }|}
+        in
+        Util.check_i64 "fired" 77L (run ~mode:Mode.shift_word src);
+        Util.check_i64 "silent uninstrumented" 3L (run ~mode:Mode.Uninstrumented src));
+    tc "comments are skipped" (fun () ->
+        Util.check_i64 "comments" 1L
+          (run "// leading\nfunc main() { // inline\n return 1; }"));
+  ]
+
+let error_tests =
+  [
+    tc "missing semicolon" (fun () -> expect_error "func main() { return 1 }");
+    tc "integer literal out of range" (fun () ->
+        expect_error "func main() { return 99999999999999999999; }");
+    tc "unterminated string" (fun () -> expect_error {|func main() { return strlen("x; }|});
+    tc "unterminated block" (fun () -> expect_error "func main() { return 1;");
+    tc "garbage at top level" (fun () -> expect_error "int main() { return 0; }");
+    tc "var after statements" (fun () ->
+        expect_error "func main() { return 1; var x; }");
+    tc "error carries a line number" (fun () ->
+        match Parse.program "func main() {\n\n  return @;\n}" with
+        | _ -> Alcotest.fail "expected Parse_error"
+        | exception Parse.Parse_error { line; _ } -> Util.check_int "line" 3 line);
+    tc "parsed programs still validate" (fun () ->
+        (* parse succeeds, the compiler's validator rejects the unknown
+           callee *)
+        let prog = Parse.program "func main() { return mystery(); }" in
+        match Shift.Session.build ~mode:Mode.Uninstrumented prog with
+        | _ -> Alcotest.fail "expected a validation error"
+        | exception Shift_compiler.Compile.Error _ -> ());
+  ]
+
+let suites = [ ("parse.syntax", syntax_tests); ("parse.errors", error_tests) ]

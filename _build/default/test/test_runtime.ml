@@ -1,0 +1,269 @@
+open Build
+open Build.Infix
+module Mode = Shift_compiler.Mode
+
+let tc = Util.tc
+
+let run ?mode ?locals body =
+  Util.exit_code (Util.run_prog ?mode (Util.main_returning ?locals body))
+
+let out ?mode ?locals body =
+  let r = Util.run_prog ?mode (Util.main_returning ?locals body) in
+  (match r.Shift.Report.outcome with
+  | Shift.Report.Exited _ -> ()
+  | o -> Alcotest.failf "expected exit, got %a" Shift.Report.pp_outcome o);
+  r.Shift.Report.output
+
+let string_tests =
+  [
+    tc "strlen" (fun () -> Util.check_i64 "len" 5L (run [ ret (call "strlen" [ str "hello" ]) ]));
+    tc "strlen of empty" (fun () ->
+        Util.check_i64 "len" 0L (run [ ret (call "strlen" [ str "" ]) ]));
+    tc "strcpy copies and terminates" (fun () ->
+        Util.check_i64 "copied" 0L
+          (run ~locals:[ array "buf" 32 ]
+             [
+               Ir.Expr (call "strcpy" [ v "buf"; str "abc" ]);
+               ret (call "strcmp" [ v "buf"; str "abc" ]);
+             ]));
+    tc "strncpy truncates safely" (fun () ->
+        Util.check_i64 "truncated" 3L
+          (run ~locals:[ array "buf" 8 ]
+             [
+               Ir.Expr (call "strncpy" [ v "buf"; str "abcdefgh"; i 4 ]);
+               ret (call "strlen" [ v "buf" ]);
+             ]));
+    tc "strcat" (fun () ->
+        Util.check_i64 "joined" 0L
+          (run ~locals:[ array "buf" 32 ]
+             [
+               Ir.Expr (call "strcpy" [ v "buf"; str "foo" ]);
+               Ir.Expr (call "strcat" [ v "buf"; str "bar" ]);
+               ret (call "strcmp" [ v "buf"; str "foobar" ]);
+             ]));
+    tc "strcmp ordering" (fun () ->
+        Util.check_bool "lt" true (run [ ret (call "strcmp" [ str "abc"; str "abd" ]) ] < 0L);
+        Util.check_bool "gt" true (run [ ret (call "strcmp" [ str "b"; str "a" ]) ] > 0L);
+        Util.check_i64 "eq" 0L (run [ ret (call "strcmp" [ str "same"; str "same" ]) ]);
+        Util.check_bool "prefix" true (run [ ret (call "strcmp" [ str "ab"; str "abc" ]) ] < 0L));
+    tc "strncmp stops at n" (fun () ->
+        Util.check_i64 "prefix equal" 0L (run [ ret (call "strncmp" [ str "abcX"; str "abcY"; i 3 ]) ]));
+    tc "strcasecmp ignores case" (fun () ->
+        Util.check_i64 "eq" 0L (run [ ret (call "strcasecmp" [ str "HeLLo"; str "hello" ]) ]);
+        Util.check_bool "ne" true (run [ ret (call "strcasecmp" [ str "abc"; str "abd" ]) ] <> 0L));
+    tc "strchr finds and misses" (fun () ->
+        Util.check_i64 "offset" 2L
+          (run ~locals:[ scalar "s"; scalar "p" ]
+             [
+               set "s" (str "hello");
+               set "p" (call "strchr" [ v "s"; i (Char.code 'l') ]);
+               ret (v "p" -: v "s");
+             ]);
+        Util.check_i64 "miss" 0L (run [ ret (call "strchr" [ str "hello"; i (Char.code 'z') ]) ]));
+    tc "strstr finds substring" (fun () ->
+        Util.check_i64 "offset" 6L
+          (run ~locals:[ scalar "s"; scalar "p" ]
+             [
+               set "s" (str "hello world");
+               set "p" (call "strstr" [ v "s"; str "world" ]);
+               ret (v "p" -: v "s");
+             ]);
+        Util.check_i64 "miss" 0L (run [ ret (call "strstr" [ str "hello"; str "xyz" ]) ]);
+        Util.check_i64 "empty needle" 0L
+          (run ~locals:[ scalar "s" ]
+             [ set "s" (str "x"); ret (call "strstr" [ v "s"; str "" ] -: v "s") ]));
+  ]
+
+let mem_tests =
+  [
+    tc "memcpy/memcmp" (fun () ->
+        Util.check_i64 "equal" 0L
+          (run ~locals:[ array "a" 16; array "b" 16 ]
+             [
+               Ir.Expr (call "strcpy" [ v "a"; str "0123456789" ]);
+               Ir.Expr (call "memcpy" [ v "b"; v "a"; i 11 ]);
+               ret (call "memcmp" [ v "a"; v "b"; i 11 ]);
+             ]));
+    tc "memset" (fun () ->
+        Util.check_i64 "sum" (Int64.of_int (16 * 7))
+          (run ~locals:[ array "a" 16; scalar "k"; scalar "sum" ]
+             ([ Ir.Expr (call "memset" [ v "a"; i 7; i 16 ]); set "sum" (i 0) ]
+             @ for_up "k" (i 0) (i 16) [ set "sum" (v "sum" +: load8 (v "a" +: v "k")) ]
+             @ [ ret (v "sum") ])));
+    tc "memchr" (fun () ->
+        Util.check_i64 "found" 3L
+          (run ~locals:[ array "a" 8; scalar "p" ]
+             [
+               Ir.Expr (call "strcpy" [ v "a"; str "abcdefg" ]);
+               set "p" (call "memchr" [ v "a"; i (Char.code 'd'); i 7 ]);
+               ret (v "p" -: v "a");
+             ]));
+    tc "malloc returns distinct aligned chunks" (fun () ->
+        Util.check_i64 "ok" 1L
+          (run ~locals:[ scalar "p"; scalar "q" ]
+             [
+               set "p" (call "malloc" [ i 13 ]);
+               set "q" (call "malloc" [ i 5 ]);
+               store64 (v "p") (i 11);
+               store64 (v "q") (i 22);
+               ret
+                 ((v "q" >: v "p")
+                 &&: ((v "p" &: i 7) ==: i 0)
+                 &&: (load64 (v "p") ==: i 11)
+                 &&: (load64 (v "q") ==: i 22));
+             ]));
+  ]
+
+let convert_tests =
+  [
+    tc "atoi basics" (fun () ->
+        Util.check_i64 "42" 42L (run [ ret (call "atoi" [ str "42" ]) ]);
+        Util.check_i64 "negative" (-17L) (run [ ret (call "atoi" [ str "-17" ]) ]);
+        Util.check_i64 "spaces" 9L (run [ ret (call "atoi" [ str "  +9xyz" ]) ]);
+        Util.check_i64 "empty" 0L (run [ ret (call "atoi" [ str "" ]) ]));
+    tc "itoa round-trips through atoi" (fun () ->
+        List.iter
+          (fun n ->
+            Util.check_i64 (string_of_int n) (Int64.of_int n)
+              (run ~locals:[ array "buf" 32 ]
+                 [
+                   Ir.Expr (call "itoa" [ i n; v "buf" ]);
+                   ret (call "atoi" [ v "buf" ]);
+                 ]))
+          [ 0; 7; -7; 123456789; -987654321 ]);
+    tc "utox renders hex" (fun () ->
+        Util.check_i64 "match" 0L
+          (run ~locals:[ array "buf" 32 ]
+             [
+               Ir.Expr (call "utox" [ i 0xdeadbeef; v "buf" ]);
+               ret (call "strcmp" [ v "buf"; str "deadbeef" ]);
+             ]));
+  ]
+
+let format_tests =
+  [
+    tc "vformat %d %s %c %x %%" (fun () ->
+        Util.check_i64 "match" 0L
+          (run ~locals:[ array "buf" 128; array "args" 32 ]
+             [
+               store64 (v "args") (i 42);
+               store64 (v "args" +: i 8) (str "world");
+               store64 (v "args" +: i 16) (i (Char.code '!'));
+               store64 (v "args" +: i 24) (i 255);
+               Ir.Expr (call "vformat" [ v "buf"; str "n=%d s=%s c=%c x=%x p=%%"; v "args" ]);
+               ret (call "strcmp" [ v "buf"; str "n=42 s=world c=! x=ff p=%" ]);
+             ]));
+    tc "sprintf2 convenience" (fun () ->
+        Util.check_i64 "match" 0L
+          (run ~locals:[ array "buf" 64 ]
+             [
+               Ir.Expr (call "sprintf2" [ v "buf"; str "%s-%d"; str "id"; i 9 ]);
+               ret (call "strcmp" [ v "buf"; str "id-9" ]);
+             ]));
+    tc "%n writes the running length" (fun () ->
+        Util.check_i64 "count" 5L
+          (run ~locals:[ array "buf" 64; array "args" 8; array "slot" 8 ]
+             [
+               store64 (v "args") (v "slot");
+               Ir.Expr (call "vformat" [ v "buf"; str "12345%n"; v "args" ]);
+               ret (load64 (v "slot"));
+             ]));
+  ]
+
+let io_tests =
+  [
+    tc "print and println write to stdout" (fun () ->
+        Util.check_string "out" "hi\n"
+          (out [ ecall "println" [ str "hi" ]; ret (i 0) ]));
+    tc "print_int renders decimals" (fun () ->
+        Util.check_string "out" "-321"
+          (out [ ecall "print_int" [ i (-321) ]; ret (i 0) ]));
+    tc "ticket lock is reentrant-free but uncontended-cheap" (fun () ->
+        (* single hart: lock/unlock twice must not deadlock and must
+           leave the ticket counters consistent *)
+        Util.check_i64 "tickets advanced" 2L
+          (run ~locals:[ array "m" 16 ]
+             [
+               ecall "mutex_lock" [ v "m" ];
+               ecall "mutex_unlock" [ v "m" ];
+               ecall "mutex_lock" [ v "m" ];
+               ecall "mutex_unlock" [ v "m" ];
+               ret (load64 (v "m" +: i 8));
+             ]));
+  ]
+
+let taint_flow_tests =
+  (* the whole point: taint flows through the *instrumented* runtime *)
+  let flow_prog =
+    Util.main_returning ~locals:[ array "src" 32; array "dst" 32 ]
+      [
+        Ir.Expr (call "strcpy" [ v "src"; str "secret" ]);
+        Ir.Expr (call "sys_taint_set" [ v "src"; i 6; i 1 ]);
+        Ir.Expr (call "strcpy" [ v "dst"; v "src" ]);
+        ret (call "sys_taint_chk" [ v "dst"; i 6 ]);
+      ]
+  in
+  [
+    tc "taint flows through strcpy (word)" (fun () ->
+        Util.check_i64 "all 6 tainted" 6L
+          (Util.exit_code (Util.run_prog ~mode:Mode.shift_word flow_prog)));
+    tc "taint flows through strcpy (byte)" (fun () ->
+        Util.check_i64 "all 6 tainted" 6L
+          (Util.exit_code (Util.run_prog ~mode:Mode.shift_byte flow_prog)));
+    tc "no flow without instrumentation" (fun () ->
+        Util.check_i64 "dst clean" 0L
+          (Util.exit_code (Util.run_prog ~mode:Mode.Uninstrumented flow_prog)));
+    tc "taint flows through software DBT too" (fun () ->
+        Util.check_i64 "all 6 tainted" 6L
+          (Util.exit_code
+             (Util.run_prog
+                ~mode:(Mode.Software_dbt { granularity = Shift_mem.Granularity.Word })
+                flow_prog)));
+    tc "taint flows through vformat %s" (fun () ->
+        let prog =
+          Util.main_returning ~locals:[ array "buf" 64; array "name" 16 ]
+            [
+              Ir.Expr (call "strcpy" [ v "name"; str "evil" ]);
+              Ir.Expr (call "sys_taint_set" [ v "name"; i 4; i 1 ]);
+              Ir.Expr (call "sprintf1" [ v "buf"; str "hello %s!"; v "name" ]);
+              ret (call "sys_taint_chk" [ v "buf"; call "strlen" [ v "buf" ] ]);
+            ]
+        in
+        Util.check_i64 "4 tainted bytes in output" 4L
+          (Util.exit_code (Util.run_prog ~mode:Mode.shift_byte prog)));
+    tc "arithmetic propagates taint from loaded data" (fun () ->
+        let prog =
+          Util.main_returning ~locals:[ array "a" 8; array "b" 8; scalar "x" ]
+            [
+              store64 (v "a") (i 5);
+              Ir.Expr (call "sys_taint_set" [ v "a"; i 8; i 1 ]);
+              set "x" (load64 (v "a") +: i 1);
+              store64 (v "b") (v "x");
+              ret (call "sys_taint_chk" [ v "b"; i 8 ]);
+            ]
+        in
+        Util.check_i64 "derived value tainted" 8L
+          (Util.exit_code (Util.run_prog ~mode:Mode.shift_word prog)));
+    tc "constants overwrite taint" (fun () ->
+        let prog =
+          Util.main_returning ~locals:[ array "a" 8 ]
+            [
+              store64 (v "a") (i 5);
+              Ir.Expr (call "sys_taint_set" [ v "a"; i 8; i 1 ]);
+              store64 (v "a") (i 7);
+              ret (call "sys_taint_chk" [ v "a"; i 8 ]);
+            ]
+        in
+        Util.check_i64 "clean again" 0L
+          (Util.exit_code (Util.run_prog ~mode:Mode.shift_word prog)));
+  ]
+
+let suites =
+  [
+    ("runtime.string", string_tests);
+    ("runtime.mem", mem_tests);
+    ("runtime.convert", convert_tests);
+    ("runtime.format", format_tests);
+    ("runtime.io", io_tests);
+    ("runtime.taint-flow", taint_flow_tests);
+  ]
