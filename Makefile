@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench examples clean outputs
+.PHONY: all test bench bench-serial doc examples clean outputs
 
 all:
 	dune build @all
@@ -8,8 +8,17 @@ all:
 test:
 	dune runtest
 
+# all cores (-j 0 = recommended domain count), JSON results alongside
+# the printed tables
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- -j 0 --json
+
+# the single-domain reference run the parallel output must match
+bench-serial:
+	dune exec bench/main.exe -- -j 1
+
+doc:
+	dune build @doc
 
 examples:
 	dune exec examples/quickstart.exe
@@ -21,7 +30,7 @@ examples:
 # the artifacts EXPERIMENTS.md is based on
 outputs:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
-	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+	dune exec bench/main.exe -- -j 0 --json 2>&1 | tee bench_output.txt
 
 clean:
 	dune clean

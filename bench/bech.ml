@@ -54,15 +54,41 @@ let run () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun name result ->
       let ns =
         match Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.sprintf "%.3f ms" (est /. 1e6)
-        | _ -> "n/a"
+        | Some [ est ] -> Some est
+        | _ -> None
       in
-      rows := [ name; ns ] :: !rows)
+      estimates := (name, ns) :: !estimates)
     results;
-  table ~columns:[ "experiment unit"; "time per run" ]
-    (List.sort compare !rows)
+  let rows =
+    List.map
+      (fun (name, ns) ->
+        [
+          name;
+          (match ns with
+          | Some est -> Printf.sprintf "%.3f ms" (est /. 1e6)
+          | None -> "n/a");
+        ])
+      !estimates
+  in
+  table ~columns:[ "experiment unit"; "time per run" ] (List.sort compare rows);
+  Shift.Results.Obj
+    [
+      ( "timings",
+        Shift.Results.List
+          (List.map
+             (fun (name, ns) ->
+               Shift.Results.Obj
+                 [
+                   ("name", Shift.Results.String name);
+                   ( "ns_per_run",
+                     match ns with
+                     | Some est -> Shift.Results.Float est
+                     | None -> Shift.Results.Null );
+                 ])
+             (List.sort compare !estimates)) );
+    ]

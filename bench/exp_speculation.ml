@@ -115,21 +115,31 @@ let run items ~taint_pct =
   | Cpu.Exited v -> (v, cpu.Cpu.stats.cycles)
   | _ -> failwith "speculation bench did not finish"
 
+let taint_pcts = [ 0; 1; 2; 5; 10; 25; 100 ]
+
 let speculation () =
   header "Control speculation under SHIFT (paper section 3.3.4)";
-  let rows =
-    List.map
+  (* each taint fraction builds its own machines — independent, so one
+     pool item per fraction; Pool.map keeps the sweep in order *)
+  let sweep =
+    Pool.map
       (fun taint_pct ->
         let vs, cs = run speculative_version ~taint_pct in
         let vn, cn = run nonspeculative_version ~taint_pct in
         assert (Int64.equal vs vn);
+        (taint_pct, cs, cn))
+      taint_pcts
+  in
+  let rows =
+    List.map
+      (fun (taint_pct, cs, cn) ->
         [
           Printf.sprintf "%d%%" taint_pct;
           string_of_int cs;
           string_of_int cn;
           (if cs < cn then "speculate" else "don't");
         ])
-      [ 0; 1; 2; 5; 10; 25; 100 ]
+      sweep
   in
   table
     ~columns:[ "tainted elements"; "speculative cycles"; "in-place cycles"; "winner" ]
@@ -138,4 +148,20 @@ let speculation () =
   note "speculative version through its chk.s recovery block.  paper: tainted";
   note "tokens are treated as speculation failures, so \"control speculation is";
   note "effective only when there is little tainted data involved\" — the";
-  note "crossover above is that statement, measured."
+  note "crossover above is that statement, measured.";
+  Shift.Results.Obj
+    [
+      ("elements", Shift.Results.Int elements);
+      ( "sweep",
+        Shift.Results.List
+          (List.map
+             (fun (taint_pct, cs, cn) ->
+               Shift.Results.Obj
+                 [
+                   ("tainted_pct", Shift.Results.Int taint_pct);
+                   ("speculative_cycles", Shift.Results.Int cs);
+                   ("in_place_cycles", Shift.Results.Int cn);
+                   ("speculation_wins", Shift.Results.Bool (cs < cn));
+                 ])
+             sweep) );
+    ]

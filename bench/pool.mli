@@ -1,0 +1,29 @@
+(** A fixed-size work pool over OCaml 5 domains with deterministic
+    result ordering.
+
+    The harness's unit of work — compile a kernel under a mode and run
+    it to completion on the simulator — is pure given its inputs (the
+    simulated machine carries no host-time or randomness), so the grid
+    of (workload × mode × input) runs can execute on any number of
+    domains and still produce byte-identical tables: {!map} always
+    returns results in the order of its input list, whatever order the
+    items were picked up in. *)
+
+val set_domains : int -> unit
+(** Fix the pool size used by {!map} when no [?domains] override is
+    given.  [0] (and any negative value) means
+    [Domain.recommended_domain_count ()].  Call once at startup,
+    before the first {!map}. *)
+
+val domains : unit -> int
+(** The pool size {!map} will use: the {!set_domains} value, defaulting
+    to [Domain.recommended_domain_count ()]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f items] applies [f] to every item and returns the results in
+    input order.  Items are distributed over [min domains (length
+    items)] domains via a shared atomic cursor; with an effective pool
+    size of one, [f] runs in the calling domain with no spawns at all,
+    which is the serial path the parallel output is required to match.
+    If any application of [f] raises, the pool finishes its other items,
+    then re-raises the exception of the earliest failed item. *)

@@ -1,5 +1,9 @@
-(** The result of running a guest program under SHIFT. *)
+(** The result of running a guest program under SHIFT: how it ended,
+    what it touched, and the performance counters the benchmark harness
+    turns into the paper's tables (serialise one with
+    [Results.of_report]). *)
 
+(** How the run ended. *)
 type outcome =
   | Exited of int64
       (** normal termination with the given exit status *)
@@ -11,8 +15,9 @@ type outcome =
       (** fuel exhausted *)
 
 type t = {
-  outcome : outcome;
+  outcome : outcome;     (** how the run ended *)
   stats : Shift_machine.Stats.t;
+      (** cycle, instruction and issue-slot counters *)
   logged : Shift_policy.Alert.t list;
       (** alerts recorded under the [Log_only] action *)
   output : string;       (** bytes written to stdout / the network *)
@@ -28,6 +33,12 @@ val alert : t -> Shift_policy.Alert.t option
 (** The stopping alert, if the outcome is [Alert]. *)
 
 val cycles : t -> int
+(** Total simulated cycles of the run, I/O costs included — the
+    numerator (and, for uninstrumented runs, the denominator) of every
+    slowdown the harness reports. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+(** One-line rendering of an {!outcome}. *)
+
 val pp : Format.formatter -> t -> unit
+(** Multi-line rendering: outcome, counters, and any logged alerts. *)

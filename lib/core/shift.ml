@@ -20,6 +20,9 @@
 module Session = Session
 module Report = Report
 
+(** Machine-readable (JSON) results for the benchmark harness. *)
+module Results = Results
+
 (** Compilation / instrumentation modes. *)
 module Mode = Shift_compiler.Mode
 

@@ -10,8 +10,11 @@
     competes mainly for memory ports and issue slots. *)
 
 type t
+(** Mutable timing state of one core: the current issue group, the
+    register/predicate scoreboard, and the cycle counter. *)
 
 val create : unit -> t
+(** A core at cycle zero with an empty scoreboard. *)
 
 (** Issue slots per cycle (6). *)
 val width : int

@@ -13,12 +13,15 @@
     can lose an update (see test/test_smp.ml, which demonstrates the
     race the paper cites). *)
 
+(** Lifecycle of one hart. *)
 type state =
-  | Running
+  | Running                     (** scheduled; has not finished yet *)
   | Done of int64               (** returned (or halted) with this value *)
   | Crashed of Fault.t * int
+      (** faulted; the [int] is the faulting instruction's address *)
 
 type t
+(** A machine of one or more harts sharing a memory image. *)
 
 val create : ?quantum:int -> stack_top:int64 -> stack_stride:int64 -> Cpu.t -> t
 (** Wrap an initialised machine as hart 0.  New harts get stacks at

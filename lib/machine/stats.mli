@@ -18,11 +18,16 @@ type t = {
 }
 
 val create : unit -> t
+(** Fresh, all-zero counters. *)
+
 val copy : t -> t
+(** Snapshot (the slot array is duplicated, not shared). *)
 
 val slots : t -> Shift_isa.Prov.t -> int
+(** Issue slots charged to instructions of the given provenance. *)
 
 val total_slots : t -> int
+(** Issue slots over all provenances. *)
 
 val instrumentation_slots : t -> int
 (** Slots spent on non-[Orig] instructions. *)
