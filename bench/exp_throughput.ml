@@ -1,0 +1,146 @@
+(* Throughput microbenchmark: simulated MIPS per workload x mode.
+
+   Unlike the paper-reproduction experiments, this one measures the
+   *simulator itself*: how many simulated instructions per host second
+   `Cpu.step` retires on each workload.  It exists so interpreter
+   speedups (and regressions) show up in the recorded bench trajectory
+   (BENCH_throughput.json) instead of only in anecdotes.
+
+   Like the bechamel suite, it always runs serially and its MIPS /
+   wall-clock columns are host-dependent; the simulated counters
+   (instructions, cycles, loads, stores) are deterministic, and the
+   fast-path consistency verdict is exact.  The consistency check runs
+   the smoke kernels twice — once with the memory/taint fast paths
+   enabled and once on the byte-at-a-time reference paths — and demands
+   identical counters; CI greps the JSON for the verdict. *)
+
+open Common
+module J = Shift.Results
+module Stats = Shift_machine.Stats
+module Memory = Shift_mem.Memory
+
+let kernels = List.filter_map Spec.find [ "gzip"; "gcc"; "mcf"; "bzip2" ]
+let modes = [ ("uninstr", Mode.Uninstrumented); ("word", word); ("byte", byte) ]
+
+(* smoke kernels for the differential fast-vs-reference check *)
+let smoke = List.filter_map Spec.find [ "gzip"; "mcf" ]
+
+let fresh_run k mode =
+  (* bypass the kernel memo: we time the run, so it must be fresh *)
+  let image = image_of_kernel k mode in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    Shift.Session.run_image ~policy:Policy.default ~fuel
+      ~setup:(Spec.setup ~tainted:true k) image
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (report.Shift.Report.stats, wall)
+
+let mips (stats : Stats.t) wall =
+  if wall <= 0. then 0. else float_of_int stats.Stats.instructions /. wall /. 1e6
+
+let counters (s : Stats.t) =
+  (s.Stats.instructions, s.Stats.cycles, s.Stats.loads, s.Stats.stores)
+
+let stats_json (s : Stats.t) =
+  J.Obj
+    [
+      ("instructions", J.Int s.Stats.instructions);
+      ("cycles", J.Int s.Stats.cycles);
+      ("loads", J.Int s.Stats.loads);
+      ("stores", J.Int s.Stats.stores);
+    ]
+
+let throughput () =
+  header "Throughput: simulated MIPS per workload x mode (host-dependent)";
+  let runs =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun (mode_name, mode) ->
+            let stats, wall = fresh_run k mode in
+            (k.Spec.name, mode_name, stats, wall))
+          modes)
+      kernels
+  in
+  table
+    ~columns:[ "kernel"; "mode"; "instructions"; "cycles"; "sim MIPS"; "wall ms" ]
+    (List.map
+       (fun (kname, mode_name, stats, wall) ->
+         [
+           kname;
+           mode_name;
+           string_of_int stats.Stats.instructions;
+           string_of_int stats.Stats.cycles;
+           Printf.sprintf "%.2f" (mips stats wall);
+           Printf.sprintf "%.1f" (wall *. 1000.);
+         ])
+       runs);
+  note "simulated MIPS = simulated instructions / host wall-clock; like the";
+  note "bechamel suite this experiment is serial and its timing columns are";
+  note "host-dependent.  The simulated counters are exactly reproducible.";
+  (* differential check: fast paths vs the byte-at-a-time reference *)
+  let consistency =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun (mode_name, mode) ->
+            let was = !Memory.fast_path in
+            let fast, refr =
+              Fun.protect
+                ~finally:(fun () -> Memory.fast_path := was)
+                (fun () ->
+                  Memory.fast_path := true;
+                  let fast, _ = fresh_run k mode in
+                  Memory.fast_path := false;
+                  let refr, _ = fresh_run k mode in
+                  (fast, refr))
+            in
+            let ok = counters fast = counters refr in
+            (k.Spec.name, mode_name, fast, refr, ok))
+          [ ("word", word); ("byte", byte) ])
+      smoke
+  in
+  let all_ok = List.for_all (fun (_, _, _, _, ok) -> ok) consistency in
+  List.iter
+    (fun (kname, mode_name, fast, refr, ok) ->
+      if not ok then begin
+        let fi, fc, fl, fs = counters fast and ri, rc, rl, rs = counters refr in
+        note
+          "CONSISTENCY FAILURE %s/%s: fast %d instrs %d cycles %d loads %d \
+           stores vs reference %d/%d/%d/%d"
+          kname mode_name fi fc fl fs ri rc rl rs
+      end)
+    consistency;
+  note "fast-path consistency on smoke kernels: %s"
+    (if all_ok then "ok" else "MISMATCH");
+  J.Obj
+    [
+      ( "runs",
+        J.List
+          (List.map
+             (fun (kname, mode_name, stats, wall) ->
+               J.Obj
+                 [
+                   ("kernel", J.String kname);
+                   ("mode", J.String mode_name);
+                   ("stats", stats_json stats);
+                   ("wall_s", J.Float wall);
+                   ("sim_mips", J.Float (mips stats wall));
+                 ])
+             runs) );
+      ( "consistency",
+        J.List
+          (List.map
+             (fun (kname, mode_name, fast, refr, ok) ->
+               J.Obj
+                 [
+                   ("kernel", J.String kname);
+                   ("mode", J.String mode_name);
+                   ("ok", J.Bool ok);
+                   ("fast", stats_json fast);
+                   ("reference", stats_json refr);
+                 ])
+             consistency) );
+      ("fast_path_consistent", J.Bool all_ok);
+    ]

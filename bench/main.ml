@@ -29,6 +29,7 @@ let experiments =
     ("lift", Exp_spec.lift);
     ("ablation", Exp_spec.ablation);
     ("speculation", Exp_speculation.speculation);
+    ("throughput", Exp_throughput.throughput);
     ("bechamel", Bech.run);
   ]
 

@@ -2,6 +2,7 @@ open Shift_isa
 
 type t = {
   program : Program.t;
+  decoded : Decode.t;
   mem : Shift_mem.Memory.t;
   values : int64 array;
   nats : bool array;
@@ -35,6 +36,7 @@ let create ?(entry = "_start") ?mem program =
   preds.(Pred.p0) <- true;
   {
     program;
+    decoded = Decode.of_program program;
     mem = (match mem with Some m -> m | None -> Shift_mem.Memory.create ());
     values = Array.make Reg.count 0L;
     nats = Array.make Reg.count false;
@@ -60,13 +62,6 @@ let set_nat t r b = if r <> Reg.zero then t.nats.(r) <- b
 let add_io_cycles t n =
   t.stats.io_cycles <- t.stats.io_cycles + n;
   Pipeline.stall t.pipe n
-
-let latency_of (op : Instr.op) =
-  match op with
-  | Instr.Ld _ -> 2
-  | Instr.Arith (Instr.Mul, _, _, _) -> 3
-  | Instr.Arith ((Instr.Div | Instr.Rem), _, _, _) -> 12
-  | _ -> 1
 
 let shift_amount b = Int64.to_int (Int64.logand b 63L)
 
@@ -120,9 +115,11 @@ let indirect_target t v =
   n
 
 (* Executes the functional effect of one instruction whose qualifying
-   predicate is true, and advances [t.ip]. *)
-let exec_op t (op : Instr.op) =
-  match op with
+   predicate is true, and advances [t.ip].  [d.target] carries the
+   pre-resolved label target for the branch-like operations, so the hot
+   loop never consults the label table. *)
+let exec_op t (d : Decode.info) =
+  match d.Decode.op with
   | Instr.Nop ->
       t.ip <- t.ip + 1
   | Instr.Halt -> raise (Halt_exn t.values.(Reg.ret))
@@ -134,11 +131,11 @@ let exec_op t (op : Instr.op) =
       set_value t d t.values.(s);
       set_nat t d t.nats.(s);
       t.ip <- t.ip + 1
-  | Instr.Lea (d, l) ->
-      set_value t d (Int64.of_int (Program.target t.program l));
-      set_nat t d false;
+  | Instr.Lea (dst, _) ->
+      set_value t dst (Int64.of_int d.Decode.target);
+      set_nat t dst false;
       t.ip <- t.ip + 1
-  | Instr.Arith (a, d, s1, o) ->
+  | Instr.Arith (a, dst, s1, o) ->
       let v = eval_arith a t.values.(s1) (operand_value t o) in
       (* xor r = s, s and sub r = s, s are the recognised clear idioms
          (paper §3.3.2): the result does not depend on the source value,
@@ -151,8 +148,8 @@ let exec_op t (op : Instr.op) =
       let nat =
         (not clear_idiom) && (t.nats.(s1) || operand_nat t o)
       in
-      set_value t d v;
-      set_nat t d nat;
+      set_value t dst v;
+      set_nat t dst nat;
       t.ip <- t.ip + 1
   | Instr.Cmp { cond; pt; pf; src1; src2; taint_aware } ->
       let nat = t.nats.(src1) || operand_nat t src2 in
@@ -173,7 +170,11 @@ let exec_op t (op : Instr.op) =
       set_pred t pf (not t.nats.(src));
       t.ip <- t.ip + 1
   | Instr.Extr { dst; src; pos; len } ->
-      let mask = Int64.sub (Int64.shift_left 1L (len land 63)) 1L in
+      (* a full-width extract (len = 64) must keep all 64 bits; shifting
+         1L by (len land 63) = 0 would compute an empty mask *)
+      let mask =
+        if len >= 64 then -1L else Int64.sub (Int64.shift_left 1L (len land 63)) 1L
+      in
       set_value t dst (Int64.logand (Int64.shift_right_logical t.values.(src) (pos land 63)) mask);
       set_nat t dst t.nats.(src);
       t.ip <- t.ip + 1
@@ -213,21 +214,21 @@ let exec_op t (op : Instr.op) =
       Shift_mem.Memory.write t.mem a ~width:(Instr.bytes_of_width width) t.values.(src);
       t.stats.stores <- t.stats.stores + 1;
       t.ip <- t.ip + 1
-  | Instr.Chk_s { src; recovery } ->
+  | Instr.Chk_s { src; _ } ->
       if t.nats.(src) then begin
-        t.ip <- Program.target t.program recovery;
+        t.ip <- d.Decode.target;
         t.stats.branches <- t.stats.branches + 1;
         Pipeline.redirect t.pipe ~penalty:chk_penalty
       end
       else t.ip <- t.ip + 1
-  | Instr.Br l -> goto t (Program.target t.program l)
+  | Instr.Br _ -> goto t d.Decode.target
   | Instr.Br_reg r ->
       if t.nats.(r) then
         raise (Fault_exn (Fault.Nat_consumption Fault.Branch_target));
       goto t (indirect_target t t.values.(r))
-  | Instr.Call l ->
+  | Instr.Call _ ->
       push_call t;
-      goto t (Program.target t.program l)
+      goto t d.Decode.target
   | Instr.Call_reg r ->
       if t.nats.(r) then
         raise (Fault_exn (Fault.Nat_consumption Fault.Call_target));
@@ -275,34 +276,36 @@ let step t =
     Some (finish t (Faulted (Fault.Invalid_branch (Int64.of_int t.ip), t.ip)))
   else begin
     let start_ip = t.ip in
-    let i = t.program.code.(t.ip) in
-    (match t.trace with Some f -> f t t.ip i | None -> ());
-    let executing = t.preds.(i.qp) in
+    let d = Array.unsafe_get t.decoded t.ip in
+    (match t.trace with Some f -> f t t.ip t.program.code.(t.ip) | None -> ());
+    let executing = t.preds.(d.Decode.qp) in
     t.stats.instructions <- t.stats.instructions + 1;
-    t.stats.slots_by_prov.(Prov.index i.prov) <-
-      t.stats.slots_by_prov.(Prov.index i.prov) + 1;
+    t.stats.slots_by_prov.(d.Decode.prov_index) <-
+      t.stats.slots_by_prov.(d.Decode.prov_index) + 1;
     if not executing then t.stats.predicated_off <- t.stats.predicated_off + 1;
     (* loads consult the cache model for their use-latency; stores
        allocate their line but are assumed write-buffered *)
     let latency =
-      match i.op with
-      | Instr.Ld { addr; _ }
-        when executing && (not t.nats.(addr)) && Shift_mem.Addr.is_valid t.values.(addr) ->
-          if Cache.access t.cache t.values.(addr) then latency_of i.op
-          else latency_of i.op + Cache.miss_penalty
-      | Instr.St { addr; _ }
-        when executing && (not t.nats.(addr)) && Shift_mem.Addr.is_valid t.values.(addr) ->
-          ignore (Cache.access t.cache t.values.(addr));
-          latency_of i.op
-      | op -> latency_of op
+      if executing && d.Decode.is_mem then
+        match d.Decode.op with
+        | Instr.Ld { addr; _ }
+          when (not t.nats.(addr)) && Shift_mem.Addr.is_valid t.values.(addr) ->
+            if Cache.access t.cache t.values.(addr) then d.Decode.latency
+            else d.Decode.latency + Cache.miss_penalty
+        | Instr.St { addr; _ }
+          when (not t.nats.(addr)) && Shift_mem.Addr.is_valid t.values.(addr) ->
+            ignore (Cache.access t.cache t.values.(addr));
+            d.Decode.latency
+        | _ -> d.Decode.latency
+      else d.Decode.latency
     in
-    Pipeline.issue t.pipe ~executing ~reads:(Instr.reads i.op)
-      ~writes:(Instr.writes i.op)
-      ~pred_writes:(Instr.writes_preds i.op)
-      ~qp:i.qp ~is_mem:(Instr.is_mem i.op) ~latency;
+    Pipeline.issue t.pipe ~executing ~reads:d.Decode.reads
+      ~writes:d.Decode.writes
+      ~pred_writes:d.Decode.pred_writes
+      ~qp:d.Decode.qp ~is_mem:d.Decode.is_mem ~latency;
     if executing then
       try
-        exec_op t i.op;
+        exec_op t d;
         None
       with
       | Fault_exn f -> Some (finish t (Faulted (f, start_ip)))

@@ -18,6 +18,7 @@
 
 type t = {
   program : Shift_isa.Program.t;
+  decoded : Decode.t;  (** per-instruction fast-path records, see {!Decode} *)
   mem : Shift_mem.Memory.t;
   values : int64 array;
   nats : bool array;

@@ -33,7 +33,9 @@ let advance_to t c =
 let issue t ~executing ~reads ~writes ~pred_writes ~qp ~is_mem ~latency =
   advance_to t t.pred_ready.(qp);
   if executing then
-    List.iter (fun r -> advance_to t t.reg_ready.(r)) reads;
+    for k = 0 to Array.length reads - 1 do
+      advance_to t t.reg_ready.(Array.unsafe_get reads k)
+    done;
   while
     t.slots_used >= width || (executing && is_mem && t.mem_used >= mem_ports)
   do
@@ -42,12 +44,14 @@ let issue t ~executing ~reads ~writes ~pred_writes ~qp ~is_mem ~latency =
   t.slots_used <- t.slots_used + 1;
   if executing && is_mem then t.mem_used <- t.mem_used + 1;
   if executing then begin
-    List.iter
-      (fun r -> if r <> Shift_isa.Reg.zero then t.reg_ready.(r) <- t.cycle + latency)
-      writes;
-    List.iter
-      (fun p -> if p <> Shift_isa.Pred.p0 then t.pred_ready.(p) <- t.cycle + 1)
-      pred_writes
+    for k = 0 to Array.length writes - 1 do
+      let r = Array.unsafe_get writes k in
+      if r <> Shift_isa.Reg.zero then t.reg_ready.(r) <- t.cycle + latency
+    done;
+    for k = 0 to Array.length pred_writes - 1 do
+      let p = Array.unsafe_get pred_writes k in
+      if p <> Shift_isa.Pred.p0 then t.pred_ready.(p) <- t.cycle + 1
+    done
   end
 
 let redirect t ~penalty =

@@ -25,16 +25,18 @@ val mem_ports : int
 val issue :
   t ->
   executing:bool ->
-  reads:Shift_isa.Reg.t list ->
-  writes:Shift_isa.Reg.t list ->
-  pred_writes:Shift_isa.Pred.t list ->
+  reads:Shift_isa.Reg.t array ->
+  writes:Shift_isa.Reg.t array ->
+  pred_writes:Shift_isa.Pred.t array ->
   qp:Shift_isa.Pred.t ->
   is_mem:bool ->
   latency:int ->
   unit
 (** Account one instruction.  [executing] is false when the qualifying
     predicate was false.  [latency] is the cycles until the destination
-    registers are ready (1 for ALU, 2 for loads, ...). *)
+    registers are ready (1 for ALU, 2 for loads, ...).  Operands are the
+    pre-decoded arrays of {!Decode.info} — the hot loop issues one of
+    these per dynamic instruction, so no lists are allocated here. *)
 
 val redirect : t -> penalty:int -> unit
 (** A taken control transfer: close the current issue group and charge a

@@ -83,6 +83,24 @@ let arith_tests =
             m Instr.Halt;
           ]
         |> expect_exit "r0 stays zero" 1L);
+    tc "extr masks the field width" (fun () ->
+        run
+          [
+            m (Instr.Movi (1, 0x0123_4567_89ab_cdefL));
+            m (Instr.Extr { dst = Reg.ret; src = 1; pos = 8; len = 12 });
+            m Instr.Halt;
+          ]
+        |> expect_exit "12-bit field" 0xbcdL);
+    tc "extr with len=64 keeps the full word" (fun () ->
+        (* regression: 1 lsl (64 land 63) = 1 gave a zero mask, so a
+           full-width extract returned 0 instead of the source *)
+        run
+          [
+            m (Instr.Movi (1, -2L));
+            m (Instr.Extr { dst = Reg.ret; src = 1; pos = 0; len = 64 });
+            m Instr.Halt;
+          ]
+        |> expect_exit "full width, sign bit intact" (-2L));
   ]
 
 let nat_tests =

@@ -92,6 +92,106 @@ let memory_tests =
         Util.check_string "read" "\x00\x01\x02binary\xff" (Memory.read_bytes m a ~len:10));
   ]
 
+(* ---------- fast path vs byte-at-a-time reference ---------- *)
+
+let with_fast_path v f =
+  let was = !Memory.fast_path in
+  Memory.fast_path := v;
+  Fun.protect ~finally:(fun () -> Memory.fast_path := was) f
+
+let fastpath_tests =
+  let widths = [ 1; 2; 4; 8 ] in
+  [
+    tc "page-boundary-crossing stores and loads (every width)" (fun () ->
+        List.iter
+          (fun width ->
+            List.iter
+              (fun back ->
+                (* straddle the page boundary at offset 8192 by [back] bytes *)
+                let a = Addr.in_region 1 (Int64.of_int (8192 - back)) in
+                let m = Memory.create () in
+                let v = 0x1122334455667788L in
+                Memory.write m a ~width v;
+                let expect =
+                  if width = 8 then v
+                  else Int64.logand v (Int64.sub (Int64.shift_left 1L (8 * width)) 1L)
+                in
+                Util.check_i64
+                  (Printf.sprintf "w%d back %d" width back)
+                  expect (Memory.read m a ~width);
+                Util.check_i64
+                  (Printf.sprintf "w%d back %d (reference)" width back)
+                  expect (Memory.read_ref m a ~width))
+              (List.init width Fun.id))
+          widths);
+    tc "reference write read back by fast path and vice versa" (fun () ->
+        let m = Memory.create () in
+        let a = Addr.in_region 2 (Int64.of_int (4096 * 3 - 5)) in
+        Memory.write_ref m a ~width:8 0x0807060504030201L;
+        Util.check_i64 "ref write, fast read" 0x0807060504030201L (Memory.read m a ~width:8);
+        Memory.write m a ~width:8 0x1817161514131211L;
+        Util.check_i64 "fast write, ref read" 0x1817161514131211L (Memory.read_ref m a ~width:8));
+    tc "TLB stays consistent across conflicting pages after writes" (fun () ->
+        (* 200 pages map onto the 64-entry direct-mapped TLB with
+           conflicts; every page must still read back its own byte *)
+        let m = Memory.create () in
+        let page_addr k = Addr.in_region 1 (Int64.of_int (4096 * (1 + k))) in
+        for k = 0 to 199 do
+          Memory.write_u8 m (page_addr k) (k land 0xff)
+        done;
+        for k = 0 to 199 do
+          Util.check_int (Printf.sprintf "page %d" k) (k land 0xff)
+            (Memory.read_u8 m (page_addr k))
+        done;
+        (* rewrite through TLB hits, then check via the reference path *)
+        for k = 0 to 199 do
+          Memory.write m (page_addr k) ~width:2 (Int64.of_int (0x100 + k))
+        done;
+        for k = 0 to 199 do
+          Util.check_i64
+            (Printf.sprintf "page %d after write" k)
+            (Int64.of_int (0x100 + k))
+            (Memory.read_ref m (page_addr k) ~width:2)
+        done);
+    prop "random accesses: fast path = reference" ~count:500
+      QCheck.(triple arb_addr (int_bound 3) (map Int64.of_int int))
+      (fun (a, wexp, v) ->
+        let width = 1 lsl wexp in
+        (* bias some addresses onto a page boundary *)
+        let a = if Int64.to_int v land 1 = 0 then
+            Addr.in_region 1 (Int64.of_int (8192 - (Int64.to_int v land 7))) else a in
+        let m_fast = Memory.create () in
+        let m_ref = Memory.create () in
+        Memory.write m_fast a ~width v;
+        Memory.write_ref m_ref a ~width v;
+        Memory.read m_fast a ~width = Memory.read_ref m_fast a ~width
+        && Memory.read m_fast a ~width = Memory.read_ref m_ref a ~width
+        && Memory.read_bytes m_fast a ~len:width = Memory.read_bytes m_ref a ~len:width);
+    prop "string transfers: fast path = per-byte reference" ~count:200
+      QCheck.(pair (int_bound 4090) small_string)
+      (fun (off, s) ->
+        (* place the string so some cases straddle the page boundary *)
+        let a = Addr.in_region 1 (Int64.of_int (4096 + off)) in
+        let m_fast = Memory.create () in
+        let m_ref = Memory.create () in
+        Memory.write_bytes m_fast a s;
+        with_fast_path false (fun () -> Memory.write_bytes m_ref a s);
+        let len = String.length s in
+        Memory.read_bytes m_fast a ~len = Memory.read_bytes m_ref a ~len
+        && with_fast_path false (fun () ->
+               Memory.read_bytes m_fast a ~len = Memory.read_bytes m_ref a ~len));
+    prop "cstrings: fast path = per-byte reference" ~count:200
+      QCheck.(pair (int_bound 4090) small_printable_string)
+      (fun (off, s) ->
+        let s = String.concat "" (String.split_on_char '\000' s) in
+        let a = Addr.in_region 1 (Int64.of_int (4096 + off)) in
+        let m = Memory.create () in
+        Memory.write_cstring m a s;
+        Memory.read_cstring m a = s
+        && with_fast_path false (fun () -> Memory.read_cstring m a = s)
+        && Memory.read_cstring ~max:3 m a = String.sub s 0 (min 3 (String.length s)));
+  ]
+
 let taint_tests =
   let gran = [ Granularity.Byte; Granularity.Word ] in
   [
@@ -143,7 +243,46 @@ let taint_tests =
         Memory.write_cstring m a "0123456789";
         Util.check_bool "positions" true
           (Taint.tainted_string_positions m Granularity.Byte a "0123456789" = [ 5; 6 ]));
+    (* random set_range programs must leave identical bitmaps and query
+       results whether or not the word-width span fast path is used *)
+    prop "set_range fast path = bit-at-a-time reference" ~count:300
+      QCheck.(
+        pair (int_bound 1)
+          (small_list (triple (int_bound 200) (int_bound 100) bool)))
+      (fun (gi, ops) ->
+        let g = if gi = 0 then Granularity.Byte else Granularity.Word in
+        let base = Addr.in_region 1 0x9000L in
+        let m_fast = Memory.create () in
+        let m_ref = Memory.create () in
+        List.iter
+          (fun (off, len, tainted) ->
+            let addr = Int64.add base (Int64.of_int off) in
+            Taint.set_range m_fast g ~addr ~len ~tainted;
+            with_fast_path false (fun () -> Taint.set_range m_ref g ~addr ~len ~tainted))
+          ops;
+        let same_bit k =
+          let a = Int64.add base (Int64.of_int k) in
+          Taint.is_tainted m_fast g a = Taint.is_tainted m_ref g a
+        in
+        let queries_agree ~addr ~len =
+          Taint.count_tainted m_fast g ~addr ~len = Taint.count_tainted m_ref g ~addr ~len
+          && Taint.any_tainted m_fast g ~addr ~len = Taint.any_tainted m_ref g ~addr ~len
+          && with_fast_path false (fun () ->
+                 Taint.count_tainted m_fast g ~addr ~len
+                 = Taint.count_tainted m_ref g ~addr ~len
+                 && Taint.any_tainted m_fast g ~addr ~len
+                   = Taint.any_tainted m_ref g ~addr ~len)
+        in
+        List.init 310 same_bit |> List.for_all Fun.id
+        && queries_agree ~addr:base ~len:310
+        && queries_agree ~addr:(Int64.add base 3L) ~len:61
+        && queries_agree ~addr:(Int64.add base 17L) ~len:1);
   ]
 
 let suites =
-  [ ("mem.addr", addr_tests); ("mem.memory", memory_tests); ("mem.taint", taint_tests) ]
+  [
+    ("mem.addr", addr_tests);
+    ("mem.memory", memory_tests);
+    ("mem.fastpath", fastpath_tests);
+    ("mem.taint", taint_tests);
+  ]

@@ -7,7 +7,10 @@ let tc = Util.tc
 
 let issue ?(executing = true) ?(reads = []) ?(writes = []) ?(pred_writes = [])
     ?(qp = Shift_isa.Pred.p0) ?(is_mem = false) ?(latency = 1) p =
-  Pipeline.issue p ~executing ~reads ~writes ~pred_writes ~qp ~is_mem ~latency
+  Pipeline.issue p ~executing ~reads:(Array.of_list reads)
+    ~writes:(Array.of_list writes)
+    ~pred_writes:(Array.of_list pred_writes)
+    ~qp ~is_mem ~latency
 
 let pipeline_tests =
   [
