@@ -4,7 +4,10 @@
    The twelve (mode, file-size) server runs are independent, so they go
    through the domain pool first; the table is then assembled serially
    from the collected cycle counts, keeping the printed output
-   byte-identical to a serial run. *)
+   byte-identical to a serial run.  Each server run is driven through
+   the resumable engine ([Httpd.serve]); slicing does not perturb the
+   counters, so the table also stays byte-identical to the old
+   monolithic-run harness. *)
 
 open Common
 module J = Shift.Results
@@ -12,11 +15,7 @@ module J = Shift.Results
 let requests = 20
 
 let run_server mode ~file_size =
-  let r =
-    Shift.Session.run ~policy:Httpd.policy ~io_cost:Httpd.io_cost
-      ~setup:(Httpd.setup ~file_size ~requests)
-      ~fuel:fuel ~mode Httpd.program
-  in
+  let r = Httpd.serve ~fuel ~mode ~file_size ~requests () in
   (match r.Shift.Report.outcome with
   | Shift.Report.Exited n when n = Int64.of_int requests -> ()
   | o ->

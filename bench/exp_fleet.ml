@@ -1,0 +1,53 @@
+(* Fleet: the kernel grid as a batch of independent sessions through
+   the core batch-session layer (Shift.Fleet) rather than the harness's
+   own plumbing.
+
+   Every (kernel, mode) cell compiles and runs inside a pool worker;
+   the aggregate — and its JSON — is byte-identical at any -j, which
+   the test suite pins (test/test_engine.ml).  This experiment is the
+   harness-side exercise of the same layer `shiftc batch` exposes. *)
+
+open Common
+module J = Shift.Results
+module Stats = Shift_machine.Stats
+
+let cells =
+  List.concat_map
+    (fun (k : Spec.kernel) ->
+      List.map (fun (mode_name, mode) -> (k, mode_name, mode))
+        [ ("uninstr", Mode.Uninstrumented); ("word", word) ])
+    Spec.all
+
+let jobs =
+  List.map
+    (fun ((k : Spec.kernel), mode_name, mode) ->
+      Shift.Fleet.job
+        ~name:(Printf.sprintf "%s/%s" k.Spec.name mode_name)
+        ~config:
+          (Shift.Session.Config.make ~policy:Policy.default ~fuel
+             ~setup:(Spec.setup ~tainted:true k) ())
+        (fun () -> Shift.Session.build ~mode k.Spec.program))
+    cells
+
+let fleet () =
+  header "Fleet: the kernel grid as batch sessions (Shift.Fleet)";
+  let fleet = Shift.Fleet.run jobs in
+  table
+    ~columns:[ "session"; "outcome"; "instructions"; "cycles" ]
+    (List.map
+       (fun (r : Shift.Fleet.result) ->
+         [
+           r.Shift.Fleet.name;
+           Format.asprintf "%a" Shift.Report.pp_outcome
+             r.Shift.Fleet.report.Shift.Report.outcome;
+           string_of_int r.Shift.Fleet.report.Shift.Report.stats.Stats.instructions;
+           string_of_int r.Shift.Fleet.report.Shift.Report.stats.Stats.cycles;
+         ])
+       fleet.Shift.Fleet.results);
+  note "%d sessions: %d exited, %d alerted, %d faulted, %d timed out"
+    (List.length fleet.Shift.Fleet.results)
+    fleet.Shift.Fleet.exited fleet.Shift.Fleet.alerted fleet.Shift.Fleet.faulted
+    fleet.Shift.Fleet.timed_out;
+  note "totals: %d instructions, %d cycles"
+    fleet.Shift.Fleet.stats.Stats.instructions fleet.Shift.Fleet.stats.Stats.cycles;
+  Shift.Fleet.to_json fleet

@@ -30,6 +30,7 @@ let experiments =
     ("ablation", Exp_spec.ablation);
     ("speculation", Exp_speculation.speculation);
     ("throughput", Exp_throughput.throughput);
+    ("fleet", Exp_fleet.fleet);
     ("bechamel", Bech.run);
   ]
 

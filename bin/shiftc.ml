@@ -2,10 +2,14 @@
 
    - [shiftc list]                      what's runnable
    - [shiftc run gzip --mode word]      run a kernel, print the report
+   - [shiftc batch -j 4]                run the kernel suite as a fleet
    - [shiftc attack tar --exploit]      run a Table-2 case
    - [shiftc httpd --size 4096]         run the web-server workload
    - [shiftc disasm gzip --mode word]   instrumented listing
-   - [shiftc policies]                  the policy catalogue *)
+   - [shiftc policies]                  the policy catalogue
+
+   Every run-like command takes [--json] to emit the report through
+   lib/core/results (the bench JSON schema) instead of pretty text. *)
 
 open Cmdliner
 module Mode = Shift_compiler.Mode
@@ -54,6 +58,17 @@ let mode_arg =
            +setclr/+tacmp/+both architectural enhancements, or $(b,dbt) for \
            the software baseline.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the run's report as JSON via the bench results schema \
+           instead of pretty-printed text.")
+
+let print_json (r : Shift.Report.t) =
+  print_endline (Shift.Results.to_string (Shift.Results.of_report r))
+
 let print_report (r : Shift.Report.t) =
   Format.printf "outcome:      %a@." Shift.Report.pp_outcome r.Shift.Report.outcome;
   List.iter
@@ -90,7 +105,7 @@ let list_cmd =
         Printf.printf "  %-22s %-22s %s\n" c.Case.program_name c.Case.attack_type
           c.Case.cve)
       Shift_attacks.Attacks.all;
-    print_endline "other: shiftc httpd";
+    print_endline "other: shiftc batch (the kernel suite as a fleet), shiftc httpd";
     0
   in
   Cmd.v (Cmd.info "list" ~doc:"List runnable kernels and attack cases")
@@ -116,7 +131,7 @@ let run_cmd =
   let safe_arg =
     Arg.(value & flag & info [ "safe" ] ~doc:"Leave the input file untainted.")
   in
-  let run name mode size safe =
+  let run name mode size safe json =
     match find_kernel name with
     | Error e ->
         prerr_endline e;
@@ -127,13 +142,80 @@ let run_cmd =
             ~setup:(Spec.setup ?size ~tainted:(not safe) k)
             ~mode k.Spec.program
         in
-        Format.printf "kernel %s under %a@." k.Spec.name Mode.pp mode;
-        print_report r;
+        if json then print_json r
+        else begin
+          Format.printf "kernel %s under %a@." k.Spec.name Mode.pp mode;
+          print_report r
+        end;
         0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a SPEC-like kernel on the simulated machine")
-    Term.(const run $ name_arg $ mode_arg $ size_arg $ safe_arg)
+    Term.(const run $ name_arg $ mode_arg $ size_arg $ safe_arg $ json_arg)
+
+let batch_cmd =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"KERNEL"
+          ~doc:"Kernels to batch (default: the whole suite).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains to run the sessions on (0 = the runtime's \
+             recommendation).  The aggregate output is byte-identical at \
+             any $(docv).")
+  in
+  let size_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Input size (default: each kernel's).")
+  in
+  let safe_arg =
+    Arg.(value & flag & info [ "safe" ] ~doc:"Leave the input files untainted.")
+  in
+  let run mode names jobs size safe json =
+    let kernels =
+      match names with
+      | [] -> List.map Result.ok Spec.all
+      | names -> List.map find_kernel names
+    in
+    match List.partition_map (function Ok k -> Left k | Error e -> Right e) kernels with
+    | _, (e :: _ as errors) ->
+        List.iter prerr_endline errors;
+        ignore e;
+        1
+    | kernels, [] ->
+        let fleet =
+          Shift.Fleet.run ~domains:jobs
+            (List.map
+               (fun (k : Spec.kernel) ->
+                 Shift.Fleet.job ~name:k.Spec.name
+                   ~config:
+                     (Shift.Session.Config.make ~policy:Policy.default
+                        ~setup:(Spec.setup ?size ~tainted:(not safe) k)
+                        ())
+                   (fun () -> Shift.Session.build ~mode k.Spec.program))
+               kernels)
+        in
+        if json then
+          print_endline (Shift.Results.to_string (Shift.Fleet.to_json fleet))
+        else begin
+          Format.printf "batch: %d sessions under %a@." (List.length kernels)
+            Mode.pp mode;
+          Format.printf "%a@." Shift.Fleet.pp fleet
+        end;
+        if fleet.Shift.Fleet.exited = List.length kernels then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run many kernel sessions as a fleet across domains with a \
+          deterministic aggregate report")
+    Term.(const run $ mode_arg $ names_arg $ jobs_arg $ size_arg $ safe_arg $ json_arg)
 
 let attack_cmd =
   let name_arg =
@@ -144,24 +226,30 @@ let attack_cmd =
   let benign_arg =
     Arg.(value & flag & info [ "benign" ] ~doc:"Use the benign input instead of the exploit.")
   in
-  let run name mode benign =
+  let run name mode benign json =
     match Shift_attacks.Attacks.find name with
     | None ->
         prerr_endline "unknown attack case; see `shiftc list`";
         1
     | Some c ->
         let input = if benign then c.Case.benign else c.Case.exploit in
-        Format.printf "%s (%s) — %s input under %a@." c.Case.program_name c.Case.cve
-          (if benign then "benign" else "exploit")
-          Mode.pp mode;
-        Format.printf "policies: %s@." c.Case.detection_policies;
-        print_report
-          (Shift.Session.run ~policy:c.Case.policy ~setup:input ~mode c.Case.program);
+        let r =
+          Shift.Session.run ~policy:c.Case.policy ~setup:input ~mode c.Case.program
+        in
+        if json then print_json r
+        else begin
+          Format.printf "%s (%s) — %s input under %a@." c.Case.program_name
+            c.Case.cve
+            (if benign then "benign" else "exploit")
+            Mode.pp mode;
+          Format.printf "policies: %s@." c.Case.detection_policies;
+          print_report r
+        end;
         0
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a Table-2 security-evaluation case")
-    Term.(const run $ name_arg $ mode_arg $ benign_arg)
+    Term.(const run $ name_arg $ mode_arg $ benign_arg $ json_arg)
 
 let httpd_cmd =
   let size_arg =
@@ -170,22 +258,23 @@ let httpd_cmd =
   let requests_arg =
     Arg.(value & opt int 10 & info [ "requests" ] ~docv:"N" ~doc:"Requests to serve.")
   in
-  let run mode file_size requests =
-    let r =
-      Shift.Session.run ~policy:Httpd.policy ~io_cost:Httpd.io_cost
-        ~setup:(Httpd.setup ~file_size ~requests)
-        ~mode Httpd.program
-    in
-    Format.printf "httpd: %d requests of a %d-byte file under %a@." requests file_size
-      Mode.pp mode;
-    let s = r.Shift.Report.stats in
-    Format.printf "outcome: %a; cycles/request: %d@." Shift.Report.pp_outcome
-      r.Shift.Report.outcome (s.Stats.cycles / max requests 1);
+  let run mode file_size requests json =
+    (* driven through the resumable engine in bounded slices, not one
+       monolithic run — same counters either way *)
+    let r = Httpd.serve ~mode ~file_size ~requests () in
+    if json then print_json r
+    else begin
+      Format.printf "httpd: %d requests of a %d-byte file under %a@." requests
+        file_size Mode.pp mode;
+      let s = r.Shift.Report.stats in
+      Format.printf "outcome: %a; cycles/request: %d@." Shift.Report.pp_outcome
+        r.Shift.Report.outcome (s.Stats.cycles / max requests 1)
+    end;
     0
   in
   Cmd.v
     (Cmd.info "httpd" ~doc:"Run the web-server workload (the Figure-6 substrate)")
-    Term.(const run $ mode_arg $ size_arg $ requests_arg)
+    Term.(const run $ mode_arg $ size_arg $ requests_arg $ json_arg)
 
 let disasm_cmd =
   let name_arg =
@@ -312,4 +401,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; attack_cmd; httpd_cmd; disasm_cmd; exec_cmd; trace_cmd; policies_cmd ]))
+          [ list_cmd; run_cmd; batch_cmd; attack_cmd; httpd_cmd; disasm_cmd;
+            exec_cmd; trace_cmd; policies_cmd ]))

@@ -1,0 +1,87 @@
+module Stats = Shift_machine.Stats
+
+type job = {
+  name : string;
+  image : unit -> Shift_compiler.Image.t;
+  config : Session.Config.t;
+}
+
+let job ?(config = Session.Config.default) ~name image = { name; image; config }
+
+type result = { name : string; report : Report.t }
+
+type t = {
+  results : result list;
+  stats : Stats.t;
+  exited : int;
+  alerted : int;
+  faulted : int;
+  timed_out : int;
+}
+
+let count p results = List.length (List.filter p results)
+
+let run ?domains jobs =
+  let results =
+    Pool.map ?domains
+      (fun (j : job) ->
+        { name = j.name; report = Session.exec ~config:j.config (j.image ()) })
+      jobs
+  in
+  let of_outcome p = count (fun r -> p r.report.Report.outcome) results in
+  {
+    results;
+    stats = Stats.total (List.map (fun r -> r.report.Report.stats) results);
+    exited = of_outcome (function Report.Exited _ -> true | _ -> false);
+    alerted = of_outcome (function Report.Alert _ -> true | _ -> false);
+    faulted = of_outcome (function Report.Fault _ -> true | _ -> false);
+    timed_out = of_outcome (function Report.Timeout -> true | _ -> false);
+  }
+
+let to_json t =
+  Results.Obj
+    [
+      ("sessions", Results.Int (List.length t.results));
+      ("exited", Results.Int t.exited);
+      ("alerts", Results.Int t.alerted);
+      ("faults", Results.Int t.faulted);
+      ("timeouts", Results.Int t.timed_out);
+      ( "totals",
+        Results.Obj
+          [
+            ("instructions", Results.Int t.stats.Stats.instructions);
+            ("cycles", Results.Int t.stats.Stats.cycles);
+            ("loads", Results.Int t.stats.Stats.loads);
+            ("stores", Results.Int t.stats.Stats.stores);
+            ("io_cycles", Results.Int t.stats.Stats.io_cycles);
+          ] );
+      ( "runs",
+        Results.List
+          (List.map
+             (fun r ->
+               Results.Obj
+                 [
+                   ("name", Results.String r.name);
+                   ("report", Results.of_report r.report);
+                 ])
+             t.results) );
+    ]
+
+let pp ppf t =
+  let line name outcome (s : Stats.t) =
+    Format.fprintf ppf "%-14s %-14s %12d %12d %10d %10d@," name outcome
+      s.Stats.instructions s.Stats.cycles s.Stats.loads s.Stats.stores
+  in
+  Format.fprintf ppf "@[<v>%-14s %-14s %12s %12s %10s %10s@," "session" "outcome"
+    "instructions" "cycles" "loads" "stores";
+  List.iter
+    (fun r ->
+      line r.name
+        (Format.asprintf "%a" Report.pp_outcome r.report.Report.outcome)
+        r.report.Report.stats)
+    t.results;
+  line "TOTAL"
+    (Printf.sprintf "%d ok/%d bad" t.exited
+       (t.alerted + t.faulted + t.timed_out))
+    t.stats;
+  Format.fprintf ppf "@]"

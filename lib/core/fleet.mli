@@ -1,0 +1,49 @@
+(** Batch sessions: run N independent guest sessions across domains and
+    aggregate their reports deterministically.
+
+    Each {!job} compiles its image and runs its session inside a worker
+    domain of {!Pool}; results come back in job order whatever the pool
+    size, and a session is pure given its job (the simulated machine
+    carries no host time or randomness), so the whole aggregate —
+    including its {!to_json} serialisation — is byte-identical at any
+    [?domains].  This is the substrate behind [shiftc batch] and the
+    bench harness's [fleet] experiment. *)
+
+type job
+(** One batch unit: a named image factory plus the session config to
+    run it under.  The image is built {e inside} the worker domain so
+    compilation parallelises along with execution. *)
+
+val job :
+  ?config:Session.Config.t ->
+  name:string ->
+  (unit -> Shift_compiler.Image.t) ->
+  job
+(** [job ~name make] with [config] defaulting to
+    {!Session.Config.default}. *)
+
+(** One job's outcome. *)
+type result = { name : string; report : Report.t }
+
+(** The aggregated fleet report. *)
+type t = {
+  results : result list;  (** in job order *)
+  stats : Shift_machine.Stats.t;
+      (** {!Shift_machine.Stats.total} over all sessions *)
+  exited : int;  (** sessions that exited normally *)
+  alerted : int;  (** sessions stopped by a policy alert *)
+  faulted : int;  (** sessions ended by a machine fault *)
+  timed_out : int;  (** sessions that exhausted their fuel *)
+}
+
+val run : ?domains:int -> job list -> t
+(** Run every job through the domain pool ({!Pool.map} semantics for
+    [?domains]) and fold the aggregate. *)
+
+val to_json : t -> Results.json
+(** Deterministic serialisation: session counts, aggregate counters,
+    and each run's {!Results.of_report} payload, in job order.  Carries
+    no host time, so it is diffable across pool sizes and commits. *)
+
+val pp : Format.formatter -> t -> unit
+(** A fixed-width table: one row per session plus a TOTAL row. *)

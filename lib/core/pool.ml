@@ -1,0 +1,51 @@
+(* Domain pool with deterministic result ordering: items are claimed
+   through an atomic cursor, results land in their input slot. *)
+
+let configured = ref 0
+
+let recommended () = max 1 (Domain.recommended_domain_count ())
+
+let set_domains n = configured := n
+
+let domains () = if !configured <= 0 then recommended () else !configured
+
+let map ?domains:override f items =
+  let want =
+    match override with
+    | Some n when n > 0 -> n
+    | Some _ -> recommended ()
+    | None -> domains ()
+  in
+  let tasks = Array.of_list items in
+  let n = Array.length tasks in
+  let want = max 1 (min want n) in
+  if want = 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (results.(i) <-
+             Some
+               (match f tasks.(i) with
+               | v -> Ok v
+               | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (want - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (* re-raise the earliest failure, if any, after the pool is quiet *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      results;
+    Array.to_list results
+    |> List.map (function Some (Ok v) -> v | _ -> assert false)
+  end

@@ -1,13 +1,17 @@
 (** A fixed-size work pool over OCaml 5 domains with deterministic
     result ordering.
 
-    The harness's unit of work — compile a kernel under a mode and run
-    it to completion on the simulator — is pure given its inputs (the
-    simulated machine carries no host-time or randomness), so the grid
-    of (workload × mode × input) runs can execute on any number of
-    domains and still produce byte-identical tables: {!map} always
+    The system's unit of work — compile a guest program under a mode
+    and run it to completion on the simulator — is pure given its
+    inputs (the simulated machine carries no host-time or randomness),
+    so a grid of independent sessions can execute on any number of
+    domains and still produce byte-identical output: {!map} always
     returns results in the order of its input list, whatever order the
-    items were picked up in. *)
+    items were picked up in.
+
+    Promoted from the bench harness so the core library ({!Fleet}) and
+    the CLI can batch sessions across domains; [bench/pool.ml] remains
+    as a re-export shim. *)
 
 val set_domains : int -> unit
 (** Fix the pool size used by {!map} when no [?domains] override is

@@ -2,11 +2,42 @@ module Mode = Shift_compiler.Mode
 module Compile = Shift_compiler.Compile
 module Image = Shift_compiler.Image
 module Cpu = Shift_machine.Cpu
+module Smp = Shift_machine.Smp
+module Exec = Shift_machine.Exec
 module Fault = Shift_machine.Fault
 module Prov = Shift_isa.Prov
 module Policy = Shift_policy.Policy
 module Alert = Shift_policy.Alert
 module World = Shift_os.World
+
+let default_fuel = 2_000_000_000
+
+module Config = struct
+  type threading =
+    | Single
+    | Threads of { quantum : int option }
+
+  type t = {
+    policy : Policy.t;
+    io_cost : World.io_cost;
+    fuel : int;
+    setup : World.t -> unit;
+    threading : threading;
+  }
+
+  let default =
+    {
+      policy = Policy.default;
+      io_cost = World.default_io_cost;
+      fuel = default_fuel;
+      setup = (fun _ -> ());
+      threading = Single;
+    }
+
+  let make ?(policy = Policy.default) ?(io_cost = World.default_io_cost)
+      ?(fuel = default_fuel) ?(setup = fun _ -> ()) ?(threading = Single) () =
+    { policy; io_cost; fuel; setup; threading }
+end
 
 let gran_of_mode = function
   | Mode.Uninstrumented -> Shift_mem.Granularity.Word
@@ -48,66 +79,108 @@ let outcome_of image policy (res : Cpu.outcome) : Report.outcome =
       | None -> Report.Fault (Fault.Nat_consumption use))
   | Cpu.Faulted (f, _) -> Report.Fault f
 
-let run_image ?(policy = Policy.default) ?(io_cost = World.default_io_cost)
-    ?(fuel = 2_000_000_000) ?(setup = fun _ -> ()) (image : Image.t) =
+(* ---------- the resumable session ---------- *)
+
+type live = {
+  image : Image.t;
+  config : Config.t;
+  world : World.t;
+  engine : Exec.t;
+  mutable fuel_left : int;
+  mutable result : Report.outcome option;
+}
+
+let start ?(config = Config.default) (image : Image.t) =
   let cpu = load image in
-  let world = World.create ~policy ~gran:(gran_of_mode image.mode) ~io_cost () in
-  setup world;
+  let world =
+    World.create ~policy:config.Config.policy ~gran:(gran_of_mode image.mode)
+      ~io_cost:config.Config.io_cost ()
+  in
+  config.Config.setup world;
   cpu.Cpu.syscall_handler <- Some (World.handler world);
+  let engine =
+    match config.Config.threading with
+    | Config.Single -> Exec.of_cpu cpu
+    | Config.Threads { quantum } ->
+        let smp =
+          Smp.create ?quantum ~stack_top:Shift_compiler.Layout.stack_top
+            ~stack_stride:(Int64.of_int (1 lsl 20))
+            cpu
+        in
+        World.set_threads world
+          ~spawn:(fun parent ~entry ~arg -> Smp.spawn smp ~parent ~entry ~arg)
+          ~join:(fun tid ->
+            match Smp.state_of smp tid with
+            | Some Smp.Running -> None
+            | Some (Smp.Done v) -> Some v
+            | Some (Smp.Crashed _) | None -> Some (-1L));
+        Exec.of_smp smp
+  in
+  { image; config; world; engine; fuel_left = config.Config.fuel; result = None }
+
+let world live = live.world
+let engine live = live.engine
+let outcome live = live.result
+
+let timeout live =
+  live.result <- Some Report.Timeout;
+  `Finished Report.Timeout
+
+let advance live ~budget =
+  match live.result with
+  | Some o -> `Finished o
+  | None ->
+      if live.fuel_left <= 0 then timeout live
+      else begin
+        let slice = min budget live.fuel_left in
+        match Exec.run_for live.engine ~budget:slice with
+        | `Finished res ->
+            let o = outcome_of live.image live.config.Config.policy res in
+            live.result <- Some o;
+            `Finished o
+        | `Yielded ->
+            live.fuel_left <- live.fuel_left - slice;
+            if live.fuel_left <= 0 then timeout live else `Yielded
+        | exception Alert.Violation a ->
+            live.result <- Some (Report.Alert a);
+            `Finished (Report.Alert a)
+      end
+
+let report live =
   let outcome =
-    match Cpu.run ~fuel cpu with
-    | res -> outcome_of image policy res
-    | exception Alert.Violation a -> Report.Alert a
+    match live.result with Some o -> o | None -> Report.Timeout
   in
   {
     Report.outcome;
-    stats = cpu.Cpu.stats;
-    logged = World.alerts world;
-    output = World.output world;
-    html = World.html_output world;
-    sql = World.sql_queries world;
-    commands = World.system_commands world;
+    stats = Exec.stats live.engine;
+    logged = World.alerts live.world;
+    output = World.output live.world;
+    html = World.html_output live.world;
+    sql = World.sql_queries live.world;
+    commands = World.system_commands live.world;
   }
+
+let exec ?config image =
+  let live = start ?config image in
+  (* one maximal slice: [advance] clamps to the configured fuel and maps
+     exhaustion to [Timeout] itself, so this always finishes *)
+  (match advance live ~budget:max_int with `Finished _ | `Yielded -> ());
+  report live
+
+(* ---------- the historical entry points, as one-line wrappers ---------- *)
+
+let run_image ?policy ?io_cost ?fuel ?setup image =
+  exec ~config:(Config.make ?policy ?io_cost ?fuel ?setup ()) image
 
 let run ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ~mode prog =
   run_image ?policy ?io_cost ?fuel ?setup (build ?with_runtime ?taint_returns ~mode prog)
 
-(* ---------- multi-threaded runs (the paper's future work) ---------- *)
-
-module Smp = Shift_machine.Smp
-
-let run_image_mt ?(policy = Policy.default) ?(io_cost = World.default_io_cost)
-    ?(fuel = 2_000_000_000) ?(setup = fun _ -> ()) ?quantum (image : Image.t) =
-  let cpu = load image in
-  let world = World.create ~policy ~gran:(gran_of_mode image.mode) ~io_cost () in
-  setup world;
-  cpu.Cpu.syscall_handler <- Some (World.handler world);
-  let smp =
-    Smp.create ?quantum ~stack_top:Shift_compiler.Layout.stack_top
-      ~stack_stride:(Int64.of_int (1 lsl 20))
-      cpu
-  in
-  World.set_threads world
-    ~spawn:(fun parent ~entry ~arg -> Smp.spawn smp ~parent ~entry ~arg)
-    ~join:(fun tid ->
-      match Smp.state_of smp tid with
-      | Some Smp.Running -> None
-      | Some (Smp.Done v) -> Some v
-      | Some (Smp.Crashed _) | None -> Some (-1L));
-  let outcome =
-    match Smp.run ~fuel smp with
-    | res -> outcome_of image policy res
-    | exception Alert.Violation a -> Report.Alert a
-  in
-  {
-    Report.outcome;
-    stats = cpu.Cpu.stats;
-    logged = World.alerts world;
-    output = World.output world;
-    html = World.html_output world;
-    sql = World.sql_queries world;
-    commands = World.system_commands world;
-  }
+let run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum image =
+  exec
+    ~config:
+      (Config.make ?policy ?io_cost ?fuel ?setup
+         ~threading:(Config.Threads { quantum }) ())
+    image
 
 let run_mt ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ?quantum ~mode prog =
   run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum

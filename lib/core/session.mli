@@ -7,7 +7,48 @@
           ~policy:Shift_policy.Policy.default
           ~setup:(fun world -> Shift_os.World.queue_request world payload)
           my_program
-    ]} *)
+    ]}
+
+    Every run — the historical [run]/[run_mt]/[run_image]/[run_image_mt]
+    entry points included — goes through one {!Config.t}-driven engine:
+    {!start} builds a {!live} session around
+    {!Shift_machine.Exec.run_for}, {!advance} drives it in bounded
+    slices, and {!exec} runs it to completion.  Because the engine
+    suspends between instruction groups without touching machine state,
+    counters are byte-identical however a run is sliced. *)
+
+(** How a session executes: policy, I/O cost model, fuel, world setup,
+    and threading. *)
+module Config : sig
+  (** Machine shape for the run. *)
+  type threading =
+    | Single  (** one hart; [sys_spawn] fails with [-1] *)
+    | Threads of { quantum : int option }
+        (** SMP round robin; [quantum] instructions per turn
+            (default 50) *)
+
+  type t = {
+    policy : Shift_policy.Policy.t;  (** policies to enforce *)
+    io_cost : Shift_os.World.io_cost;  (** syscall cycle-cost model *)
+    fuel : int;  (** total instruction budget for the session *)
+    setup : Shift_os.World.t -> unit;
+        (** populate files / network requests before execution *)
+    threading : threading;  (** machine shape *)
+  }
+
+  val default : t
+  (** Default policy and I/O costs, 2e9 fuel, no setup, single hart. *)
+
+  val make :
+    ?policy:Shift_policy.Policy.t ->
+    ?io_cost:Shift_os.World.io_cost ->
+    ?fuel:int ->
+    ?setup:(Shift_os.World.t -> unit) ->
+    ?threading:threading ->
+    unit ->
+    t
+  (** {!default} with the given fields overridden. *)
+end
 
 val gran_of_mode : Shift_compiler.Mode.t -> Shift_mem.Granularity.t
 (** The taint granularity a mode tracks at ([Word] for
@@ -27,6 +68,54 @@ val build :
 val load : Shift_compiler.Image.t -> Shift_machine.Cpu.t
 (** Fresh machine with the image's initialised data written to
     memory. *)
+
+(** {1 Resumable sessions}
+
+    The batch-session substrate: a {!live} session owns a machine, an
+    OS world and a fuel budget, and is advanced in bounded slices.  A
+    front end can rotate {!advance} across many live sessions to
+    multiplex guests. *)
+
+type live
+(** A started session: engine, world, and remaining fuel. *)
+
+val start : ?config:Config.t -> Shift_compiler.Image.t -> live
+(** Load the image on a fresh machine and world, run the config's
+    [setup], and wire the machine shape the config asks for (for
+    [Threads], the SMP spawn/join hooks).  No guest instruction has
+    executed yet. *)
+
+val advance : live -> budget:int -> [ `Yielded | `Finished of Report.outcome ]
+(** Execute at most [budget] instructions (clamped to the remaining
+    fuel).  [`Yielded] means the slice was used up with the program
+    still live; call again to resume.  Fuel exhaustion finishes with
+    {!Report.Timeout}; a policy violation raised by the OS world
+    finishes with {!Report.Alert}.  Once finished, further calls return
+    the same outcome without executing anything. *)
+
+val world : live -> Shift_os.World.t
+(** The session's OS world (for inspecting output mid-run, or feeding
+    more input between slices). *)
+
+val engine : live -> Shift_machine.Exec.t
+(** The underlying engine (for counter snapshots mid-run). *)
+
+val outcome : live -> Report.outcome option
+(** The final outcome, once {!advance} returned [`Finished]. *)
+
+val report : live -> Report.t
+(** Assemble the session's report: outcome (a session still live
+    reports {!Report.Timeout}), aggregated machine counters, and
+    everything the guest emitted through the world. *)
+
+val exec : ?config:Config.t -> Shift_compiler.Image.t -> Report.t
+(** Run a session to completion: {!start}, {!advance} through the whole
+    fuel budget, {!report}.  This is the single implementation behind
+    all four historical entry points below. *)
+
+(** {1 Historical entry points}
+
+    One-line wrappers over {!exec}, kept so no caller breaks. *)
 
 val run_image :
   ?policy:Shift_policy.Policy.t ->
@@ -50,7 +139,7 @@ val run :
   Report.t
 (** [build] followed by [run_image]. *)
 
-(** {1 Multi-threaded runs}
+(** {2 Multi-threaded runs}
 
     The paper's future-work item (§4.4, §8): guest programs may call
     [sys_spawn(&f, arg)] and [sys_join(tid)]; harts share memory — and
@@ -67,7 +156,9 @@ val run_image_mt :
   Report.t
 (** Like {!run_image} with thread support enabled.  [quantum] is the
     round-robin scheduling quantum in instructions (default 50).  The
-    report reflects hart 0. *)
+    report's counters aggregate {e all} harts
+    ({!Shift_machine.Stats.concurrent}: events sum, cycles are the
+    slowest hart's). *)
 
 val run_mt :
   ?with_runtime:bool ->

@@ -23,6 +23,17 @@ module Report = Report
 (** Machine-readable (JSON) results for the benchmark harness. *)
 module Results = Results
 
+(** The domain pool behind every parallel grid (deterministic result
+    ordering). *)
+module Pool = Pool
+
+(** Batch sessions: N independent runs across domains with a
+    deterministic aggregate report. *)
+module Fleet = Fleet
+
+(** The resumable execution engine sessions are driven through. *)
+module Exec = Shift_machine.Exec
+
 (** Compilation / instrumentation modes. *)
 module Mode = Shift_compiler.Mode
 

@@ -316,14 +316,21 @@ let step t =
     end
   end
 
-let run ?(fuel = 2_000_000_000) t =
-  let rec go fuel =
-    if fuel <= 0 then finish t Out_of_fuel
+type status = [ `Yielded | `Finished of outcome ]
+
+let run_for t ~budget =
+  let rec go n =
+    if n <= 0 then `Yielded
     else
       match step t with
-      | Some outcome -> outcome
-      | None -> go (fuel - 1)
+      | Some outcome -> `Finished outcome
+      | None -> go (n - 1)
   in
   (* keep the cycle count consistent even when a syscall handler raises
      (policy violations propagate as exceptions) *)
-  Fun.protect ~finally:(fun () -> t.stats.cycles <- Pipeline.cycles t.pipe) (fun () -> go fuel)
+  Fun.protect ~finally:(fun () -> t.stats.cycles <- Pipeline.cycles t.pipe) (fun () -> go budget)
+
+let run ?(fuel = 2_000_000_000) t =
+  match run_for t ~budget:fuel with
+  | `Finished outcome -> outcome
+  | `Yielded -> finish t Out_of_fuel

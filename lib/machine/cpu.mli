@@ -54,12 +54,29 @@ val set_nat : t -> Shift_isa.Reg.t -> bool -> unit
 val add_io_cycles : t -> int -> unit
 (** Charge I/O time from a syscall handler. *)
 
+type status = [ `Yielded | `Finished of outcome ]
+(** Result of one bounded engine slice: [`Yielded] means the budget ran
+    out with the program still live; [`Finished] carries the terminal
+    outcome. *)
+
+val run_for : t -> budget:int -> status
+(** The resumable stepping engine: execute at most [budget] instructions
+    and suspend.  A machine suspended by [`Yielded] can be resumed by
+    calling [run_for] again; the instruction stream (and with it every
+    counter in [t.stats]) is independent of how a run is sliced into
+    budgets, because suspension happens between instruction groups and
+    touches no machine state.  Cycle counts are finalised into [t.stats]
+    on every return, including when a syscall handler raises (the policy
+    engine propagates alerts as exceptions).  A non-positive budget
+    yields immediately. *)
+
 val run : ?fuel:int -> t -> outcome
 (** Execute until halt, fault or fuel exhaustion (default fuel 2e9
-    instructions).  Cycle counts are finalised into [t.stats] on
-    return.  Exceptions raised by the syscall handler other than
-    {!Exit_requested} propagate (the policy engine uses this for
-    alerts). *)
+    instructions): one {!run_for} slice of [fuel] instructions, with
+    [`Yielded] surfaced as {!Out_of_fuel}.  Cycle counts are finalised
+    into [t.stats] on return.  Exceptions raised by the syscall handler
+    other than {!Exit_requested} propagate (the policy engine uses this
+    for alerts). *)
 
 val step : t -> outcome option
 (** Execute a single instruction; [None] while the program is still

@@ -1,0 +1,42 @@
+type machine =
+  | Cpu of Cpu.t
+  | Smp of Smp.t
+
+type t = { machine : machine; mutable finished : Cpu.outcome option }
+
+let of_cpu cpu = { machine = Cpu cpu; finished = None }
+let of_smp smp = { machine = Smp smp; finished = None }
+let machine t = t.machine
+let finished t = t.finished
+
+let hart0 t =
+  match t.machine with
+  | Cpu cpu -> cpu
+  | Smp smp -> (
+      match Smp.cpu_of smp 0 with
+      | Some cpu -> cpu
+      | None -> invalid_arg "Exec.hart0: SMP machine without hart 0")
+
+let stats t =
+  match t.machine with
+  | Cpu cpu -> cpu.Cpu.stats
+  | Smp smp -> Smp.stats smp
+
+let run_for t ~budget =
+  match t.finished with
+  | Some o -> `Finished o
+  | None ->
+      let status =
+        match t.machine with
+        | Cpu cpu -> Cpu.run_for cpu ~budget
+        | Smp smp -> Smp.run_for smp ~budget
+      in
+      (match status with
+      | `Finished o -> t.finished <- Some o
+      | `Yielded -> ());
+      status
+
+let run ?(fuel = 2_000_000_000) t =
+  match run_for t ~budget:fuel with
+  | `Finished o -> o
+  | `Yielded -> Cpu.Out_of_fuel

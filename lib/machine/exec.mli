@@ -1,0 +1,55 @@
+(** The resumable execution engine: one suspend/resume interface over
+    both machine shapes.
+
+    Every run loop in the system — single-hart runs, the SMP round
+    robin, the session layer, batch fleets, the CLI — drives a machine
+    through this module's {!run_for}, which executes a bounded number
+    of instructions and suspends at an instruction-group boundary.
+    Suspension touches no machine state, so the instruction stream, and
+    with it every {!Stats} counter, is byte-identical however a run is
+    sliced into budgets; cycle accounting is preserved by construction
+    because the pipeline model only ever sees the same issue sequence.
+
+    This is the substrate for request-level multiplexing and
+    checkpointing: a host can interleave many guests by rotating
+    [run_for] slices across their engines. *)
+
+(** The two machine shapes an engine can drive. *)
+type machine =
+  | Cpu of Cpu.t  (** a single hart *)
+  | Smp of Smp.t  (** a deterministic round robin over shared memory *)
+
+type t
+(** An engine instance: a machine plus its memoised terminal outcome. *)
+
+val of_cpu : Cpu.t -> t
+(** Drive a single-hart machine. *)
+
+val of_smp : Smp.t -> t
+(** Drive a multi-hart machine (hart 0's outcome terminates the run). *)
+
+val machine : t -> machine
+(** The underlying machine. *)
+
+val hart0 : t -> Cpu.t
+(** The primary hart: the CPU itself, or hart 0 of an SMP machine.
+    @raise Invalid_argument if an SMP machine has no hart 0 (cannot
+    happen for machines built with {!Smp.create}). *)
+
+val stats : t -> Stats.t
+(** The run's counters: the CPU's own (live, shared) for a single hart;
+    a fresh {!Stats.concurrent} aggregate over all harts for SMP. *)
+
+val finished : t -> Cpu.outcome option
+(** The memoised terminal outcome, once a {!run_for} call returned
+    [`Finished]. *)
+
+val run_for : t -> budget:int -> Cpu.status
+(** Execute at most [budget] instructions and suspend.  Resume by
+    calling again; once finished, the memoised outcome is returned
+    without stepping the machine further.  A non-positive budget yields
+    immediately. *)
+
+val run : ?fuel:int -> t -> Cpu.outcome
+(** Run to completion or fuel exhaustion (default 2e9): one {!run_for}
+    slice, with [`Yielded] surfaced as {!Cpu.Out_of_fuel}. *)

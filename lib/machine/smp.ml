@@ -10,10 +10,23 @@ type t = {
   stack_top : int64;
   stack_stride : int64;
   mutable harts : hart list; (* kept in id order *)
+  (* resumable scheduler state: the tail of the current round-robin
+     round.  The head's [int] is what remains of its quantum, so a
+     budget boundary can suspend mid-quantum and resume later without
+     perturbing the instruction interleaving. *)
+  mutable round : (hart * int) list;
+  mutable finished : Cpu.outcome option;
 }
 
 let create ?(quantum = 50) ~stack_top ~stack_stride cpu =
-  { quantum; stack_top; stack_stride; harts = [ { id = 0; cpu; state = Running } ] }
+  {
+    quantum;
+    stack_top;
+    stack_stride;
+    harts = [ { id = 0; cpu; state = Running } ];
+    round = [];
+    finished = None;
+  }
 
 let spawn t ~parent ~entry ~arg =
   let id = List.length t.harts in
@@ -30,6 +43,8 @@ let spawn t ~parent ~entry ~arg =
   Cpu.set_value cpu (Shift_isa.Reg.arg 0) arg;
   Cpu.set_nat cpu (Shift_isa.Reg.arg 0) false;
   cpu.Cpu.ip <- Int64.to_int entry;
+  (* the new hart enters the schedule at the next round: [t.round] holds
+     only harts that were runnable when the round started *)
   t.harts <- t.harts @ [ { id; cpu; state = Running } ];
   id
 
@@ -39,11 +54,15 @@ let state_of t id =
 let cpu_of t id =
   List.find_opt (fun h -> h.id = id) t.harts |> Option.map (fun h -> h.cpu)
 
-(* run one quantum on a hart; returns the instructions actually spent *)
-let run_quantum t hart =
+let stats t =
+  Stats.concurrent (List.map (fun h -> h.cpu.Cpu.stats) t.harts)
+
+(* run up to [n] instructions on a hart; returns the instructions
+   actually spent.  Stops early only when the hart leaves [Running]. *)
+let run_steps hart n =
   let spent = ref 0 in
   (try
-     while !spent < t.quantum && hart.state = Running do
+     while !spent < n && hart.state = Running do
        incr spent;
        match Cpu.step hart.cpu with
        | None -> ()
@@ -58,27 +77,58 @@ let run_quantum t hart =
    with Cpu.Exit_requested v -> hart.state <- Done v);
   !spent
 
+let finalize_cycles t =
+  List.iter
+    (fun h -> h.cpu.Cpu.stats.Stats.cycles <- Pipeline.cycles h.cpu.Cpu.pipe)
+    t.harts
+
+let run_for t ~budget =
+  match t.finished with
+  | Some o -> `Finished o
+  | None ->
+      let spent = ref 0 in
+      let yielded = ref false in
+      (* keep per-hart cycle counts consistent even when a syscall
+         handler raises (policy violations propagate as exceptions) *)
+      Fun.protect ~finally:(fun () -> finalize_cycles t) @@ fun () ->
+      while t.finished = None && not !yielded do
+        match t.round with
+        | [] -> (
+            match
+              List.filter_map
+                (fun h -> if h.state = Running then Some (h, t.quantum) else None)
+                t.harts
+            with
+            | [] ->
+                (* every hart is finished or crashed but hart 0 was not:
+                   cannot happen (hart 0 Running always progresses), but
+                   stay safe *)
+                t.finished <- Some Cpu.Out_of_fuel
+            | runnable -> t.round <- runnable)
+        | (hart, remaining) :: rest ->
+            if hart.state <> Running then t.round <- rest
+            else begin
+              let allowance = min remaining (budget - !spent) in
+              if allowance <= 0 then yielded := true
+              else begin
+                let used = run_steps hart allowance in
+                spent := !spent + used;
+                if hart.state = Running && remaining - used > 0 then
+                  (* the budget cut the quantum short: stay at the head
+                     so the schedule is independent of budget slicing *)
+                  t.round <- (hart, remaining - used) :: rest
+                else t.round <- rest;
+                if hart.id = 0 then
+                  match hart.state with
+                  | Done v -> t.finished <- Some (Cpu.Exited v)
+                  | Crashed (f, ip) -> t.finished <- Some (Cpu.Faulted (f, ip))
+                  | Running -> ()
+              end
+            end
+      done;
+      (match t.finished with Some o -> `Finished o | None -> `Yielded)
+
 let run ?(fuel = 2_000_000_000) t =
-  let remaining = ref fuel in
-  let outcome = ref None in
-  while !outcome = None && !remaining > 0 do
-    let progressed = ref false in
-    List.iter
-      (fun hart ->
-        if hart.state = Running && !outcome = None then begin
-          let spent = run_quantum t hart in
-          if spent > 0 then progressed := true;
-          remaining := !remaining - spent
-        end;
-        if hart.id = 0 then
-          match hart.state with
-          | Done v -> outcome := Some (Cpu.Exited v)
-          | Crashed (f, ip) -> outcome := Some (Cpu.Faulted (f, ip))
-          | Running -> ())
-      t.harts;
-    if not !progressed && !outcome = None then
-      (* every hart is finished or crashed but hart 0 was not: cannot
-         happen (hart 0 Running always progresses), but stay safe *)
-      outcome := Some Cpu.Out_of_fuel
-  done;
-  match !outcome with Some o -> o | None -> Cpu.Out_of_fuel
+  match run_for t ~budget:fuel with
+  | `Finished o -> o
+  | `Yielded -> Cpu.Out_of_fuel

@@ -39,8 +39,28 @@ val state_of : t -> int -> state option
 
 val cpu_of : t -> int -> Cpu.t option
 
+val stats : t -> Stats.t
+(** Fresh aggregated counters over all harts
+    ({!Stats.concurrent}: events sum, [cycles] is the slowest hart's
+    pipeline).  Spawned-hart work is therefore visible in the
+    aggregate, not just hart 0's share. *)
+
+val run_for : t -> budget:int -> Cpu.status
+(** The resumable scheduler: run the deterministic round robin for at
+    most [budget] instructions (summed over all harts) and suspend.
+    Suspension can land mid-quantum; the suspended hart resumes with
+    the remainder of its quantum, so the instruction interleaving — and
+    with it every counter — is byte-identical however a run is sliced
+    into budgets.  Returns [`Finished] with hart 0's outcome once it is
+    done (further calls return the same outcome without stepping).
+    Per-hart cycle counters are finalised on every return, including
+    when a syscall handler raises.  A non-positive budget yields
+    immediately. *)
+
 val run : ?fuel:int -> t -> Cpu.outcome
 (** Schedule all harts until hart 0 finishes (its outcome is returned),
-    a fault escapes, or the combined instruction budget runs out.  A
-    hart that returns from its entry function simply finishes with its
-    result; other harts keep running only as long as hart 0 does. *)
+    a fault escapes, or the combined instruction budget runs out: one
+    {!run_for} slice of [fuel] instructions, with [`Yielded] surfaced
+    as {!Cpu.Out_of_fuel}.  A hart that returns from its entry function
+    simply finishes with its result; other harts keep running only as
+    long as hart 0 does. *)

@@ -25,6 +25,40 @@ let create () =
 
 let copy t = { t with slots_by_prov = Array.copy t.slots_by_prov }
 
+let add_events ~into t =
+  into.instructions <- into.instructions + t.instructions;
+  into.loads <- into.loads + t.loads;
+  into.stores <- into.stores + t.stores;
+  into.branches <- into.branches + t.branches;
+  into.predicated_off <- into.predicated_off + t.predicated_off;
+  into.syscalls <- into.syscalls + t.syscalls;
+  into.io_cycles <- into.io_cycles + t.io_cycles;
+  Array.iteri
+    (fun i v -> into.slots_by_prov.(i) <- into.slots_by_prov.(i) + v)
+    t.slots_by_prov
+
+let total = function
+  | [] -> create ()
+  | first :: rest ->
+      let acc = copy first in
+      List.iter
+        (fun t ->
+          add_events ~into:acc t;
+          acc.cycles <- acc.cycles + t.cycles)
+        rest;
+      acc
+
+let concurrent = function
+  | [] -> create ()
+  | first :: rest ->
+      let acc = copy first in
+      List.iter
+        (fun t ->
+          add_events ~into:acc t;
+          acc.cycles <- max acc.cycles t.cycles)
+        rest;
+      acc
+
 let slots t p = t.slots_by_prov.(Shift_isa.Prov.index p)
 let total_slots t = Array.fold_left ( + ) 0 t.slots_by_prov
 

@@ -23,6 +23,16 @@ val create : unit -> t
 val copy : t -> t
 (** Snapshot (the slot array is duplicated, not shared). *)
 
+val total : t list -> t
+(** Fresh counters that are the element-wise sum of the inputs, cycles
+    included — the aggregate for {e sequential} composition (a fleet of
+    independent sessions).  [total []] is all zeroes. *)
+
+val concurrent : t list -> t
+(** Like {!total}, but [cycles] is the {e maximum} over the inputs:
+    SMP harts execute in parallel, so events sum while elapsed time is
+    the slowest hart's pipeline.  [concurrent []] is all zeroes. *)
+
 val slots : t -> Shift_isa.Prov.t -> int
 (** Issue slots charged to instructions of the given provenance. *)
 

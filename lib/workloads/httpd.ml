@@ -89,3 +89,24 @@ let setup ~file_size ~requests world =
     Shift_os.World.queue_request world
       (Printf.sprintf "GET /%s HTTP/1.0\r\nHost: bench\r\n\r\n" (file_name ~file_size))
   done
+
+(* ---------- the host-side request driver ---------- *)
+
+let default_slice = 100_000
+
+let serve ?policy:(pol = policy) ?io_cost:(io = io_cost) ?(fuel = 2_000_000_000)
+    ?(slice = default_slice) ?(on_slice = fun _ -> ()) ~mode ~file_size ~requests () =
+  let config =
+    Shift.Session.Config.make ~policy:pol ~io_cost:io ~fuel
+      ~setup:(setup ~file_size ~requests) ()
+  in
+  let live = Shift.Session.start ~config (Shift.Session.build ~mode program) in
+  let rec drive () =
+    match Shift.Session.advance live ~budget:slice with
+    | `Yielded ->
+        on_slice live;
+        drive ()
+    | `Finished _ -> ()
+  in
+  drive ();
+  Shift.Session.report live

@@ -25,3 +25,26 @@ val setup : file_size:int -> requests:int -> Shift_os.World.t -> unit
     GETs for it. *)
 
 val request_path : file_size:int -> string
+
+val default_slice : int
+(** Engine-slice size {!serve} advances by (100k instructions). *)
+
+val serve :
+  ?policy:Shift_policy.Policy.t ->
+  ?io_cost:Shift_os.World.io_cost ->
+  ?fuel:int ->
+  ?slice:int ->
+  ?on_slice:(Shift.Session.live -> unit) ->
+  mode:Shift_compiler.Mode.t ->
+  file_size:int ->
+  requests:int ->
+  unit ->
+  Shift.Report.t
+(** Serve [requests] GETs of a [file_size]-byte file by driving the
+    server through the resumable engine: the request stream is
+    installed up front and the host advances the session in [slice]
+    -instruction engine slices ([on_slice] fires between them — the
+    hook a multiplexing front end uses) instead of one monolithic run.
+    Because engine suspension touches no machine state, the report's
+    counters are byte-identical to a single-slice run at any [slice].
+    [policy]/[io_cost] default to this module's. *)

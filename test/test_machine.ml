@@ -422,6 +422,65 @@ let pipeline_tests =
         Util.check_int "syscalls" 1 cpu.Cpu.stats.syscalls);
   ]
 
+(* the budgeted stepping primitive behind Exec (PR 3) *)
+let engine_tests =
+  [
+    tc "fuel 0 is immediate fuel exhaustion" (fun () ->
+        let _, outcome =
+          run ~fuel:0 [ m (Instr.Movi (Reg.ret, 1L)); m Instr.Halt ]
+        in
+        match outcome with
+        | Cpu.Out_of_fuel -> ()
+        | _ -> Alcotest.fail "expected fuel exhaustion");
+    tc "run_for with budget 0 yields without stepping" (fun () ->
+        let cpu = Cpu.create (build [ m Instr.Halt ]) in
+        (match Cpu.run_for cpu ~budget:0 with
+        | `Yielded -> ()
+        | `Finished _ -> Alcotest.fail "expected yield");
+        Util.check_int "no instructions ran" 0 cpu.Cpu.stats.instructions);
+    tc "slicing run_for does not perturb the counters" (fun () ->
+        let prog =
+          build
+            [
+              m (Instr.Movi (1, 0L));
+              lbl "loop";
+              m (Instr.Arith (Instr.Add, 1, 1, Instr.Imm 1L));
+              m (Instr.Cmp { cond = Cond.Lt; pt = 1; pf = 0; src1 = 1;
+                             src2 = Instr.Imm 100L; taint_aware = false });
+              m ~qp:1 (Instr.Br "loop");
+              m (Instr.Arith (Instr.Add, Reg.ret, 1, Instr.Imm 0L));
+              m Instr.Halt;
+            ]
+        in
+        let reference = Cpu.create prog in
+        let ref_outcome = Cpu.run reference in
+        let sliced = Cpu.create prog in
+        let rec drive () =
+          match Cpu.run_for sliced ~budget:3 with
+          | `Yielded -> drive ()
+          | `Finished o -> o
+        in
+        let sliced_outcome = drive () in
+        (match (ref_outcome, sliced_outcome) with
+        | Cpu.Exited a, Cpu.Exited b -> Util.check_i64 "exit" a b
+        | _ -> Alcotest.fail "expected both to exit");
+        Util.check_string "counters"
+          (Format.asprintf "%a" Shift_machine.Stats.pp reference.Cpu.stats)
+          (Format.asprintf "%a" Shift_machine.Stats.pp sliced.Cpu.stats));
+    tc "Stats.total sums cycles, Stats.concurrent maxes them" (fun () ->
+        let a = Shift_machine.Stats.create ()
+        and b = Shift_machine.Stats.create () in
+        a.instructions <- 10; a.cycles <- 100; a.loads <- 3;
+        b.instructions <- 5; b.cycles <- 40; b.loads <- 4;
+        let t = Shift_machine.Stats.total [ a; b ]
+        and c = Shift_machine.Stats.concurrent [ a; b ] in
+        Util.check_int "total instructions" 15 t.instructions;
+        Util.check_int "total cycles" 140 t.cycles;
+        Util.check_int "total loads" 7 t.loads;
+        Util.check_int "concurrent instructions" 15 c.instructions;
+        Util.check_int "concurrent cycles" 100 c.cycles);
+  ]
+
 let suites =
   [
     ("machine.arith", arith_tests);
@@ -430,4 +489,5 @@ let suites =
     ("machine.spill", spill_tests);
     ("machine.control", control_tests);
     ("machine.pipeline", pipeline_tests);
+    ("machine.engine", engine_tests);
   ]

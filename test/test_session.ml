@@ -102,5 +102,42 @@ let overhead_tests =
         Util.check_int "cycles equal" (cycles Mode.shift_word) (cycles Mode.shift_word));
   ]
 
+let timeout_tests =
+  (* fuel exhaustion surfaces as Report.Timeout through every entry
+     point — single-hart and SMP alike (PR 3 satellite) *)
+  let spin = Util.main_returning [ while_ (i 0 ==: i 0) []; ret (i 0) ] in
+  let expect_timeout msg (r : Shift.Report.t) =
+    match r.Shift.Report.outcome with
+    | Shift.Report.Timeout -> ()
+    | o -> Alcotest.failf "%s: expected timeout, got %a" msg Shift.Report.pp_outcome o
+  in
+  [
+    tc "fuel 0 is an immediate timeout" (fun () ->
+        expect_timeout "single"
+          (Shift.Session.run ~fuel:0 ~mode:Mode.shift_word spin);
+        expect_timeout "mt" (Shift.Session.run_mt ~fuel:0 ~mode:Mode.shift_word spin));
+    tc "a spinning guest times out with its counters intact" (fun () ->
+        let r = Shift.Session.run ~fuel:5000 ~mode:Mode.shift_word spin in
+        expect_timeout "single" r;
+        Util.check_int "all fuel consumed" 5000
+          r.Shift.Report.stats.Shift_machine.Stats.instructions;
+        Util.check_bool "cycles advanced" true
+          (r.Shift.Report.stats.Shift_machine.Stats.cycles > 0));
+    tc "a finished session reports the same outcome forever" (fun () ->
+        let image = Shift.Session.build ~mode:Mode.shift_word spin in
+        let config = Shift.Session.Config.make ~fuel:100 () in
+        let live = Shift.Session.start ~config image in
+        (match Shift.Session.advance live ~budget:1000 with
+        | `Finished Shift.Report.Timeout -> ()
+        | _ -> Alcotest.fail "expected timeout");
+        match (Shift.Session.outcome live, Shift.Session.advance live ~budget:1) with
+        | Some Shift.Report.Timeout, `Finished Shift.Report.Timeout -> ()
+        | _ -> Alcotest.fail "timeout not sticky");
+  ]
+
 let suites =
-  [ ("session.detection", detection_tests); ("session.overhead", overhead_tests) ]
+  [
+    ("session.detection", detection_tests);
+    ("session.overhead", overhead_tests);
+    ("session.timeout", timeout_tests);
+  ]

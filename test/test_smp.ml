@@ -206,9 +206,56 @@ let race_tests =
         Util.check_i64 "no tag lost" 0L v);
   ]
 
+(* a worker that spins forever while main busy-waits in join *)
+let runaway_prog =
+  {
+    Ir.globals = [];
+    funcs =
+      [
+        func "worker" ~params:[ "x" ] ~locals:[]
+          [ while_ (i 0 ==: i 0) []; ret (i 0) ];
+        func "main" ~params:[] ~locals:[ scalar "t" ]
+          [
+            set "t" (call "sys_spawn" [ fnptr "worker"; i 0 ]);
+            ret (call "sys_join" [ v "t" ]);
+          ];
+      ];
+  }
+
+let fuel_tests =
+  [
+    tc "fuel 0 times out before any instruction" (fun () ->
+        let r = Shift.Session.run_mt ~fuel:0 ~mode:Mode.shift_word basics_prog in
+        (match r.Shift.Report.outcome with
+        | Shift.Report.Timeout -> ()
+        | o -> Alcotest.failf "expected timeout, got %a" Shift.Report.pp_outcome o);
+        Util.check_int "no instructions ran" 0
+          r.Shift.Report.stats.Shift_machine.Stats.instructions);
+    tc "fuel is a strict cap across harts" (fun () ->
+        (* the engine charges every hart's steps against one budget and
+           suspends exactly at the boundary *)
+        let r =
+          Shift.Session.run_mt ~fuel:1000 ~quantum:7 ~mode:Mode.shift_word
+            runaway_prog
+        in
+        (match r.Shift.Report.outcome with
+        | Shift.Report.Timeout -> ()
+        | o -> Alcotest.failf "expected timeout, got %a" Shift.Report.pp_outcome o);
+        Util.check_bool "at most 1000 instructions" true
+          (r.Shift.Report.stats.Shift_machine.Stats.instructions <= 1000));
+    tc "spawned-hart work shows up in the report" (fun () ->
+        (* 2x200 locked increments happen on worker harts; the report
+           used to show only hart 0's counters *)
+        let r = run_mt ~quantum:7 (shared_counter_prog ~locked:true) in
+        Util.check_i64 "exact count" 400L (Util.exit_code r);
+        Util.check_bool "worker stores aggregated" true
+          (r.Shift.Report.stats.Shift_machine.Stats.stores >= 400));
+  ]
+
 let suites =
   [
     ("smp.basics", basics_tests);
     ("smp.taint", taint_tests);
     ("smp.bitmap-race", race_tests);
+    ("smp.fuel", fuel_tests);
   ]
