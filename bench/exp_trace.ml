@@ -1,0 +1,161 @@
+(* Tracing-off vs tracing-on: the cost of the Flowtrace subsystem.
+
+   Two claims are checked and recorded:
+
+   - *tracing off is free in semantics*: with no trace configured the
+     simulated counters (instructions, cycles, loads, stores) are
+     identical to a traced run's — the trace is observation only — and
+     the untraced run's counters match the pre-Flowtrace baseline by
+     construction (one dead branch per instrumented op).  CI greps the
+     JSON for the [tracing_off_consistent] verdict.
+
+   - *tracing on has bounded cost*: the wall-clock/MIPS columns record
+     what the hooks cost when live, so a regression in the tracing fast
+     path shows in the bench trajectory (BENCH_trace.json).
+
+   Like the throughput experiment this one is serial and its timing
+   columns are host-dependent; counters and verdicts are exact.  The
+   payload also records a traced attack case end to end (the tar
+   directory traversal) with its flow summary and provenance chain —
+   the observable artifact the subsystem exists for. *)
+
+open Common
+module J = Shift.Results
+module Stats = Shift_machine.Stats
+module Flowtrace = Shift_machine.Flowtrace
+
+let kernels = List.filter_map Spec.find [ "gzip"; "mcf" ]
+let modes = [ ("word", word); ("byte", byte) ]
+
+let fresh_run ?trace k mode =
+  let image = image_of_kernel k mode in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    Shift.Session.run_image ~policy:Policy.default ~fuel
+      ~setup:(Spec.setup ~tainted:true k) ?trace image
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (report, wall)
+
+let mips (s : Stats.t) wall =
+  if wall <= 0. then 0. else float_of_int s.Stats.instructions /. wall /. 1e6
+
+let counters (s : Stats.t) =
+  (s.Stats.instructions, s.Stats.cycles, s.Stats.loads, s.Stats.stores)
+
+let stats_json (s : Stats.t) =
+  J.Obj
+    [
+      ("instructions", J.Int s.Stats.instructions);
+      ("cycles", J.Int s.Stats.cycles);
+      ("loads", J.Int s.Stats.loads);
+      ("stores", J.Int s.Stats.stores);
+    ]
+
+(* the traced attack case: tar directory traversal, byte granularity so
+   offsets are exact *)
+let attack_trace () =
+  match
+    List.find_opt
+      (fun (c : Shift_attacks.Attack_case.t) ->
+        c.Shift_attacks.Attack_case.provenance <> None)
+      Shift_attacks.Attacks.all
+  with
+  | None -> J.Null
+  | Some c ->
+      let open Shift_attacks.Attack_case in
+      let config =
+        Shift.Session.Config.make ~policy:c.policy ~setup:c.exploit
+          ~trace:Shift.Flowtrace.default_options ()
+      in
+      let live =
+        Shift.Session.start ~config (Shift.Session.build ~mode:byte c.program)
+      in
+      (match Shift.Session.advance live ~budget:max_int with
+      | `Finished _ | `Yielded -> ());
+      let report = Shift.Session.report live in
+      let chain =
+        match Shift.Report.alert report with
+        | Some a -> a.Shift_policy.Alert.chain
+        | None -> []
+      in
+      J.Obj
+        [
+          ("case", J.String c.program_name);
+          ("outcome", J.of_outcome report.Shift.Report.outcome);
+          ("chain", J.List (List.map (fun h -> J.String h) chain));
+          ( "flow",
+            match report.Shift.Report.flow with
+            | Some f -> J.of_flow f
+            | None -> J.Null );
+        ]
+
+let trace () =
+  header "Flowtrace: tracing-off vs tracing-on cost (host-dependent timing)";
+  let grid =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun (mode_name, mode) ->
+            let off, off_wall = fresh_run k mode in
+            let on, on_wall =
+              fresh_run ~trace:Flowtrace.default_options k mode
+            in
+            (k.Spec.name, mode_name, off, off_wall, on, on_wall))
+          modes)
+      kernels
+  in
+  table
+    ~columns:
+      [ "kernel"; "mode"; "off MIPS"; "on MIPS"; "off ms"; "on ms"; "counters" ]
+    (List.map
+       (fun (kname, mode_name, off, off_wall, on, on_wall) ->
+         [
+           kname;
+           mode_name;
+           Printf.sprintf "%.2f" (mips off.Shift.Report.stats off_wall);
+           Printf.sprintf "%.2f" (mips on.Shift.Report.stats on_wall);
+           Printf.sprintf "%.1f" (off_wall *. 1000.);
+           Printf.sprintf "%.1f" (on_wall *. 1000.);
+           (if
+              counters off.Shift.Report.stats = counters on.Shift.Report.stats
+            then "identical"
+            else "MISMATCH");
+         ])
+       grid);
+  let off_consistent =
+    List.for_all
+      (fun (_, _, off, _, on, _) ->
+        counters off.Shift.Report.stats = counters on.Shift.Report.stats
+        && off.Shift.Report.flow = None
+        && on.Shift.Report.flow <> None)
+      grid
+  in
+  note "tracing is observation only: simulated counters must be identical";
+  note "with and without a trace attached; verdict: %s"
+    (if off_consistent then "ok" else "MISMATCH");
+  J.Obj
+    [
+      ( "runs",
+        J.List
+          (List.map
+             (fun (kname, mode_name, off, off_wall, on, on_wall) ->
+               J.Obj
+                 [
+                   ("kernel", J.String kname);
+                   ("mode", J.String mode_name);
+                   ("off", stats_json off.Shift.Report.stats);
+                   ("off_wall_s", J.Float off_wall);
+                   ("off_mips", J.Float (mips off.Shift.Report.stats off_wall));
+                   ("on", stats_json on.Shift.Report.stats);
+                   ("on_wall_s", J.Float on_wall);
+                   ("on_mips", J.Float (mips on.Shift.Report.stats on_wall));
+                   ( "flow",
+                     match on.Shift.Report.flow with
+                     | Some f -> J.of_flow f
+                     | None -> J.Null );
+                 ])
+             grid) );
+      ("attack_trace", attack_trace ());
+      ("tracing_off_consistent", J.Bool off_consistent);
+    ]

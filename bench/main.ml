@@ -31,6 +31,7 @@ let experiments =
     ("speculation", Exp_speculation.speculation);
     ("throughput", Exp_throughput.throughput);
     ("fleet", Exp_fleet.fleet);
+    ("trace", Exp_trace.trace);
     ("bechamel", Bech.run);
   ]
 

@@ -297,46 +297,108 @@ let disasm_cmd =
 
 let trace_cmd =
   let name_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name.")
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"IMAGE"
+          ~doc:"What to trace: an attack case (prefix of the program name) or a kernel.")
   in
-  let limit_arg =
-    Arg.(value & opt int 200 & info [ "limit" ] ~docv:"N" ~doc:"Instructions to trace.")
+  let benign_arg =
+    Arg.(
+      value & flag
+      & info [ "benign" ]
+          ~doc:"For attack cases: use the benign input instead of the exploit.")
   in
-  let run name mode limit =
-    match find_kernel name with
-    | Error e ->
+  let ring_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "ring" ] ~docv:"N"
+          ~doc:"Capacity of the event ring buffer (older events are dropped).")
+  in
+  let events_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "events" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated event kinds to record \
+             (birth,load,prop,store,purge,check,sink); default all.")
+  in
+  let parse_kinds = function
+    | None -> Ok None
+    | Some s ->
+        let names = String.split_on_char ',' s in
+        let kinds = List.map Shift.Flowtrace.kind_of_string names in
+        if List.mem None kinds then
+          Error (Printf.sprintf "unknown event kind in %S" s)
+        else Ok (Some (List.filter_map Fun.id kinds))
+  in
+  (* an attack case (policy + canned input) or a kernel (default policy,
+     tainted input file) *)
+  let resolve name =
+    match Shift_attacks.Attacks.find name with
+    | Some c ->
+        Ok
+          (fun benign ->
+            ( c.Case.program_name,
+              c.Case.policy,
+              (if benign then c.Case.benign else c.Case.exploit),
+              c.Case.program ))
+    | None -> (
+        match find_kernel name with
+        | Ok k ->
+            Ok
+              (fun _benign ->
+                ( k.Spec.name,
+                  Policy.default,
+                  Spec.setup ~tainted:true k,
+                  k.Spec.program ))
+        | Error _ ->
+            Error
+              (Printf.sprintf
+                 "unknown image %S: not an attack case or kernel (see `shiftc \
+                  list`)"
+                 name))
+  in
+  let run name mode benign ring events json =
+    match (resolve name, parse_kinds events) with
+    | Error e, _ | _, Error e ->
         prerr_endline e;
         1
-    | Ok k ->
-        let image = Shift.Session.build ~mode k.Spec.program in
-        let cpu = Shift.Session.load image in
-        let world =
-          Shift_os.World.create ~policy:Policy.default
-            ~gran:(Shift.Session.gran_of_mode mode) ()
+    | Ok pick, Ok only ->
+        let label, policy, setup, program = pick benign in
+        let config =
+          Shift.Session.Config.make ~policy ~setup
+            ~trace:{ Shift.Flowtrace.capacity = ring; only }
+            ()
         in
-        Shift_workloads.Spec.setup ~tainted:true k world;
-        cpu.Shift_machine.Cpu.syscall_handler <- Some (Shift_os.World.handler world);
-        let count = ref 0 in
-        cpu.Shift_machine.Cpu.trace <-
-          Some
-            (fun t ip i ->
-              incr count;
-              if !count > limit then raise Exit;
-              let nats =
-                List.filter (Shift_machine.Cpu.get_nat t) (List.init 128 Fun.id)
-              in
-              Format.printf "%6d  %4d  %-44s%s@." !count ip (Shift_isa.Instr.to_string i)
-                (if nats = [] then ""
-                 else
-                   " NaT:{"
-                   ^ String.concat "," (List.map (Printf.sprintf "r%d") nats)
-                   ^ "}"));
-        (try ignore (Shift_machine.Cpu.run ~fuel:limit cpu) with Exit -> ());
+        let image = Shift.Session.build ~mode program in
+        let live = Shift.Session.start ~config image in
+        (match Shift.Session.advance live ~budget:max_int with
+        | `Finished _ | `Yielded -> ());
+        let report = Shift.Session.report live in
+        let ft = Option.get (Shift.Session.flowtrace live) in
+        if json then
+          print_string
+            (Shift.Flow.jsonl
+               ~meta:
+                 [
+                   ("image", Shift.Results.String label);
+                   ("mode", Shift.Results.String (Format.asprintf "%a" Mode.pp mode));
+                 ]
+               ~outcome:report.Shift.Report.outcome ft)
+        else begin
+          Format.printf "flow trace of %s under %a@." label Mode.pp mode;
+          Format.printf "%a@." Shift.Flow.pp ft;
+          Format.printf "outcome: %a@." Shift.Report.pp_outcome
+            report.Shift.Report.outcome
+        end;
         0
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Trace a kernel instruction by instruction with NaT annotations")
-    Term.(const run $ name_arg $ mode_arg $ limit_arg)
+    (Cmd.info "trace"
+       ~doc:
+         "Run an attack case or kernel with Flowtrace enabled and dump the \
+          taint-flow events (JSONL with --json)")
+    Term.(const run $ name_arg $ mode_arg $ benign_arg $ ring_arg $ events_arg $ json_arg)
 
 let exec_cmd =
   let file_arg =
@@ -374,7 +436,10 @@ let exec_cmd =
           List.iter (fun (p, c) -> Shift_os.World.add_file w p c) files;
           List.iter (Shift_os.World.queue_request w) requests
         in
-        let runner = if threads then Shift.Session.run_mt ?quantum:None else Shift.Session.run in
+        let runner ~policy ~setup ~mode prog =
+          if threads then Shift.Session.run_mt ~policy ~setup ~mode prog
+          else Shift.Session.run ~policy ~setup ~mode prog
+        in
         match runner ~policy ~setup ~mode prog with
         | r ->
             print_report r;

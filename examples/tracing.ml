@@ -1,10 +1,19 @@
-(* Tracing: watch NaT bits move through the pipeline, and read the
-   SHIFT instrumentation the compiler inserts.
+(* Tracing: watch tainted data move through the machine with Flowtrace.
+
+   Flowtrace is the observability layer over the NaT-bit taint
+   machinery: every taint birth, register-to-register propagation,
+   store, purge and check lands as a structured event in a ring
+   buffer, and sink alerts carry a provenance chain naming the input
+   bytes that reached them.
+
+   (The older per-instruction hook [Cpu.trace] still exists for raw
+   instruction streams; Flowtrace is the structured replacement.)
 
    Run with: dune exec examples/tracing.exe *)
 
 open Shift_isa
 module Cpu = Shift_machine.Cpu
+module Flowtrace = Shift_machine.Flowtrace
 
 (* -------- part 1: the deferred-exception lifecycle, hand-written ---- *)
 
@@ -28,24 +37,48 @@ let demo_program =
     ]
 
 let trace_nat () =
-  print_endline "== NaT propagation, instruction by instruction ==";
+  print_endline "== NaT lifecycle as Flowtrace events ==";
   let cpu = Cpu.create demo_program in
-  cpu.Cpu.trace <-
-    Some
-      (fun t ip i ->
-        let nats =
-          List.filter (Cpu.get_nat t) [ 5; 6; 7 ]
-          |> List.map (fun r -> Reg.to_string r)
-          |> String.concat ","
-        in
-        Format.printf "  %2d  %-28s NaT:{%s}@." ip (Instr.to_string i) nats);
+  cpu.Cpu.flowtrace <- Flowtrace.create ();
   (match Cpu.run cpu with
   | Cpu.Exited _ -> ()
   | _ -> prerr_endline "unexpected outcome");
-  Format.printf "  final predicates: p1(tainted before xor)=%b p3(after xor)=%b@.@."
+  let ft = cpu.Cpu.flowtrace in
+  List.iter (Format.printf "  %a@." Flowtrace.pp_event) (Flowtrace.events ft);
+  Format.printf "  %a@." Flowtrace.pp_summary (Flowtrace.summary ft);
+  Format.printf
+    "  final predicates: p1(tainted before xor)=%b p3(after xor)=%b@.@."
     cpu.Cpu.preds.(1) cpu.Cpu.preds.(3)
 
-(* -------- part 2: what the SHIFT pass inserts ----------------------- *)
+(* -------- part 2: an attack case, traced end to end ----------------- *)
+
+let trace_attack () =
+  print_endline "== GNU Tar directory traversal, traced end to end ==";
+  match Shift_attacks.Attacks.find "gnu tar" with
+  | None -> prerr_endline "tar case missing"
+  | Some c ->
+      let open Shift_attacks.Attack_case in
+      let config =
+        Shift.Session.Config.make ~policy:c.policy ~setup:c.exploit
+          ~trace:{ Shift.Flowtrace.capacity = 64; only = None }
+          ()
+      in
+      let image = Shift.Session.build ~mode:Shift.Mode.shift_byte c.program in
+      let live = Shift.Session.start ~config image in
+      (match Shift.Session.advance live ~budget:max_int with
+      | `Finished _ | `Yielded -> ());
+      let report = Shift.Session.report live in
+      (match Shift.Session.flowtrace live with
+      | Some ft -> Format.printf "%a@." Shift.Flow.pp ft
+      | None -> ());
+      (match Shift.Report.alert report with
+      | Some a ->
+          Format.printf "  alert %s, provenance chain:@." a.Shift.Alert.policy;
+          List.iter (Format.printf "    %s@.") a.Shift.Alert.chain
+      | None -> print_endline "  no alert (unexpected)");
+      print_newline ()
+
+(* -------- part 3: what the SHIFT pass inserts ----------------------- *)
 
 open Build
 open Build.Infix
@@ -73,5 +106,6 @@ let show_listing mode =
 
 let () =
   trace_nat ();
+  trace_attack ();
   show_listing Shift_compiler.Mode.Uninstrumented;
   show_listing Shift_compiler.Mode.shift_word

@@ -9,4 +9,5 @@ type t = {
   policy : Shift_policy.Policy.t;
   benign : Shift_os.World.t -> unit;
   exploit : Shift_os.World.t -> unit;
+  provenance : (string * int * int) option;
 }

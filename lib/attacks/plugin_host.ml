@@ -86,4 +86,5 @@ let case_for_mode mode =
       (fun w ->
         Shift_os.World.add_file w "plugins.reg"
           (registry_for (code_addr mode "maintenance_shell")));
+    provenance = None;
   }

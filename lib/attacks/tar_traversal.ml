@@ -109,4 +109,7 @@ let case =
       (fun w ->
         Shift_os.World.add_file w "archive.tar"
           (archive [ ("docs/readme.txt", "innocuous"); ("/etc/passwd", "root::0:0::/:/bin/sh") ]));
+    (* "/etc/passwd" sits at archive bytes 28..38: 15 name + 1 nl + 1
+       size digit + 1 nl + 9 payload + 1 nl *)
+    provenance = Some ("file:archive.tar", 28, 38);
   }

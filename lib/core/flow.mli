@@ -1,0 +1,20 @@
+(** Deterministic JSONL export of a flow trace.
+
+    One JSON object per line, minified, in a fixed order: a [meta]
+    header (carrying the {!Results.schema_version}), the interned
+    sources, the ring's events oldest-first, the counter [summary], and
+    optionally the run's [outcome] (alerts include their provenance
+    chain).  Two identical runs produce byte-identical output — the CI
+    determinism gate diffs the files with [cmp]. *)
+
+val jsonl :
+  ?meta:(string * Results.json) list ->
+  ?outcome:Report.outcome ->
+  Shift_machine.Flowtrace.t ->
+  string
+(** The full JSONL document, newline-terminated.  [meta] fields are
+    appended to the header line (e.g. the traced image's name and
+    mode). *)
+
+val pp : Format.formatter -> Shift_machine.Flowtrace.t -> unit
+(** Human-readable rendering: sources, events, summary. *)

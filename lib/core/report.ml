@@ -12,6 +12,7 @@ type t = {
   html : string;
   sql : string list;
   commands : string list;
+  flow : Shift_machine.Flowtrace.summary option;
 }
 
 let detected t =

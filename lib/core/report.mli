@@ -24,6 +24,9 @@ type t = {
   html : string;         (** bytes emitted through the HTML sink *)
   sql : string list;     (** queries the guest executed *)
   commands : string list;(** shell commands the guest executed *)
+  flow : Shift_machine.Flowtrace.summary option;
+      (** flow-trace summary when the session was traced
+          ([Config.trace]); [None] otherwise *)
 }
 
 val detected : t -> bool

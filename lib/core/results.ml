@@ -262,16 +262,35 @@ let of_stats (s : Shift_machine.Stats.t) =
       );
     ]
 
+let of_flow (f : Shift_machine.Flowtrace.summary) =
+  Obj
+    [
+      ("births", Int f.Shift_machine.Flowtrace.s_births);
+      ("propagations", Int f.s_propagations);
+      ("purges", Int f.s_purges);
+      ("checks", Int f.s_checks);
+      ("sink_hits", Int f.s_sink_hits);
+      ("max_depth", Int f.s_max_depth);
+      ("events", Int f.s_events);
+      ("dropped", Int f.s_dropped);
+      ("sources", Int f.s_sources);
+    ]
+
 let of_outcome = function
   | Report.Exited v ->
       Obj [ ("kind", String "exited"); ("status", String (Int64.to_string v)) ]
   | Report.Alert a ->
       Obj
-        [
-          ("kind", String "alert");
-          ("policy", String a.Shift_policy.Alert.policy);
-          ("message", String a.Shift_policy.Alert.message);
-        ]
+        ([
+           ("kind", String "alert");
+           ("policy", String a.Shift_policy.Alert.policy);
+           ("message", String a.Shift_policy.Alert.message);
+         ]
+        @
+        (* only traced runs have chains: untraced output is unchanged *)
+        match a.Shift_policy.Alert.chain with
+        | [] -> []
+        | chain -> [ ("chain", List (List.map (fun h -> String h) chain)) ])
   | Report.Fault f ->
       Obj
         [
@@ -282,13 +301,17 @@ let of_outcome = function
 
 let of_report (r : Report.t) =
   Obj
-    [
-      ("outcome", of_outcome r.Report.outcome);
-      ("detected", Bool (Report.detected r));
-      ("stats", of_stats r.Report.stats);
-      ("logged_alerts", Int (List.length r.Report.logged));
-      ("output_bytes", Int (String.length r.Report.output));
-    ]
+    ([
+       ("outcome", of_outcome r.Report.outcome);
+       ("detected", Bool (Report.detected r));
+       ("stats", of_stats r.Report.stats);
+       ("logged_alerts", Int (List.length r.Report.logged));
+       ("output_bytes", Int (String.length r.Report.output));
+     ]
+    @
+    match r.Report.flow with
+    | None -> []
+    | Some f -> [ ("flow", of_flow f) ])
 
 let document ~experiment ~domains ~wall_clock_s data =
   Obj

@@ -58,14 +58,20 @@ val of_stats : Shift_machine.Stats.t -> json
     issue-slot breakdown that drives the Figure-9 analysis (keyed by
     {!Shift_isa.Prov.to_string} names). *)
 
+val of_flow : Shift_machine.Flowtrace.summary -> json
+(** Flow-trace counters of a traced run: births, propagations, purges,
+    checks, sink hits, max chain depth, and ring occupancy. *)
+
 val of_outcome : Report.outcome -> json
 (** Tagged object with a ["kind"] of ["exited"], ["alert"], ["fault"]
-    or ["timeout"], plus the kind-specific detail. *)
+    or ["timeout"], plus the kind-specific detail.  Alerts from traced
+    runs additionally carry their provenance ["chain"]. *)
 
 val of_report : Report.t -> json
 (** Outcome, detection flag, {!of_stats} counters, and alert/output
-    volume counts.  Raw output bytes are deliberately omitted — the
-    documents are diffed, not replayed. *)
+    volume counts, plus a ["flow"] object ({!of_flow}) for traced runs.
+    Raw output bytes are deliberately omitted — the documents are
+    diffed, not replayed. *)
 
 val document :
   experiment:string -> domains:int -> wall_clock_s:float -> json -> json

@@ -23,6 +23,7 @@ module Config = struct
     fuel : int;
     setup : World.t -> unit;
     threading : threading;
+    trace : Shift_machine.Flowtrace.options option;
   }
 
   let default =
@@ -32,11 +33,13 @@ module Config = struct
       fuel = default_fuel;
       setup = (fun _ -> ());
       threading = Single;
+      trace = None;
     }
 
   let make ?(policy = Policy.default) ?(io_cost = World.default_io_cost)
-      ?(fuel = default_fuel) ?(setup = fun _ -> ()) ?(threading = Single) () =
-    { policy; io_cost; fuel; setup; threading }
+      ?(fuel = default_fuel) ?(setup = fun _ -> ()) ?(threading = Single)
+      ?trace () =
+    { policy; io_cost; fuel; setup; threading; trace }
 end
 
 let gran_of_mode = function
@@ -92,6 +95,10 @@ type live = {
 
 let start ?(config = Config.default) (image : Image.t) =
   let cpu = load image in
+  (match config.Config.trace with
+  | Some options ->
+      cpu.Cpu.flowtrace <- Shift_machine.Flowtrace.create ~options ()
+  | None -> ());
   let world =
     World.create ~policy:config.Config.policy ~gran:(gran_of_mode image.mode)
       ~io_cost:config.Config.io_cost ()
@@ -121,6 +128,10 @@ let start ?(config = Config.default) (image : Image.t) =
 let world live = live.world
 let engine live = live.engine
 let outcome live = live.result
+
+let flowtrace live =
+  let ft = (Exec.hart0 live.engine).Cpu.flowtrace in
+  if ft.Shift_machine.Flowtrace.enabled then Some ft else None
 
 let timeout live =
   live.result <- Some Report.Timeout;
@@ -158,6 +169,7 @@ let report live =
     html = World.html_output live.world;
     sql = World.sql_queries live.world;
     commands = World.system_commands live.world;
+    flow = Option.map Shift_machine.Flowtrace.summary (flowtrace live);
   }
 
 let exec ?config image =
@@ -169,11 +181,12 @@ let exec ?config image =
 
 (* ---------- the historical entry points, as one-line wrappers ---------- *)
 
-let run_image ?policy ?io_cost ?fuel ?setup image =
-  exec ~config:(Config.make ?policy ?io_cost ?fuel ?setup ()) image
+let run_image ?policy ?io_cost ?fuel ?setup ?trace image =
+  exec ~config:(Config.make ?policy ?io_cost ?fuel ?setup ?trace ()) image
 
-let run ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ~mode prog =
-  run_image ?policy ?io_cost ?fuel ?setup (build ?with_runtime ?taint_returns ~mode prog)
+let run ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ?trace ~mode prog =
+  run_image ?policy ?io_cost ?fuel ?setup ?trace
+    (build ?with_runtime ?taint_returns ~mode prog)
 
 let run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum image =
   exec

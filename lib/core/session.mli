@@ -34,10 +34,17 @@ module Config : sig
     setup : Shift_os.World.t -> unit;
         (** populate files / network requests before execution *)
     threading : threading;  (** machine shape *)
+    trace : Shift_machine.Flowtrace.options option;
+        (** [Some opts] attaches a {!Shift_machine.Flowtrace} to the
+            run: provenance is tracked, events land in the ring, sink
+            alerts carry chains, and the report gains a [flow]
+            summary.  [None] (the default) costs one branch per
+            instrumented op. *)
   }
 
   val default : t
-  (** Default policy and I/O costs, 2e9 fuel, no setup, single hart. *)
+  (** Default policy and I/O costs, 2e9 fuel, no setup, single hart,
+      no tracing. *)
 
   val make :
     ?policy:Shift_policy.Policy.t ->
@@ -45,6 +52,7 @@ module Config : sig
     ?fuel:int ->
     ?setup:(Shift_os.World.t -> unit) ->
     ?threading:threading ->
+    ?trace:Shift_machine.Flowtrace.options ->
     unit ->
     t
   (** {!default} with the given fields overridden. *)
@@ -103,6 +111,10 @@ val engine : live -> Shift_machine.Exec.t
 val outcome : live -> Report.outcome option
 (** The final outcome, once {!advance} returned [`Finished]. *)
 
+val flowtrace : live -> Shift_machine.Flowtrace.t option
+(** The session's flow trace, when the config asked for one — query it
+    mid-run between slices, or after the run for events and chains. *)
+
 val report : live -> Report.t
 (** Assemble the session's report: outcome (a session still live
     reports {!Report.Timeout}), aggregated machine counters, and
@@ -122,6 +134,7 @@ val run_image :
   ?io_cost:Shift_os.World.io_cost ->
   ?fuel:int ->
   ?setup:(Shift_os.World.t -> unit) ->
+  ?trace:Shift_machine.Flowtrace.options ->
   Shift_compiler.Image.t ->
   Report.t
 (** Run a compiled image on a fresh machine and OS world.  [setup] is
@@ -134,6 +147,7 @@ val run :
   ?io_cost:Shift_os.World.io_cost ->
   ?fuel:int ->
   ?setup:(Shift_os.World.t -> unit) ->
+  ?trace:Shift_machine.Flowtrace.options ->
   mode:Shift_compiler.Mode.t ->
   Ir.program ->
   Report.t

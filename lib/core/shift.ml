@@ -34,6 +34,12 @@ module Fleet = Fleet
 (** The resumable execution engine sessions are driven through. *)
 module Exec = Shift_machine.Exec
 
+(** Taint-provenance tracking: sources, propagation events, chains. *)
+module Flowtrace = Shift_machine.Flowtrace
+
+(** Deterministic JSONL export of a flow trace. *)
+module Flow = Flow
+
 (** Compilation / instrumentation modes. *)
 module Mode = Shift_compiler.Mode
 

@@ -14,6 +14,8 @@ type t = {
   cache : Cache.t;
   mutable syscall_handler : (t -> unit) option;
   mutable trace : (t -> int -> Instr.t -> unit) option;
+  mutable flowtrace : Flowtrace.t;
+  ftregs : Flowtrace.regs;
   call_stack : (int * int64) Stack.t;
 }
 
@@ -48,6 +50,8 @@ let create ?(entry = "_start") ?mem program =
     cache = Cache.create ();
     syscall_handler = None;
     trace = None;
+    flowtrace = Flowtrace.disabled ();
+    ftregs = Flowtrace.fresh_regs ();
     call_stack = Stack.create ();
   }
 
@@ -119,6 +123,12 @@ let indirect_target t v =
    pre-resolved label target for the branch-like operations, so the hot
    loop never consults the label table. *)
 let exec_op t (d : Decode.info) =
+  (* Flowtrace hooks fire only for original-program instructions whose
+     trace is enabled: one load-and-branch here when tracing is off, and
+     the SHIFT instrumentation (non-Orig provenance) stays transparent
+     to the provenance shadow. *)
+  let ft = t.flowtrace in
+  let ft_on = ft.Flowtrace.enabled && d.Decode.prov_index = 0 in
   match d.Decode.op with
   | Instr.Nop ->
       t.ip <- t.ip + 1
@@ -126,14 +136,17 @@ let exec_op t (d : Decode.info) =
   | Instr.Movi (d, v) ->
       set_value t d v;
       set_nat t d false;
+      if ft_on then Flowtrace.on_const ft t.ftregs ~dst:d;
       t.ip <- t.ip + 1
   | Instr.Mov (d, s) ->
       set_value t d t.values.(s);
       set_nat t d t.nats.(s);
+      if ft_on then Flowtrace.on_move ft t.ftregs ~ip:t.ip ~dst:d ~src:s;
       t.ip <- t.ip + 1
   | Instr.Lea (dst, _) ->
       set_value t dst (Int64.of_int d.Decode.target);
       set_nat t dst false;
+      if ft_on then Flowtrace.on_const ft t.ftregs ~dst;
       t.ip <- t.ip + 1
   | Instr.Arith (a, dst, s1, o) ->
       let v = eval_arith a t.values.(s1) (operand_value t o) in
@@ -150,6 +163,10 @@ let exec_op t (d : Decode.info) =
       in
       set_value t dst v;
       set_nat t dst nat;
+      if ft_on then
+        Flowtrace.on_arith ft t.ftregs ~ip:t.ip ~dst ~src1:s1
+          ~src2:(match o with Instr.R r -> Some r | Instr.Imm _ -> None)
+          ~clear:clear_idiom;
       t.ip <- t.ip + 1
   | Instr.Cmp { cond; pt; pf; src1; src2; taint_aware } ->
       let nat = t.nats.(src1) || operand_nat t src2 in
@@ -168,6 +185,8 @@ let exec_op t (d : Decode.info) =
   | Instr.Tnat { pt; pf; src } ->
       set_pred t pt t.nats.(src);
       set_pred t pf (not t.nats.(src));
+      if ft_on then
+        Flowtrace.on_check ft t.ftregs ~ip:t.ip ~src ~tainted:t.nats.(src);
       t.ip <- t.ip + 1
   | Instr.Extr { dst; src; pos; len } ->
       (* a full-width extract (len = 64) must keep all 64 bits; shifting
@@ -177,6 +196,7 @@ let exec_op t (d : Decode.info) =
       in
       set_value t dst (Int64.logand (Int64.shift_right_logical t.values.(src) (pos land 63)) mask);
       set_nat t dst t.nats.(src);
+      if ft_on then Flowtrace.on_move ft t.ftregs ~ip:t.ip ~dst ~src;
       t.ip <- t.ip + 1
   | Instr.Ld { width; dst; addr; spec; fill } ->
       let a = t.values.(addr) in
@@ -184,7 +204,8 @@ let exec_op t (d : Decode.info) =
       if invalid then
         if spec then begin
           set_value t dst 0L;
-          set_nat t dst true
+          set_nat t dst true;
+          if ft_on then Flowtrace.on_spec_nat ft t.ftregs ~ip:t.ip ~dst
         end
         else if t.nats.(addr) then
           raise (Fault_exn (Fault.Nat_consumption Fault.Load_address))
@@ -193,7 +214,10 @@ let exec_op t (d : Decode.info) =
         let v = Shift_mem.Memory.read t.mem a ~width:(Instr.bytes_of_width width) in
         set_value t dst v;
         set_nat t dst (fill && Int64.logand (Int64.shift_right_logical t.unat (unat_bit a)) 1L = 1L);
-        t.stats.loads <- t.stats.loads + 1
+        t.stats.loads <- t.stats.loads + 1;
+        if ft_on then
+          Flowtrace.on_load ft t.ftregs ~ip:t.ip ~dst ~addr:a
+            ~len:(Instr.bytes_of_width width)
       end;
       t.ip <- t.ip + 1
   | Instr.St { width; addr; src; spill } ->
@@ -213,8 +237,13 @@ let exec_op t (d : Decode.info) =
       end;
       Shift_mem.Memory.write t.mem a ~width:(Instr.bytes_of_width width) t.values.(src);
       t.stats.stores <- t.stats.stores + 1;
+      if ft_on then
+        Flowtrace.on_store ft t.ftregs ~ip:t.ip ~src ~addr:a
+          ~len:(Instr.bytes_of_width width);
       t.ip <- t.ip + 1
   | Instr.Chk_s { src; _ } ->
+      if ft_on then
+        Flowtrace.on_check ft t.ftregs ~ip:t.ip ~src ~tainted:t.nats.(src);
       if t.nats.(src) then begin
         t.ip <- d.Decode.target;
         t.stats.branches <- t.stats.branches + 1;
@@ -252,12 +281,15 @@ let exec_op t (d : Decode.info) =
       set_nat t dst false;
       t.stats.loads <- t.stats.loads + 1;
       t.stats.stores <- t.stats.stores + 1;
+      if ft_on then Flowtrace.on_load ft t.ftregs ~ip:t.ip ~dst ~addr:a ~len:8;
       t.ip <- t.ip + 1
   | Instr.Setnat r ->
       set_nat t r true;
+      if ft_on then Flowtrace.on_setnat ft t.ftregs ~ip:t.ip ~reg:r;
       t.ip <- t.ip + 1
   | Instr.Clrnat r ->
       set_nat t r false;
+      if ft_on then Flowtrace.on_clrnat ft t.ftregs ~ip:t.ip ~reg:r;
       t.ip <- t.ip + 1
   | Instr.Syscall ->
       t.stats.syscalls <- t.stats.syscalls + 1;
@@ -265,6 +297,12 @@ let exec_op t (d : Decode.info) =
       (match t.syscall_handler with
       | Some h -> h t
       | None -> ());
+      (* the handler wrote the return value; whatever provenance the
+         register carried before the call no longer describes it *)
+      if ft.Flowtrace.enabled then begin
+        t.ftregs.Flowtrace.id.(Reg.ret) <- 0;
+        t.ftregs.Flowtrace.depth.(Reg.ret) <- 0
+      end;
       t.ip <- t.ip + 1
 
 let finish t outcome =

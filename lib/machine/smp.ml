@@ -37,6 +37,10 @@ let spawn t ~parent ~entry ~arg =
   Array.blit parent.Cpu.values 0 cpu.Cpu.values 0 (Array.length parent.Cpu.values);
   Array.blit parent.Cpu.nats 0 cpu.Cpu.nats 0 (Array.length parent.Cpu.nats);
   cpu.Cpu.syscall_handler <- parent.Cpu.syscall_handler;
+  (* share the parent's flow trace (one ring per machine) and inherit
+     its register provenance alongside the register file *)
+  cpu.Cpu.flowtrace <- parent.Cpu.flowtrace;
+  Flowtrace.copy_regs parent.Cpu.ftregs cpu.Cpu.ftregs;
   Cpu.set_value cpu Shift_isa.Reg.sp
     (Int64.sub t.stack_top (Int64.mul (Int64.of_int id) t.stack_stride));
   Cpu.set_nat cpu Shift_isa.Reg.sp false;

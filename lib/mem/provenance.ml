@@ -1,0 +1,117 @@
+(* Paged per-byte source-id shadow.  One page covers the same 4096 guest
+   bytes as a Memory page and stores one little-endian int32 id per
+   byte; pages appear on first write and are never freed, so the
+   single-entry TLB can cache the live backing store without a
+   staleness hazard (same argument as Memory's TLB). *)
+
+let page_bytes = Memory.page_size (* guest bytes per page *)
+let page_shift = 12 (* log2 page_bytes, same key space as Memory *)
+let page_mask = Int64.of_int (page_bytes - 1)
+let slot_size = 4 (* shadow bytes per guest byte *)
+
+type t = {
+  pages : (int64, bytes) Hashtbl.t;
+  mutable tlb_key : int64; (* -1 = empty (keys are >= 0) *)
+  mutable tlb_page : bytes;
+}
+
+let no_page = Bytes.create 0
+
+let create () =
+  { pages = Hashtbl.create 64; tlb_key = -1L; tlb_page = no_page }
+
+let key_of a = Int64.shift_right_logical a page_shift
+let off_of a = Int64.to_int (Int64.logand a page_mask)
+
+let find t a =
+  let key = key_of a in
+  if Int64.equal t.tlb_key key then t.tlb_page
+  else
+    match Hashtbl.find_opt t.pages key with
+    | Some p ->
+        t.tlb_key <- key;
+        t.tlb_page <- p;
+        p
+    | None -> no_page
+
+let page t a =
+  let key = key_of a in
+  if Int64.equal t.tlb_key key then t.tlb_page
+  else begin
+    let p =
+      match Hashtbl.find_opt t.pages key with
+      | Some p -> p
+      | None ->
+          let p = Bytes.make (page_bytes * slot_size) '\000' in
+          Hashtbl.add t.pages key p;
+          p
+    in
+    t.tlb_key <- key;
+    t.tlb_page <- p;
+    p
+  end
+
+let get t a =
+  let p = find t a in
+  if p == no_page then 0
+  else Int32.to_int (Bytes.get_int32_le p (off_of a * slot_size))
+
+let set t a id =
+  let p = page t a in
+  Bytes.set_int32_le p (off_of a * slot_size) (Int32.of_int id)
+
+(* Walk [addr, addr+len) one page segment at a time, calling
+   [f page off n base] for each segment: [n] guest bytes starting at
+   page offset [off], covering range positions [base, base+n).  When
+   [skip_missing] the segment is skipped (not allocated) if the page
+   does not exist — right for clears and reads, wrong for fills. *)
+let segments t ~addr ~len ~skip_missing f =
+  let rec go pos =
+    if pos < len then begin
+      let a = Int64.add addr (Int64.of_int pos) in
+      let off = off_of a in
+      let n = min (len - pos) (page_bytes - off) in
+      let p = if skip_missing then find t a else page t a in
+      if not (skip_missing && p == no_page) then f p off n pos;
+      go (pos + n)
+    end
+  in
+  go 0
+
+let set_range t ~addr ~len ~id =
+  if len > 0 then
+    if id = 0 then
+      segments t ~addr ~len ~skip_missing:true (fun p off n _ ->
+          Bytes.fill p (off * slot_size) (n * slot_size) '\000')
+    else begin
+      let id32 = Int32.of_int id in
+      segments t ~addr ~len ~skip_missing:false (fun p off n _ ->
+          for i = 0 to n - 1 do
+            Bytes.set_int32_le p ((off + i) * slot_size) id32
+          done)
+    end
+
+let set_span t ~addr ~len ~first =
+  if len > 0 then
+    segments t ~addr ~len ~skip_missing:false (fun p off n base ->
+        for i = 0 to n - 1 do
+          Bytes.set_int32_le p ((off + i) * slot_size)
+            (Int32.of_int (first + base + i))
+        done)
+
+let first_id t ~addr ~len =
+  let found = ref 0 in
+  (if len > 0 then
+     try
+       segments t ~addr ~len ~skip_missing:true (fun p off n _ ->
+           for i = 0 to n - 1 do
+             let id = Int32.to_int (Bytes.get_int32_le p ((off + i) * slot_size)) in
+             if id <> 0 && !found = 0 then begin
+               found := id;
+               raise Exit
+             end
+           done)
+     with Exit -> ());
+  !found
+
+let allocated_pages t = Hashtbl.length t.pages

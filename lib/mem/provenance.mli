@@ -1,0 +1,37 @@
+(** Per-byte provenance shadow map.
+
+    Alongside the taint bitmap (which says {e whether} a guest byte is
+    tainted) the Flowtrace subsystem keeps a second shadow: {e which
+    input source} each byte came from.  Every guest byte maps to a small
+    non-negative integer source id; id [0] means "no recorded source".
+    The ids themselves are interned to [source] records by
+    {!Shift_machine.Flowtrace} — this module only stores and moves them.
+
+    The map is paged exactly like {!Memory} (4096 guest bytes per page,
+    allocated on first write) with a single-entry TLB in front, and the
+    span operations mirror the shape of {!Taint.set_range}: one masked
+    walk per page the range touches rather than one hashtable probe per
+    byte.  Reads of never-written pages return [0] without allocating. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> int64 -> int
+(** [get t a] is the source id of guest byte [a], or [0]. *)
+
+val set : t -> int64 -> int -> unit
+(** [set t a id] records source [id] for guest byte [a]. *)
+
+val set_range : t -> addr:int64 -> len:int -> id:int -> unit
+(** Constant fill: every byte of [addr, addr+len) gets [id].  Clearing
+    ([id = 0]) an unallocated page is free. *)
+
+val set_span : t -> addr:int64 -> len:int -> first:int -> unit
+(** Consecutive fill: byte [addr + k] gets id [first + k].  Used when a
+    fresh input span is interned as a run of per-byte sources. *)
+
+val first_id : t -> addr:int64 -> len:int -> int
+(** The first non-zero id in [addr, addr+len), or [0]. *)
+
+val allocated_pages : t -> int

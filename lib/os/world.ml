@@ -1,5 +1,6 @@
 open Shift_isa
 module Cpu = Shift_machine.Cpu
+module Flowtrace = Shift_machine.Flowtrace
 module Taint = Shift_mem.Taint
 module Policy = Shift_policy.Policy
 module Alert = Shift_policy.Alert
@@ -134,12 +135,28 @@ let alloc_fd t stream =
   Hashtbl.replace t.fds fd stream;
   fd
 
+(* When the run is traced, decorate a sink alert with the provenance
+   chain of the tainted sink bytes — which input channel and offsets
+   they came from — and log the sink event. *)
+let enrich cpu ~addr ~positions ~syscall alert =
+  let ft = cpu.Cpu.flowtrace in
+  if not ft.Flowtrace.enabled then alert
+  else begin
+    let hops = Flowtrace.chain ft ~addr ~positions in
+    Flowtrace.on_sink ft ~ip:cpu.Cpu.ip ~policy:alert.Alert.policy
+      ~detail:syscall;
+    Alert.with_chain alert
+      (hops @ [ Printf.sprintf "sink %s via %s" alert.Alert.policy syscall ])
+  end
+
 let do_open t cpu =
   let path_addr = arg cpu 0 in
   let path = read_guest_string cpu path_addr in
   let tainted = taint_positions t cpu path_addr path in
   (match Policy.check_open t.pol ~path ~tainted with
-  | Some a -> raise_alert t a
+  | Some a ->
+      raise_alert t
+        (enrich cpu ~addr:path_addr ~positions:tainted ~syscall:"sys_open" a)
   | None -> ());
   charge t cpu ~bytes:0 ~per_byte:0;
   match Hashtbl.find_opt t.files (resolve path) with
@@ -147,7 +164,12 @@ let do_open t cpu =
       ret_val cpu (Int64.of_int (alloc_fd t { content; pos = 0; tainted = file_tainted; path = Some path }))
   | None -> ret_val cpu (-1L)
 
-let do_read t cpu =
+let channel_of fd s =
+  match s.path with
+  | Some p -> "file:" ^ p
+  | None -> if fd = 0 then "stdin" else "socket"
+
+let do_read t cpu ~origin =
   let fd = Int64.to_int (arg cpu 0) in
   let buf = arg cpu 1 in
   let len = Int64.to_int (arg cpu 2) in
@@ -157,13 +179,19 @@ let do_read t cpu =
       let n = min len (String.length s.content - s.pos) in
       let n = max n 0 in
       let chunk = String.sub s.content s.pos n in
+      let offset = s.pos in
       s.pos <- s.pos + n;
       Shift_mem.Memory.write_bytes cpu.Cpu.mem buf chunk;
       (* the kernel marks incoming data according to the configured
          taint sources (paper §3.3.1); clean input clears stale tags in
          reused buffers *)
-      if n > 0 then
+      if n > 0 then begin
         Taint.set_range cpu.Cpu.mem t.gran ~addr:buf ~len:n ~tainted:s.tainted;
+        let ft = cpu.Cpu.flowtrace in
+        if ft.Flowtrace.enabled then
+          Flowtrace.on_input ft ~ip:cpu.Cpu.ip ~channel:(channel_of fd s)
+            ~origin ~offset ~addr:buf ~len:n ~tainted:s.tainted
+      end;
       charge t cpu ~bytes:n ~per_byte:t.io.per_byte;
       ret_val cpu (Int64.of_int n)
 
@@ -207,11 +235,13 @@ let do_sbrk t cpu =
   t.brk <- Int64.add t.brk n;
   ret_val cpu old
 
-let do_string_sink t cpu ~check ~record =
+let do_string_sink t cpu ~check ~record ~syscall =
   let addr = arg cpu 0 in
   let s = read_guest_string cpu addr in
   let tainted = strong_taint_positions t cpu addr s in
-  (match check ~s ~tainted with Some a -> raise_alert t a | None -> ());
+  (match check ~s ~tainted with
+  | Some a -> raise_alert t (enrich cpu ~addr ~positions:tainted ~syscall a)
+  | None -> ());
   record s;
   charge t cpu ~bytes:String.(length s) ~per_byte:1;
   ret_val cpu 0L
@@ -222,7 +252,9 @@ let do_html_out t cpu =
   let html = Shift_mem.Memory.read_bytes cpu.Cpu.mem buf ~len in
   let tainted = strong_taint_positions t cpu buf html in
   (match Policy.check_html t.pol ~html ~tainted with
-  | Some a -> raise_alert t a
+  | Some a ->
+      raise_alert t
+        (enrich cpu ~addr:buf ~positions:tainted ~syscall:"sys_html_out" a)
   | None -> ());
   Buffer.add_string t.html_buf html;
   charge t cpu ~bytes:len ~per_byte:t.io.per_byte;
@@ -263,23 +295,23 @@ let do_join t cpu =
 let handler t cpu =
   let n = Int64.to_int (Cpu.get_value cpu Reg.sysnum) in
   if n = Sysno.exit_ then raise (Cpu.Exit_requested (arg cpu 0))
-  else if n = Sysno.read then do_read t cpu
+  else if n = Sysno.read then do_read t cpu ~origin:"sys_read"
   else if n = Sysno.write then do_fd_write t cpu
   else if n = Sysno.open_ then do_open t cpu
   else if n = Sysno.close then begin
     Hashtbl.remove t.fds (Int64.to_int (arg cpu 0));
     ret_val cpu 0L
   end
-  else if n = Sysno.recv then do_read t cpu
+  else if n = Sysno.recv then do_read t cpu ~origin:"sys_recv"
   else if n = Sysno.send then do_fd_write t cpu
   else if n = Sysno.sbrk then do_sbrk t cpu
   else if n = Sysno.sendfile then do_sendfile t cpu
   else if n = Sysno.system then
-    do_string_sink t cpu
+    do_string_sink t cpu ~syscall:"sys_system"
       ~check:(fun ~s ~tainted -> Policy.check_system t.pol ~cmd:s ~tainted)
       ~record:(fun s -> t.commands <- s :: t.commands)
   else if n = Sysno.sql_exec then
-    do_string_sink t cpu
+    do_string_sink t cpu ~syscall:"sys_sql_exec"
       ~check:(fun ~s ~tainted -> Policy.check_sql t.pol ~query:s ~tainted)
       ~record:(fun s -> t.sql <- s :: t.sql)
   else if n = Sysno.html_out then do_html_out t cpu

@@ -1,31 +1,51 @@
-type t = { policy : string; message : string; signature : string option }
+type t = {
+  policy : string;
+  message : string;
+  signature : string option;
+  chain : string list;
+}
 
 exception Violation of t
 
-let make ?signature ~policy message = { policy; message; signature }
+let make ?signature ?(chain = []) ~policy message =
+  { policy; message; signature; chain }
+
+let with_chain a chain = { a with chain }
 
 let to_string a =
   match a.signature with
   | None -> Printf.sprintf "[%s] %s" a.policy a.message
   | Some s -> Printf.sprintf "[%s] %s (signature: %S)" a.policy a.message s
 
-let pp ppf a = Format.pp_print_string ppf (to_string a)
+let pp ppf a =
+  Format.pp_print_string ppf (to_string a);
+  List.iter (fun hop -> Format.fprintf ppf "@\n  %s" hop) a.chain
 
 let extract_signature s ~tainted ~around =
   let n = String.length s in
-  if around < 0 || around >= n then None
+  if n = 0 then None
   else begin
     let is_tainted = Array.make n false in
     List.iter (fun p -> if p >= 0 && p < n then is_tainted.(p) <- true) tainted;
-    if not is_tainted.(around) then None
-    else begin
-      let lo = ref around and hi = ref around in
-      while !lo > 0 && is_tainted.(!lo - 1) do
-        decr lo
-      done;
-      while !hi < n - 1 && is_tainted.(!hi + 1) do
-        incr hi
-      done;
-      Some (String.sub s !lo (!hi - !lo + 1))
-    end
+    (* clamp [around] into range, then snap to a tainted byte: itself
+       first, else an immediate neighbour — a sink often points one past
+       the attacker bytes (a quote, a separator, the terminator) *)
+    let around = max 0 (min (n - 1) around) in
+    let anchor =
+      if is_tainted.(around) then Some around
+      else if around > 0 && is_tainted.(around - 1) then Some (around - 1)
+      else if around < n - 1 && is_tainted.(around + 1) then Some (around + 1)
+      else None
+    in
+    match anchor with
+    | None -> None
+    | Some a ->
+        let lo = ref a and hi = ref a in
+        while !lo > 0 && is_tainted.(!lo - 1) do
+          decr lo
+        done;
+        while !hi < n - 1 && is_tainted.(!hi + 1) do
+          incr hi
+        done;
+        Some (String.sub s !lo (!hi - !lo + 1))
   end

@@ -10,17 +10,33 @@ type t = {
           dangerous.  This is the paper's intrusion-prevention-signature
           feedback (§1): a filter matching this fragment blocks the
           attack class at the input. *)
+  chain : string list;
+      (** Provenance chain, oldest hop first, when the run was traced
+          with {!Shift_machine.Flowtrace}: which input bytes produced
+          the signature fragment and which sink they reached (e.g.
+          [["input file:archive.tar[28..38] via sys_read";
+            "sink H1 via sys_open"]]).  Empty when tracing is off. *)
 }
 
 exception Violation of t
 (** Raised out of the running guest when the configured action is to
     stop the program. *)
 
-val make : ?signature:string -> policy:string -> string -> t
+val make : ?signature:string -> ?chain:string list -> policy:string -> string -> t
+
+val with_chain : t -> string list -> t
+(** The same alert carrying a provenance chain. *)
+
 val to_string : t -> string
+(** One line; the chain is not included (see {!pp}). *)
+
 val pp : Format.formatter -> t -> unit
 
 val extract_signature : string -> tainted:int list -> around:int -> string option
 (** The maximal run of tainted bytes containing (or adjacent to)
-    position [around] in the sink string — [None] if [around] is not
-    tainted. *)
+    position [around] in the sink string.  [around] is clamped into the
+    string, and if the byte at [around] is clean but an immediate
+    neighbour is tainted, the run through that neighbour is returned —
+    sinks often point one past the attacker-controlled bytes.  [None]
+    for the empty string or when neither [around] nor its neighbours
+    are tainted. *)

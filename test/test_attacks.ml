@@ -125,6 +125,52 @@ let extended_tests =
             (Str_exists.contains r.Shift.Report.output "status: ok"));
     ]
 
+(* cases that declare an expected provenance span: run them traced at
+   byte granularity and check the alert's chain names exactly the
+   attacker-controlled input bytes *)
+let provenance_tests =
+  List.filter_map
+    (fun (c : Case.t) ->
+      match c.Case.provenance with
+      | None -> None
+      | Some (channel, lo, hi) ->
+          Some
+            (tc
+               (Printf.sprintf "%s chain names input bytes %d..%d"
+                  c.Case.program_name lo hi)
+               (fun () ->
+                 let r =
+                   Shift.Session.run ~policy:c.Case.policy
+                     ~setup:c.Case.exploit ~fuel:200_000_000
+                     ~trace:Shift_machine.Flowtrace.default_options
+                     ~mode:Mode.shift_byte c.Case.program
+                 in
+                 match Shift.Report.alert r with
+                 | Some a ->
+                     let input_hop =
+                       Printf.sprintf "input %s[%d..%d] via " channel lo hi
+                     in
+                     Util.check_bool
+                       (Printf.sprintf "chain has %S hop" input_hop)
+                       true
+                       (List.exists
+                          (fun h ->
+                            String.length h >= String.length input_hop
+                            && String.sub h 0 (String.length input_hop)
+                               = input_hop)
+                          a.Shift_policy.Alert.chain);
+                     Util.check_bool "chain ends at the sink" true
+                       (match List.rev a.Shift_policy.Alert.chain with
+                       | last :: _ ->
+                           Str_exists.contains last
+                             (Printf.sprintf "sink %s via "
+                                c.Case.expected_policy)
+                       | [] -> false);
+                     Util.check_bool "flow summary present" true
+                       (r.Shift.Report.flow <> None)
+                 | None -> Alcotest.fail "expected an alert")))
+    Shift_attacks.Attacks.all
+
 let suites =
   [
     ("attacks.benign", benign_tests);
@@ -132,4 +178,5 @@ let suites =
     ("attacks.unprotected", unprotected_tests);
     ("attacks.qwik-smtpd", qwik_tests);
     ("attacks.extended", extended_tests);
+    ("attacks.provenance", provenance_tests);
   ]

@@ -1,0 +1,249 @@
+(* The Flowtrace subsystem: provenance shadow map, CPU hooks, chains,
+   JSONL export, and the tracing-off transparency guarantee. *)
+
+open Shift_isa
+open Shift_mem
+module Cpu = Shift_machine.Cpu
+module Flowtrace = Shift_machine.Flowtrace
+
+let tc = Util.tc
+let a1 off = Addr.in_region 1 off
+
+(* ---------------- the provenance shadow map ------------------------- *)
+
+let prov_tests =
+  [
+    tc "reads of missing pages return 0 without allocating" (fun () ->
+        let p = Provenance.create () in
+        Util.check_int "get" 0 (Provenance.get p (a1 0x5000L));
+        Util.check_int "first_id" 0
+          (Provenance.first_id p ~addr:(a1 0x5000L) ~len:64);
+        Util.check_int "pages" 0 (Provenance.allocated_pages p));
+    tc "set / get roundtrip" (fun () ->
+        let p = Provenance.create () in
+        Provenance.set p (a1 0x5003L) 42;
+        Util.check_int "hit" 42 (Provenance.get p (a1 0x5003L));
+        Util.check_int "miss" 0 (Provenance.get p (a1 0x5004L));
+        Util.check_int "pages" 1 (Provenance.allocated_pages p));
+    tc "set_range crosses a page boundary" (fun () ->
+        let p = Provenance.create () in
+        (* 8 bytes before the 4 KiB boundary, 8 after *)
+        Provenance.set_range p ~addr:(a1 0x1FF8L) ~len:16 ~id:7;
+        for i = 0 to 15 do
+          Util.check_int "in range" 7
+            (Provenance.get p (a1 (Int64.of_int (0x1FF8 + i))))
+        done;
+        Util.check_int "before" 0 (Provenance.get p (a1 0x1FF7L));
+        Util.check_int "after" 0 (Provenance.get p (a1 0x2008L));
+        Util.check_int "pages" 2 (Provenance.allocated_pages p));
+    tc "set_span assigns consecutive ids" (fun () ->
+        let p = Provenance.create () in
+        Provenance.set_span p ~addr:(a1 0x1FFEL) ~len:4 ~first:10;
+        Util.check_int "b0" 10 (Provenance.get p (a1 0x1FFEL));
+        Util.check_int "b1" 11 (Provenance.get p (a1 0x1FFFL));
+        Util.check_int "b2" 12 (Provenance.get p (a1 0x2000L));
+        Util.check_int "b3" 13 (Provenance.get p (a1 0x2001L)));
+    tc "first_id finds the first non-zero id" (fun () ->
+        let p = Provenance.create () in
+        Provenance.set p (a1 0x3005L) 9;
+        Provenance.set p (a1 0x3007L) 4;
+        Util.check_int "first" 9 (Provenance.first_id p ~addr:(a1 0x3000L) ~len:16);
+        Util.check_int "skips zeros" 4
+          (Provenance.first_id p ~addr:(a1 0x3006L) ~len:4));
+    tc "first_id skips missing pages" (fun () ->
+        let p = Provenance.create () in
+        Provenance.set p (a1 0x2001L) 5;
+        (* range starts on a never-written page, ends on the written one *)
+        Util.check_int "across" 5
+          (Provenance.first_id p ~addr:(a1 0x1FF0L) ~len:32);
+        Util.check_int "pages" 1 (Provenance.allocated_pages p));
+    tc "clearing an unallocated page is free" (fun () ->
+        let p = Provenance.create () in
+        Provenance.set_range p ~addr:(a1 0x8000L) ~len:4096 ~id:0;
+        Util.check_int "pages" 0 (Provenance.allocated_pages p));
+    tc "overwrite with 0 clears" (fun () ->
+        let p = Provenance.create () in
+        Provenance.set_range p ~addr:(a1 0x4000L) ~len:8 ~id:3;
+        Provenance.set_range p ~addr:(a1 0x4002L) ~len:4 ~id:0;
+        Util.check_int "left" 3 (Provenance.get p (a1 0x4001L));
+        Util.check_int "cleared" 0 (Provenance.get p (a1 0x4003L));
+        Util.check_int "right" 3 (Provenance.get p (a1 0x4006L)));
+  ]
+
+(* ---------------- CPU hooks on a hand-built program ----------------- *)
+
+(* the Figure-5 lifecycle: speculative-load birth, add propagation, tnat
+   check, xor purge, tnat again (clean) *)
+let lifecycle =
+  let m ?qp op = Program.I (Instr.mk ?qp op) in
+  Program.assemble
+    [
+      m (Instr.Movi (5, Int64.shift_left 1L 45));
+      m (Instr.Ld { width = Instr.W8; dst = 5; addr = 5; spec = true; fill = false });
+      m (Instr.Movi (6, 41L));
+      m (Instr.Arith (Instr.Add, 7, 6, Instr.R 5));
+      m (Instr.Tnat { pt = 1; pf = 2; src = 7 });
+      m (Instr.Arith (Instr.Xor, 7, 7, Instr.R 7));
+      m (Instr.Tnat { pt = 3; pf = 4; src = 7 });
+      m Instr.Halt;
+    ]
+
+let run_lifecycle options =
+  let cpu = Cpu.create lifecycle in
+  cpu.Cpu.flowtrace <- Flowtrace.create ~options ();
+  (match Cpu.run cpu with
+  | Cpu.Exited _ -> ()
+  | _ -> Alcotest.fail "lifecycle program should halt");
+  cpu.Cpu.flowtrace
+
+let kinds ft =
+  List.map (fun (e : Flowtrace.event) -> Flowtrace.kind_of e.ev)
+    (Flowtrace.events ft)
+
+let hook_tests =
+  [
+    tc "NaT lifecycle emits birth / prop / check / purge" (fun () ->
+        let ft = run_lifecycle Flowtrace.default_options in
+        Alcotest.(check (list string))
+          "event kinds"
+          [ "birth"; "prop"; "check"; "purge" ]
+          (List.map Flowtrace.kind_to_string (kinds ft));
+        let s = Flowtrace.summary ft in
+        Util.check_int "births" 1 s.Flowtrace.s_births;
+        Util.check_int "propagations" 1 s.Flowtrace.s_propagations;
+        Util.check_int "purges" 1 s.Flowtrace.s_purges;
+        (* both tnats count, only the tainted one emits an event *)
+        Util.check_int "checks" 2 s.Flowtrace.s_checks;
+        Util.check_int "max depth" 2 s.Flowtrace.s_max_depth;
+        Util.check_int "dropped" 0 s.Flowtrace.s_dropped;
+        Util.check_int "sources" 1 s.Flowtrace.s_sources);
+    tc "speculative births are interned once per ip" (fun () ->
+        let ft = run_lifecycle Flowtrace.default_options in
+        match Flowtrace.sources ft with
+        | [ s ] ->
+            Util.check_string "channel" "spec" s.Flowtrace.channel;
+            Util.check_int "sid" 1 s.Flowtrace.sid
+        | l -> Alcotest.failf "expected 1 source, got %d" (List.length l));
+    tc "kind filter keeps only the requested events" (fun () ->
+        let ft =
+          run_lifecycle
+            { Flowtrace.capacity = 64; only = Some [ Flowtrace.Birth; Flowtrace.Check ] }
+        in
+        Alcotest.(check (list string))
+          "filtered" [ "birth"; "check" ]
+          (List.map Flowtrace.kind_to_string (kinds ft));
+        (* counters are not filtered *)
+        Util.check_int "propagations still counted" 1
+          (Flowtrace.summary ft).Flowtrace.s_propagations);
+    tc "a tiny ring drops the oldest events" (fun () ->
+        let ft = run_lifecycle { Flowtrace.capacity = 2; only = None } in
+        Util.check_int "dropped" 2 (Flowtrace.dropped ft);
+        Alcotest.(check (list string))
+          "newest survive" [ "check"; "purge" ]
+          (List.map Flowtrace.kind_to_string (kinds ft)));
+    tc "chain collapses a consecutive input span" (fun () ->
+        let ft = Flowtrace.create () in
+        Flowtrace.on_input ft ~ip:0 ~channel:"socket" ~origin:"sys_recv"
+          ~offset:100 ~addr:(a1 0x6000L) ~len:8 ~tainted:true;
+        Alcotest.(check (list string))
+          "one hop"
+          [ "input socket[102..105] via sys_recv" ]
+          (Flowtrace.chain ft ~addr:(a1 0x6000L) ~positions:[ 2; 3; 4; 5 ]));
+    tc "clean input clears stale provenance" (fun () ->
+        let ft = Flowtrace.create () in
+        Flowtrace.on_input ft ~ip:0 ~channel:"socket" ~origin:"sys_recv"
+          ~offset:0 ~addr:(a1 0x6000L) ~len:8 ~tainted:true;
+        Flowtrace.on_input ft ~ip:0 ~channel:"file:f" ~origin:"sys_read"
+          ~offset:0 ~addr:(a1 0x6000L) ~len:8 ~tainted:false;
+        Util.check_int "cleared" 0 (Flowtrace.byte_id ft (a1 0x6002L)));
+  ]
+
+(* ---------------- end to end: traced attack sessions ---------------- *)
+
+let tar () =
+  match Shift_attacks.Attacks.find "gnu tar" with
+  | Some c -> c
+  | None -> Alcotest.fail "tar case missing"
+
+let run_tar ?trace () =
+  let c = tar () in
+  let open Shift_attacks.Attack_case in
+  Shift.Session.run ~policy:c.policy ~setup:c.exploit ?trace
+    ~mode:Shift_compiler.Mode.shift_byte c.program
+
+let traced_tar options =
+  let c = tar () in
+  let open Shift_attacks.Attack_case in
+  let config = Shift.Session.Config.make ~policy:c.policy ~setup:c.exploit ~trace:options () in
+  let live =
+    Shift.Session.start ~config
+      (Shift.Session.build ~mode:Shift_compiler.Mode.shift_byte c.program)
+  in
+  (match Shift.Session.advance live ~budget:max_int with
+  | `Finished _ | `Yielded -> ());
+  live
+
+let session_tests =
+  [
+    tc "tar alert carries the input-byte provenance chain" (fun () ->
+        let r = run_tar ~trace:Flowtrace.default_options () in
+        match Shift.Report.alert r with
+        | Some a ->
+            Alcotest.(check (list string))
+              "chain"
+              [
+                "input file:archive.tar[28..38] via sys_read";
+                "sink H1 via sys_open";
+              ]
+              a.Shift.Alert.chain
+        | None -> Alcotest.fail "expected an alert");
+    tc "tracing off: counters identical, no flow, no chain" (fun () ->
+        let plain = run_tar () in
+        let traced = run_tar ~trace:Flowtrace.default_options () in
+        let c (r : Shift.Report.t) =
+          let s = r.stats in
+          Shift_machine.Stats.
+            (s.instructions, s.cycles, s.loads, s.stores)
+        in
+        Util.check_bool "counters" true (c plain = c traced);
+        Util.check_bool "no flow" true (plain.Shift.Report.flow = None);
+        Util.check_bool "flow" true (traced.Shift.Report.flow <> None);
+        (match Shift.Report.alert plain with
+        | Some a -> Util.check_bool "no chain" true (a.Shift.Alert.chain = [])
+        | None -> Alcotest.fail "expected an alert"));
+    tc "JSONL export is deterministic" (fun () ->
+        let doc () =
+          let live = traced_tar Flowtrace.default_options in
+          let report = Shift.Session.report live in
+          match Shift.Session.flowtrace live with
+          | Some ft -> Shift.Flow.jsonl ~outcome:report.Shift.Report.outcome ft
+          | None -> Alcotest.fail "trace missing"
+        in
+        Util.check_string "byte-identical" (doc ()) (doc ()));
+    tc "JSONL lines are tagged and versioned" (fun () ->
+        let live = traced_tar Flowtrace.default_options in
+        (match Shift.Session.flowtrace live with
+        | Some ft ->
+            let lines =
+              String.split_on_char '\n' (Shift.Flow.jsonl ft)
+              |> List.filter (fun l -> l <> "")
+            in
+            let meta = List.hd lines in
+            Util.check_bool "meta line" true
+              (Str_exists.contains meta "\"line\":\"meta\"");
+            Util.check_bool "versioned" true
+              (Str_exists.contains meta
+                 (Printf.sprintf "\"v\":%d" Shift.Results.schema_version));
+            Util.check_bool "summary line" true
+              (List.exists
+                 (fun l -> Str_exists.contains l "\"line\":\"summary\"")
+                 lines)
+        | None -> Alcotest.fail "trace missing"));
+  ]
+
+let suites =
+  [
+    ("flowtrace.provenance", prov_tests);
+    ("flowtrace.hooks", hook_tests);
+    ("flowtrace.session", session_tests);
+  ]

@@ -479,6 +479,37 @@ let engine_tests =
         Util.check_int "total loads" 7 t.loads;
         Util.check_int "concurrent instructions" 15 c.instructions;
         Util.check_int "concurrent cycles" 100 c.cycles);
+    tc "Stats.total and Stats.concurrent of the empty list" (fun () ->
+        let t = Shift_machine.Stats.total []
+        and c = Shift_machine.Stats.concurrent [] in
+        Util.check_int "total instructions" 0 t.instructions;
+        Util.check_int "total cycles" 0 t.cycles;
+        Util.check_int "total slots" 0 (Shift_machine.Stats.total_slots t);
+        Util.check_int "concurrent cycles" 0 c.cycles);
+    tc "Stats aggregation of a singleton equals the element" (fun () ->
+        let a = Shift_machine.Stats.create () in
+        a.instructions <- 7; a.cycles <- 30; a.stores <- 2;
+        let t = Shift_machine.Stats.total [ a ]
+        and c = Shift_machine.Stats.concurrent [ a ] in
+        Util.check_string "total"
+          (Format.asprintf "%a" Shift_machine.Stats.pp a)
+          (Format.asprintf "%a" Shift_machine.Stats.pp t);
+        Util.check_string "concurrent"
+          (Format.asprintf "%a" Shift_machine.Stats.pp a)
+          (Format.asprintf "%a" Shift_machine.Stats.pp c));
+    tc "Stats aggregates do not share slot arrays with inputs" (fun () ->
+        let a = Shift_machine.Stats.create () in
+        a.slots_by_prov.(0) <- 5;
+        let t = Shift_machine.Stats.total [ a ]
+        and c = Shift_machine.Stats.concurrent [ a ] in
+        a.slots_by_prov.(0) <- 99;
+        Util.check_int "total unaffected" 5 (Shift_machine.Stats.total_slots t);
+        Util.check_int "concurrent unaffected" 5
+          (Shift_machine.Stats.total_slots c);
+        Util.check_bool "copy too" true
+          (let s = Shift_machine.Stats.copy a in
+           a.slots_by_prov.(0) <- 7;
+           Shift_machine.Stats.total_slots s = 99));
   ]
 
 let suites =

@@ -122,6 +122,36 @@ let signature_tests =
         Alcotest.(check (option string))
           "none" None
           (Alert.extract_signature "abcdef" ~tainted:[ 1; 2 ] ~around:4));
+    tc "extract_signature at the string's edges" (fun () ->
+        Alcotest.(check (option string))
+          "run at position 0" (Some "ab")
+          (Alert.extract_signature "abcdef" ~tainted:[ 0; 1 ] ~around:0);
+        Alcotest.(check (option string))
+          "run at the end" (Some "ef")
+          (Alert.extract_signature "abcdef" ~tainted:[ 4; 5 ] ~around:5));
+    tc "extract_signature snaps to an adjacent run only" (fun () ->
+        (* around itself untainted: the run one position left or right
+           is accepted, anything further is not *)
+        Alcotest.(check (option string))
+          "left neighbour" (Some "AA")
+          (Alert.extract_signature "xxAAxyyyy" ~tainted:[ 2; 3 ] ~around:4);
+        Alcotest.(check (option string))
+          "right neighbour" (Some "BB")
+          (Alert.extract_signature "xxxxxBBxx" ~tainted:[ 5; 6 ] ~around:4);
+        Alcotest.(check (option string))
+          "two away" None
+          (Alert.extract_signature "xxAAxxxxx" ~tainted:[ 2; 3 ] ~around:5));
+    tc "extract_signature on an empty string" (fun () ->
+        Alcotest.(check (option string))
+          "empty" None
+          (Alert.extract_signature "" ~tainted:[ 0 ] ~around:0));
+    tc "extract_signature clamps around to the string" (fun () ->
+        Alcotest.(check (option string))
+          "past the end" (Some "ef")
+          (Alert.extract_signature "abcdef" ~tainted:[ 4; 5 ] ~around:100);
+        Alcotest.(check (option string))
+          "negative" (Some "ab")
+          (Alert.extract_signature "abcdef" ~tainted:[ 0; 1 ] ~around:(-3)));
     tc "sink alerts carry the attacking fragment" (fun () ->
         let p = Policy.all_on ~document_root:"/www" in
         match
