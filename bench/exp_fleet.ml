@@ -36,13 +36,17 @@ let fleet () =
     ~columns:[ "session"; "outcome"; "instructions"; "cycles" ]
     (List.map
        (fun (r : Shift.Fleet.result) ->
-         [
-           r.Shift.Fleet.name;
-           Format.asprintf "%a" Shift.Report.pp_outcome
-             r.Shift.Fleet.report.Shift.Report.outcome;
-           string_of_int r.Shift.Fleet.report.Shift.Report.stats.Stats.instructions;
-           string_of_int r.Shift.Fleet.report.Shift.Report.stats.Stats.cycles;
-         ])
+         match r.Shift.Fleet.outcome with
+         | Shift.Fleet.Finished report ->
+             [
+               r.Shift.Fleet.name;
+               Format.asprintf "%a" Shift.Report.pp_outcome
+                 report.Shift.Report.outcome;
+               string_of_int report.Shift.Report.stats.Stats.instructions;
+               string_of_int report.Shift.Report.stats.Stats.cycles;
+             ]
+         | Shift.Fleet.Crashed c ->
+             [ r.Shift.Fleet.name; "crashed: " ^ c.Shift.Fleet.exn; "-"; "-" ])
        fleet.Shift.Fleet.results);
   note "%d sessions: %d exited, %d alerted, %d faulted, %d timed out"
     (List.length fleet.Shift.Fleet.results)

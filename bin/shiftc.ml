@@ -131,27 +131,132 @@ let run_cmd =
   let safe_arg =
     Arg.(value & flag & info [ "safe" ] ~doc:"Leave the input file untainted.")
   in
-  let run name mode size safe json =
+  let every_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Checkpoint the session to $(b,--checkpoint-file) after every \
+             $(docv) executed instructions.  Slicing never changes the \
+             result: counters are byte-identical however a run is cut.")
+  in
+  let file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint-file" ] ~docv:"FILE"
+          ~doc:"Where to write checkpoints (required with --checkpoint-every).")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "checkpoint-limit" ] ~docv:"K"
+          ~doc:
+            "Stop mid-flight after writing the $(docv)-th checkpoint and \
+             exit with status 3, leaving the run resumable with \
+             $(b,shiftc resume) — a deterministic stand-in for a crash.")
+  in
+  let run name mode size safe json every file limit =
     match find_kernel name with
     | Error e ->
         prerr_endline e;
         1
-    | Ok k ->
-        let r =
-          Shift.Session.run ~policy:Policy.default
+    | Ok k -> (
+        let config =
+          Shift.Session.Config.make ~policy:Policy.default
             ~setup:(Spec.setup ?size ~tainted:(not safe) k)
-            ~mode k.Spec.program
+            ()
         in
+        let finish live =
+          let r = Shift.Session.report live in
+          if json then print_json r
+          else begin
+            Format.printf "kernel %s under %a@." k.Spec.name Mode.pp mode;
+            print_report r
+          end;
+          0
+        in
+        match (every, file) with
+        | None, _ ->
+            let live =
+              Shift.Session.start ~config (Shift.Session.build ~mode k.Spec.program)
+            in
+            (match Shift.Session.advance live ~budget:max_int with
+            | `Finished _ | `Yielded -> ());
+            finish live
+        | Some n, None ->
+            ignore n;
+            prerr_endline "--checkpoint-every requires --checkpoint-file";
+            1
+        | Some n, Some path when n > 0 ->
+            let meta =
+              [
+                ("kernel", k.Spec.name);
+                ("mode", Format.asprintf "%a" Mode.pp mode);
+              ]
+            in
+            let live =
+              Shift.Session.start ~config (Shift.Session.build ~mode k.Spec.program)
+            in
+            let written = ref 0 in
+            let rec loop () =
+              match Shift.Session.advance live ~budget:n with
+              | `Finished _ -> finish live
+              | `Yielded ->
+                  Shift.Snapshot.save path (Shift.Session.checkpoint ~meta live);
+                  incr written;
+                  if match limit with Some k -> !written >= k | None -> false
+                  then begin
+                    Printf.eprintf
+                      "checkpoint limit reached after %d checkpoints; resume \
+                       with: shiftc resume %s\n"
+                      !written path;
+                    3
+                  end
+                  else loop ()
+            in
+            loop ()
+        | Some _, Some _ ->
+            prerr_endline "--checkpoint-every must be positive";
+            1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a SPEC-like kernel on the simulated machine")
+    Term.(
+      const run $ name_arg $ mode_arg $ size_arg $ safe_arg $ json_arg
+      $ every_arg $ file_arg $ limit_arg)
+
+let resume_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A snapshot written by shiftc run --checkpoint-file.")
+  in
+  let run path json =
+    match Shift.Snapshot.load path with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        1
+    | Ok snap ->
+        let live = Shift.Session.restore snap in
+        (match Shift.Session.advance live ~budget:max_int with
+        | `Finished _ | `Yielded -> ());
+        let r = Shift.Session.report live in
         if json then print_json r
         else begin
-          Format.printf "kernel %s under %a@." k.Spec.name Mode.pp mode;
+          List.iter
+            (fun (k, v) -> Format.printf "%s: %s@." k v)
+            snap.Shift.Snapshot.meta;
           print_report r
         end;
         0
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run a SPEC-like kernel on the simulated machine")
-    Term.(const run $ name_arg $ mode_arg $ size_arg $ safe_arg $ json_arg)
+    (Cmd.info "resume"
+       ~doc:
+         "Restore a checkpointed session and run it to completion.  The \
+          snapshot is self-contained (it embeds the compiled image), and the \
+          resumed run's report is byte-identical to an unbroken run's.")
+    Term.(const run $ file_arg $ json_arg)
 
 let batch_cmd =
   let names_arg =
@@ -177,7 +282,32 @@ let batch_cmd =
   let safe_arg =
     Arg.(value & flag & info [ "safe" ] ~doc:"Leave the input files untainted.")
   in
-  let run mode names jobs size safe json =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Rerun a crashed job up to $(docv) extra times (from its last \
+             in-memory checkpoint when --checkpoint-every is set).")
+  in
+  let every_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Drive each session in $(docv)-instruction slices and keep an \
+             in-memory checkpoint refreshed for crash recovery.")
+  in
+  let poison_arg =
+    Arg.(
+      value & flag
+      & info [ "poison" ]
+          ~doc:
+            "Append a job whose image thunk raises, to demonstrate that the \
+             supervisor contains the crash while every other job still \
+             completes.")
+  in
+  let run mode names jobs size safe json retries every poison =
     let kernels =
       match names with
       | [] -> List.map Result.ok Spec.all
@@ -189,23 +319,35 @@ let batch_cmd =
         ignore e;
         1
     | kernels, [] ->
+        let session_jobs =
+          List.map
+            (fun (k : Spec.kernel) ->
+              Shift.Fleet.job ~name:k.Spec.name
+                ~config:
+                  (Shift.Session.Config.make ~policy:Policy.default
+                     ~setup:(Spec.setup ?size ~tainted:(not safe) k)
+                     ())
+                (fun () -> Shift.Session.build ~mode k.Spec.program))
+            kernels
+        in
+        let session_jobs =
+          if poison then
+            session_jobs
+            @ [
+                Shift.Fleet.job ~name:"poisoned" (fun () ->
+                    failwith "poisoned job: image thunk raised");
+              ]
+          else session_jobs
+        in
         let fleet =
-          Shift.Fleet.run ~domains:jobs
-            (List.map
-               (fun (k : Spec.kernel) ->
-                 Shift.Fleet.job ~name:k.Spec.name
-                   ~config:
-                     (Shift.Session.Config.make ~policy:Policy.default
-                        ~setup:(Spec.setup ?size ~tainted:(not safe) k)
-                        ())
-                   (fun () -> Shift.Session.build ~mode k.Spec.program))
-               kernels)
+          Shift.Fleet.run ~domains:jobs ~retries ?checkpoint_every:every
+            session_jobs
         in
         if json then
           print_endline (Shift.Results.to_string (Shift.Fleet.to_json fleet))
         else begin
-          Format.printf "batch: %d sessions under %a@." (List.length kernels)
-            Mode.pp mode;
+          Format.printf "batch: %d sessions under %a@."
+            (List.length session_jobs) Mode.pp mode;
           Format.printf "%a@." Shift.Fleet.pp fleet
         end;
         if fleet.Shift.Fleet.exited = List.length kernels then 0 else 1
@@ -213,9 +355,11 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:
-         "Run many kernel sessions as a fleet across domains with a \
-          deterministic aggregate report")
-    Term.(const run $ mode_arg $ names_arg $ jobs_arg $ size_arg $ safe_arg $ json_arg)
+         "Run many kernel sessions as a supervised fleet across domains with \
+          a deterministic aggregate report")
+    Term.(
+      const run $ mode_arg $ names_arg $ jobs_arg $ size_arg $ safe_arg
+      $ json_arg $ retries_arg $ every_arg $ poison_arg)
 
 let attack_cmd =
   let name_arg =
@@ -466,5 +610,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; batch_cmd; attack_cmd; httpd_cmd; disasm_cmd;
-            exec_cmd; trace_cmd; policies_cmd ]))
+          [ list_cmd; run_cmd; resume_cmd; batch_cmd; attack_cmd; httpd_cmd;
+            disasm_cmd; exec_cmd; trace_cmd; policies_cmd ]))

@@ -4,11 +4,15 @@ type job = {
   name : string;
   image : unit -> Shift_compiler.Image.t;
   config : Session.Config.t;
+  deadline : int option;
 }
 
-let job ?(config = Session.Config.default) ~name image = { name; image; config }
+let job ?(config = Session.Config.default) ?deadline ~name image =
+  { name; image; config; deadline }
 
-type result = { name : string; report : Report.t }
+type crash = { exn : string; backtrace : string; attempts : int }
+type outcome = Finished of Report.t | Crashed of crash
+type result = { name : string; outcome : outcome }
 
 type t = {
   results : result list;
@@ -17,25 +21,89 @@ type t = {
   alerted : int;
   faulted : int;
   timed_out : int;
+  crashed : int;
 }
 
 let count p results = List.length (List.filter p results)
 
-let run ?domains jobs =
+let effective_config (j : job) =
+  match j.deadline with
+  | None -> j.config
+  | Some d -> { j.config with Session.Config.fuel = min j.config.Session.Config.fuel d }
+
+(* Advance a live session to completion in [slice]-sized steps,
+   refreshing [last] with an in-memory checkpoint after every yielded
+   slice when checkpointing is on. *)
+let drive ~checkpointing ~slice live last =
+  let rec loop () =
+    match Session.advance live ~budget:slice with
+    | `Finished _ -> Session.report live
+    | `Yielded ->
+        if checkpointing then last := Some (Session.checkpoint live);
+        loop ()
+  in
+  loop ()
+
+(* One job under supervision: any exception out of the image thunk, the
+   session machinery or a syscall handler is contained as [Crashed]
+   instead of tearing down the whole batch.  With [retries], a failed
+   attempt restarts from the last checkpoint (or from scratch when
+   checkpointing is off or nothing was checkpointed yet). *)
+let exec_job ~retries ~checkpoint_every (j : job) =
+  let config = effective_config j in
+  let checkpointing = checkpoint_every <> None in
+  let slice =
+    match checkpoint_every with Some n when n > 0 -> n | _ -> max_int
+  in
+  let last = ref None in
+  let rec attempt n =
+    match
+      let live =
+        match !last with
+        | Some snap -> Session.restore snap
+        | None -> Session.start ~config (j.image ())
+      in
+      drive ~checkpointing ~slice live last
+    with
+    | report -> Finished report
+    | exception e ->
+        let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+        if n < retries then attempt (n + 1)
+        else
+          Crashed
+            { exn = Printexc.to_string e; backtrace = bt; attempts = n + 1 }
+  in
+  attempt 0
+
+let run ?domains ?(retries = 0) ?checkpoint_every jobs =
   let results =
     Pool.map ?domains
       (fun (j : job) ->
-        { name = j.name; report = Session.exec ~config:j.config (j.image ()) })
+        { name = j.name; outcome = exec_job ~retries ~checkpoint_every j })
       jobs
   in
-  let of_outcome p = count (fun r -> p r.report.Report.outcome) results in
+  let reports =
+    List.filter_map
+      (fun r -> match r.outcome with Finished rep -> Some rep | Crashed _ -> None)
+      results
+  in
+  let of_outcome p =
+    count
+      (fun r ->
+        match r.outcome with
+        | Finished rep -> p rep.Report.outcome
+        | Crashed _ -> false)
+      results
+  in
   {
     results;
-    stats = Stats.total (List.map (fun r -> r.report.Report.stats) results);
+    stats = Stats.total (List.map (fun (rep : Report.t) -> rep.Report.stats) reports);
     exited = of_outcome (function Report.Exited _ -> true | _ -> false);
     alerted = of_outcome (function Report.Alert _ -> true | _ -> false);
     faulted = of_outcome (function Report.Fault _ -> true | _ -> false);
     timed_out = of_outcome (function Report.Timeout -> true | _ -> false);
+    crashed =
+      count (fun r -> match r.outcome with Crashed _ -> true | _ -> false) results;
   }
 
 let to_json t =
@@ -46,6 +114,7 @@ let to_json t =
       ("alerts", Results.Int t.alerted);
       ("faults", Results.Int t.faulted);
       ("timeouts", Results.Int t.timed_out);
+      ("crashed", Results.Int t.crashed);
       ( "totals",
         Results.Obj
           [
@@ -60,10 +129,21 @@ let to_json t =
           (List.map
              (fun r ->
                Results.Obj
-                 [
-                   ("name", Results.String r.name);
-                   ("report", Results.of_report r.report);
-                 ])
+                 (("name", Results.String r.name)
+                 ::
+                 (match r.outcome with
+                 | Finished rep -> [ ("report", Results.of_report rep) ]
+                 | Crashed c ->
+                     (* the backtrace is host-specific, so it stays out
+                        of the (diffable) JSON *)
+                     [
+                       ( "crashed",
+                         Results.Obj
+                           [
+                             ("exn", Results.String c.exn);
+                             ("attempts", Results.Int c.attempts);
+                           ] );
+                     ])))
              t.results) );
     ]
 
@@ -76,12 +156,17 @@ let pp ppf t =
     "instructions" "cycles" "loads" "stores";
   List.iter
     (fun r ->
-      line r.name
-        (Format.asprintf "%a" Report.pp_outcome r.report.Report.outcome)
-        r.report.Report.stats)
+      match r.outcome with
+      | Finished rep ->
+          line r.name
+            (Format.asprintf "%a" Report.pp_outcome rep.Report.outcome)
+            rep.Report.stats
+      | Crashed c ->
+          Format.fprintf ppf "%-14s crashed (%d attempts): %s@," r.name
+            c.attempts c.exn)
     t.results;
   line "TOTAL"
     (Printf.sprintf "%d ok/%d bad" t.exited
-       (t.alerted + t.faulted + t.timed_out))
+       (t.alerted + t.faulted + t.timed_out + t.crashed))
     t.stats;
   Format.fprintf ppf "@]"

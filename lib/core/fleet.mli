@@ -1,5 +1,5 @@
 (** Batch sessions: run N independent guest sessions across domains and
-    aggregate their reports deterministically.
+    aggregate their reports deterministically — under supervision.
 
     Each {!job} compiles its image and runs its session inside a worker
     domain of {!Pool}; results come back in job order whatever the pool
@@ -7,7 +7,14 @@
     carries no host time or randomness), so the whole aggregate —
     including its {!to_json} serialisation — is byte-identical at any
     [?domains].  This is the substrate behind [shiftc batch] and the
-    bench harness's [fleet] experiment. *)
+    bench harness's [fleet] experiment.
+
+    {!run} is a {e supervisor}: a job whose image thunk or session
+    raises is contained as a structured {!Crashed} result instead of
+    tearing down the rest of the batch, a per-job [?deadline] bounds a
+    runaway guest independently of its configured fuel, and [?retries]
+    restarts a crashed job — from its last in-memory checkpoint when
+    [?checkpoint_every] is set, from scratch otherwise. *)
 
 type job
 (** One batch unit: a named image factory plus the session config to
@@ -16,34 +23,57 @@ type job
 
 val job :
   ?config:Session.Config.t ->
+  ?deadline:int ->
   name:string ->
   (unit -> Shift_compiler.Image.t) ->
   job
 (** [job ~name make] with [config] defaulting to
-    {!Session.Config.default}. *)
+    {!Session.Config.default}.  [deadline] caps the session's
+    instruction budget at [min config.fuel deadline] — a per-job fuel
+    deadline the supervisor enforces regardless of the job's own
+    configuration. *)
 
-(** One job's outcome. *)
-type result = { name : string; report : Report.t }
+(** Why a job produced no report. *)
+type crash = {
+  exn : string;  (** printed exception *)
+  backtrace : string;  (** host-specific; absent from {!to_json} *)
+  attempts : int;  (** runs attempted, retries included *)
+}
+
+type outcome = Finished of Report.t | Crashed of crash
+
+(** One job's outcome, in job order. *)
+type result = { name : string; outcome : outcome }
 
 (** The aggregated fleet report. *)
 type t = {
   results : result list;  (** in job order *)
   stats : Shift_machine.Stats.t;
-      (** {!Shift_machine.Stats.total} over all sessions *)
+      (** {!Shift_machine.Stats.total} over the sessions that finished *)
   exited : int;  (** sessions that exited normally *)
   alerted : int;  (** sessions stopped by a policy alert *)
   faulted : int;  (** sessions ended by a machine fault *)
   timed_out : int;  (** sessions that exhausted their fuel *)
+  crashed : int;  (** jobs whose thunk or session raised *)
 }
 
-val run : ?domains:int -> job list -> t
+val run :
+  ?domains:int -> ?retries:int -> ?checkpoint_every:int -> job list -> t
 (** Run every job through the domain pool ({!Pool.map} semantics for
-    [?domains]) and fold the aggregate. *)
+    [?domains]) under supervision and fold the aggregate.  A raising
+    job yields [Crashed] and never disturbs its siblings.  [retries]
+    (default 0) reruns a crashed job up to that many extra times;
+    [checkpoint_every] drives each session in slices of that many
+    instructions and keeps an in-memory {!Snapshot.t} refreshed after
+    every slice, so a retry resumes from the last good checkpoint
+    instead of from scratch.  Checkpoint slicing never changes results:
+    the engine's counters are byte-identical however a run is sliced. *)
 
 val to_json : t -> Results.json
 (** Deterministic serialisation: session counts, aggregate counters,
-    and each run's {!Results.of_report} payload, in job order.  Carries
-    no host time, so it is diffable across pool sizes and commits. *)
+    and each run's {!Results.of_report} payload (or its crash, minus
+    the host-specific backtrace), in job order.  Carries no host time,
+    so it is diffable across pool sizes and commits. *)
 
 val pp : Format.formatter -> t -> unit
 (** A fixed-width table: one row per session plus a TOTAL row. *)

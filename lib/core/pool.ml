@@ -47,5 +47,11 @@ let map ?domains:override f items =
         | _ -> ())
       results;
     Array.to_list results
-    |> List.map (function Some (Ok v) -> v | _ -> assert false)
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error _) | None ->
+             failwith
+               "Pool.map: a result slot was never filled — every worker \
+                joined and no error was re-raised, so the claim cursor \
+                skipped an index")
   end

@@ -172,6 +172,94 @@ let report live =
     flow = Option.map Shift_machine.Flowtrace.summary (flowtrace live);
   }
 
+(* ---------- checkpoint/restore ---------- *)
+
+let snapshot_threading = function
+  | Config.Single -> Snapshot.T_single
+  | Config.Threads { quantum } -> Snapshot.T_threads quantum
+
+let session_threading = function
+  | Snapshot.T_single -> Config.Single
+  | Snapshot.T_threads quantum -> Config.Threads { quantum }
+
+let checkpoint ?meta live =
+  Snapshot.capture ?meta ~image:live.image
+    ~config:
+      {
+        Snapshot.c_policy = live.config.Config.policy;
+        c_io_cost = live.config.Config.io_cost;
+        c_fuel = live.config.Config.fuel;
+        c_threading = snapshot_threading live.config.Config.threading;
+        c_trace = live.config.Config.trace;
+      }
+    ~fuel_left:live.fuel_left ~result:live.result ~engine:live.engine
+    ~world:live.world ()
+
+let restore (snap : Snapshot.t) =
+  let image = snap.Snapshot.image in
+  let sc = snap.Snapshot.config in
+  (* the original world-setup closure cannot be serialised, and does not
+     need to be: its effects are already in the restored world and
+     memory state *)
+  let config =
+    Config.make ~policy:sc.Snapshot.c_policy ~io_cost:sc.Snapshot.c_io_cost
+      ~fuel:sc.Snapshot.c_fuel
+      ~threading:(session_threading sc.Snapshot.c_threading)
+      ?trace:sc.Snapshot.c_trace ()
+  in
+  let mem = Shift_mem.Memory.create () in
+  Snapshot.load_memory mem snap.Snapshot.memory;
+  let world =
+    World.create ~policy:sc.Snapshot.c_policy ~gran:(gran_of_mode image.mode)
+      ~io_cost:sc.Snapshot.c_io_cost ()
+  in
+  World.undump world snap.Snapshot.world;
+  let flowtrace =
+    match snap.Snapshot.flow with
+    | Some (d, pages) ->
+        let ft = Shift_machine.Flowtrace.of_dump d in
+        Snapshot.load_provenance (Shift_machine.Flowtrace.provenance ft) pages;
+        Some ft
+    | None -> None
+  in
+  let make_cpu hart =
+    let cpu = Cpu.create ~mem image.program in
+    Snapshot.import_cpu hart cpu;
+    cpu.Cpu.syscall_handler <- Some (World.handler world);
+    (match flowtrace with Some ft -> cpu.Cpu.flowtrace <- ft | None -> ());
+    cpu
+  in
+  let engine =
+    match snap.Snapshot.machine with
+    | Snapshot.M_cpu hart -> Exec.of_cpu (make_cpu hart)
+    | Snapshot.M_smp { sm_quantum; sm_harts; sm_round; sm_finished } ->
+        let harts =
+          List.map (fun (id, state, hart) -> (id, state, make_cpu hart)) sm_harts
+        in
+        let smp =
+          Smp.of_parts ~quantum:sm_quantum
+            ~stack_top:Shift_compiler.Layout.stack_top
+            ~stack_stride:(Int64.of_int (1 lsl 20))
+            ~harts ~round:sm_round ~finished:sm_finished ()
+        in
+        World.set_threads world
+          ~spawn:(fun parent ~entry ~arg -> Smp.spawn smp ~parent ~entry ~arg)
+          ~join:(fun tid ->
+            match Smp.state_of smp tid with
+            | Some Smp.Running -> None
+            | Some (Smp.Done v) -> Some v
+            | Some (Smp.Crashed _) | None -> Some (-1L));
+        Exec.of_smp smp
+  in
+  {
+    image;
+    config;
+    world;
+    engine;
+    fuel_left = snap.Snapshot.fuel_left;
+    result = snap.Snapshot.result;
+  }
+
 let exec ?config image =
   let live = start ?config image in
   (* one maximal slice: [advance] clamps to the configured fuel and maps

@@ -125,6 +125,26 @@ val exec : ?config:Config.t -> Shift_compiler.Image.t -> Report.t
     fuel budget, {!report}.  This is the single implementation behind
     all four historical entry points below. *)
 
+(** {1 Checkpoint/restore}
+
+    A {!live} session can be frozen between {!advance} slices into a
+    {!Snapshot.t} — a self-contained, serialisable image of everything
+    that determines the rest of the run — and rebuilt later, in the
+    same process or a fresh one.  The guarantee: a restored session run
+    to completion produces a report byte-identical to the unbroken
+    run's, across single-hart, SMP and traced shapes. *)
+
+val checkpoint : ?meta:(string * string) list -> live -> Snapshot.t
+(** Freeze the session's complete state.  Call only between {!advance}
+    slices (never from inside a syscall handler).  [meta] is free-form
+    provenance carried in the snapshot but not consumed by restore. *)
+
+val restore : Snapshot.t -> live
+(** Rebuild a live session from a snapshot: fresh machine, memory, OS
+    world and (when traced) flow state, all overwritten with the
+    snapshot's contents.  The configured world-setup closure is {e not}
+    re-run — its effects are already part of the captured state. *)
+
 (** {1 Historical entry points}
 
     One-line wrappers over {!exec}, kept so no caller breaks. *)

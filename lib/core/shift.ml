@@ -31,6 +31,10 @@ module Pool = Pool
     deterministic aggregate report. *)
 module Fleet = Fleet
 
+(** Deterministic checkpoint images of live sessions
+    ([Session.checkpoint] / [Session.restore]). *)
+module Snapshot = Snapshot
+
 (** The resumable execution engine sessions are driven through. *)
 module Exec = Shift_machine.Exec
 

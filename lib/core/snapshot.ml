@@ -1,0 +1,927 @@
+module Image = Shift_compiler.Image
+module Cpu = Shift_machine.Cpu
+module Smp = Shift_machine.Smp
+module Exec = Shift_machine.Exec
+module Fault = Shift_machine.Fault
+module Stats = Shift_machine.Stats
+module Pipeline = Shift_machine.Pipeline
+module Cache = Shift_machine.Cache
+module Flowtrace = Shift_machine.Flowtrace
+module Policy = Shift_policy.Policy
+module Alert = Shift_policy.Alert
+module World = Shift_os.World
+module Memory = Shift_mem.Memory
+module Provenance = Shift_mem.Provenance
+
+type threading = T_single | T_threads of int option
+
+type config = {
+  c_policy : Policy.t;
+  c_io_cost : World.io_cost;
+  c_fuel : int;
+  c_threading : threading;
+  c_trace : Flowtrace.options option;
+}
+
+type hart = {
+  h_values : int64 array;
+  h_nats : bool array;
+  h_preds : bool array;
+  h_unat : int64;
+  h_ip : int;
+  h_stats : Stats.t;
+  h_pipe : Pipeline.snap;
+  h_cache : Cache.snap;
+  h_call_stack : (int * int64) list;
+  h_ftregs : (int array * int array) option;
+}
+
+type machine =
+  | M_cpu of hart
+  | M_smp of {
+      sm_quantum : int;
+      sm_harts : (int * Smp.state * hart) list;
+      sm_round : (int * int) list;
+      sm_finished : Cpu.outcome option;
+    }
+
+type t = {
+  meta : (string * string) list;
+  image : Image.t;
+  config : config;
+  fuel_left : int;
+  result : Report.outcome option;
+  memory : (int64 * string) list;
+  machine : machine;
+  world : World.dump;
+  flow : (Flowtrace.dump * (int64 * string) list) option;
+}
+
+let version = 1
+
+(* ---------- capture ---------- *)
+
+let export_cpu ~traced (cpu : Cpu.t) =
+  {
+    h_values = Array.copy cpu.Cpu.values;
+    h_nats = Array.copy cpu.Cpu.nats;
+    h_preds = Array.copy cpu.Cpu.preds;
+    h_unat = cpu.Cpu.unat;
+    h_ip = cpu.Cpu.ip;
+    h_stats = Stats.copy cpu.Cpu.stats;
+    h_pipe = Pipeline.export cpu.Cpu.pipe;
+    h_cache = Cache.export cpu.Cpu.cache;
+    h_call_stack = List.of_seq (Stack.to_seq cpu.Cpu.call_stack);
+    h_ftregs =
+      (if traced then
+         Some
+           ( Array.copy cpu.Cpu.ftregs.Flowtrace.id,
+             Array.copy cpu.Cpu.ftregs.Flowtrace.depth )
+       else None);
+  }
+
+let import_stats (src : Stats.t) (dst : Stats.t) =
+  dst.Stats.instructions <- src.Stats.instructions;
+  dst.Stats.cycles <- src.Stats.cycles;
+  dst.Stats.loads <- src.Stats.loads;
+  dst.Stats.stores <- src.Stats.stores;
+  dst.Stats.branches <- src.Stats.branches;
+  dst.Stats.predicated_off <- src.Stats.predicated_off;
+  dst.Stats.syscalls <- src.Stats.syscalls;
+  dst.Stats.io_cycles <- src.Stats.io_cycles;
+  if
+    Array.length dst.Stats.slots_by_prov
+    <> Array.length src.Stats.slots_by_prov
+  then invalid_arg "Snapshot.import_cpu: issue-slot provenance arity mismatch";
+  Array.blit src.Stats.slots_by_prov 0 dst.Stats.slots_by_prov 0
+    (Array.length src.Stats.slots_by_prov)
+
+let import_cpu hart (cpu : Cpu.t) =
+  if Array.length hart.h_values <> Array.length cpu.Cpu.values then
+    invalid_arg "Snapshot.import_cpu: register file arity mismatch";
+  if Array.length hart.h_nats <> Array.length cpu.Cpu.nats then
+    invalid_arg "Snapshot.import_cpu: NaT file arity mismatch";
+  if Array.length hart.h_preds <> Array.length cpu.Cpu.preds then
+    invalid_arg "Snapshot.import_cpu: predicate file arity mismatch";
+  Array.blit hart.h_values 0 cpu.Cpu.values 0 (Array.length hart.h_values);
+  Array.blit hart.h_nats 0 cpu.Cpu.nats 0 (Array.length hart.h_nats);
+  Array.blit hart.h_preds 0 cpu.Cpu.preds 0 (Array.length hart.h_preds);
+  cpu.Cpu.unat <- hart.h_unat;
+  cpu.Cpu.ip <- hart.h_ip;
+  import_stats hart.h_stats cpu.Cpu.stats;
+  Pipeline.import cpu.Cpu.pipe hart.h_pipe;
+  Cache.import cpu.Cpu.cache hart.h_cache;
+  Stack.clear cpu.Cpu.call_stack;
+  List.iter
+    (fun frame -> Stack.push frame cpu.Cpu.call_stack)
+    (List.rev hart.h_call_stack);
+  match hart.h_ftregs with
+  | None -> ()
+  | Some (ids, depths) ->
+      let regs = cpu.Cpu.ftregs in
+      if
+        Array.length ids <> Array.length regs.Flowtrace.id
+        || Array.length depths <> Array.length regs.Flowtrace.depth
+      then invalid_arg "Snapshot.import_cpu: ftregs arity mismatch";
+      Array.blit ids 0 regs.Flowtrace.id 0 (Array.length ids);
+      Array.blit depths 0 regs.Flowtrace.depth 0 (Array.length depths)
+
+let dump_memory mem =
+  Memory.fold_pages mem ~init:[] ~f:(fun acc key page ->
+      (key, Bytes.to_string page) :: acc)
+  |> List.rev
+
+let dump_provenance pmap =
+  Provenance.fold_pages pmap ~init:[] ~f:(fun acc key page ->
+      (key, Bytes.to_string page) :: acc)
+  |> List.rev
+
+let load_memory mem pages =
+  List.iter (fun (key, data) -> Memory.load_page mem key data) pages
+
+let load_provenance pmap pages =
+  List.iter (fun (key, data) -> Provenance.load_page pmap key data) pages
+
+let capture ?(meta = []) ~image ~config ~fuel_left ~result ~engine ~world () =
+  let traced = config.c_trace <> None in
+  let hart0 = Exec.hart0 engine in
+  let machine =
+    match Exec.machine engine with
+    | Exec.Cpu cpu -> M_cpu (export_cpu ~traced cpu)
+    | Exec.Smp smp ->
+        M_smp
+          {
+            sm_quantum = Smp.quantum smp;
+            sm_harts =
+              List.map
+                (fun (id, state, cpu) -> (id, state, export_cpu ~traced cpu))
+                (Smp.harts smp);
+            sm_round = Smp.round smp;
+            sm_finished = Smp.finished smp;
+          }
+  in
+  let flow =
+    if traced then
+      let ft = hart0.Cpu.flowtrace in
+      Some (Flowtrace.dump ft, dump_provenance (Flowtrace.provenance ft))
+    else None
+  in
+  {
+    meta;
+    image;
+    config;
+    fuel_left;
+    result;
+    memory = dump_memory hart0.Cpu.mem;
+    machine;
+    world = World.dump world;
+    flow;
+  }
+
+(* ---------- JSON serialisation ---------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let hex_encode s =
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  let digit k =
+    Char.chr (if k < 10 then Char.code '0' + k else Char.code 'a' + k - 10)
+  in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set b (2 * i) (digit (c lsr 4));
+    Bytes.set b ((2 * i) + 1) (digit (c land 0xf))
+  done;
+  Bytes.to_string b
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then bad "odd-length hex payload";
+  let v c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> bad "invalid hex digit %C" c
+  in
+  String.init (n / 2) (fun i ->
+      Char.chr ((v s.[2 * i] lsl 4) lor v s.[(2 * i) + 1]))
+
+(* int64 values are serialised as decimal strings: [Results.Int] is a
+   native OCaml int, which cannot represent the full register range. *)
+let j64 v = Results.String (Int64.to_string v)
+
+let jbool b = Results.Bool b
+let jint n = Results.Int n
+let jstr s = Results.String s
+let jopt f = function None -> Results.Null | Some v -> f v
+
+let jbits a =
+  Results.String (String.init (Array.length a) (fun i -> if a.(i) then '1' else '0'))
+
+let jints a = Results.List (Array.to_list a |> List.map jint)
+let ji64s a = Results.List (Array.to_list a |> List.map j64)
+
+(* ---- decoding primitives ---- *)
+
+let field name j =
+  match Results.member name j with
+  | Some v -> v
+  | None -> bad "missing field %S" name
+
+let as_int = function Results.Int n -> n | _ -> bad "expected an integer"
+let as_bool = function Results.Bool b -> b | _ -> bad "expected a boolean"
+let as_string = function Results.String s -> s | _ -> bad "expected a string"
+let as_list = function Results.List l -> l | _ -> bad "expected a list"
+
+let as_i64 = function
+  | Results.String s -> (
+      match Int64.of_string_opt s with
+      | Some v -> v
+      | None -> bad "expected an int64 string, got %S" s)
+  | Results.Int n -> Int64.of_int n
+  | _ -> bad "expected an int64"
+
+let as_opt f = function Results.Null -> None | j -> Some (f j)
+
+let as_bits j =
+  let s = as_string j in
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '1' -> true
+      | '0' -> false
+      | c -> bad "invalid bit %C" c)
+
+let as_ints j = as_list j |> List.map as_int |> Array.of_list
+let as_i64s j = as_list j |> List.map as_i64 |> Array.of_list
+
+let ifield name j = as_int (field name j)
+let sfield name j = as_string (field name j)
+let bfield name j = as_bool (field name j)
+let i64field name j = as_i64 (field name j)
+
+(* ---- faults, alerts, outcomes ---- *)
+
+let nat_use_to_json (u : Fault.nat_use) =
+  jstr
+    (match u with
+    | Fault.Load_address -> "load_address"
+    | Fault.Store_address -> "store_address"
+    | Fault.Store_value -> "store_value"
+    | Fault.Branch_target -> "branch_target"
+    | Fault.Call_target -> "call_target")
+
+let nat_use_of_json j : Fault.nat_use =
+  match as_string j with
+  | "load_address" -> Fault.Load_address
+  | "store_address" -> Fault.Store_address
+  | "store_value" -> Fault.Store_value
+  | "branch_target" -> Fault.Branch_target
+  | "call_target" -> Fault.Call_target
+  | s -> bad "unknown NaT use %S" s
+
+let fault_to_json (f : Fault.t) =
+  Results.Obj
+    (match f with
+    | Fault.Nat_consumption u ->
+        [ ("fault", jstr "nat_consumption"); ("use", nat_use_to_json u) ]
+    | Fault.Invalid_address a ->
+        [ ("fault", jstr "invalid_address"); ("addr", j64 a) ]
+    | Fault.Invalid_branch a ->
+        [ ("fault", jstr "invalid_branch"); ("target", j64 a) ]
+    | Fault.Div_by_zero -> [ ("fault", jstr "div_by_zero") ]
+    | Fault.Call_stack_overflow -> [ ("fault", jstr "call_stack_overflow") ]
+    | Fault.Call_stack_underflow -> [ ("fault", jstr "call_stack_underflow") ])
+
+let fault_of_json j : Fault.t =
+  match sfield "fault" j with
+  | "nat_consumption" -> Fault.Nat_consumption (nat_use_of_json (field "use" j))
+  | "invalid_address" -> Fault.Invalid_address (i64field "addr" j)
+  | "invalid_branch" -> Fault.Invalid_branch (i64field "target" j)
+  | "div_by_zero" -> Fault.Div_by_zero
+  | "call_stack_overflow" -> Fault.Call_stack_overflow
+  | "call_stack_underflow" -> Fault.Call_stack_underflow
+  | s -> bad "unknown fault %S" s
+
+let alert_to_json (a : Alert.t) =
+  Results.Obj
+    [
+      ("policy", jstr a.Alert.policy);
+      ("message", jstr a.Alert.message);
+      ("signature", jopt jstr a.Alert.signature);
+      ("chain", Results.List (List.map jstr a.Alert.chain));
+    ]
+
+let alert_of_json j : Alert.t =
+  {
+    Alert.policy = sfield "policy" j;
+    message = sfield "message" j;
+    signature = as_opt as_string (field "signature" j);
+    chain = as_list (field "chain" j) |> List.map as_string;
+  }
+
+let outcome_to_json (o : Report.outcome) =
+  Results.Obj
+    (match o with
+    | Report.Exited code -> [ ("kind", jstr "exited"); ("code", j64 code) ]
+    | Report.Alert a -> [ ("kind", jstr "alert"); ("alert", alert_to_json a) ]
+    | Report.Fault f -> [ ("kind", jstr "fault"); ("fault", fault_to_json f) ]
+    | Report.Timeout -> [ ("kind", jstr "timeout") ])
+
+let outcome_of_json j : Report.outcome =
+  match sfield "kind" j with
+  | "exited" -> Report.Exited (i64field "code" j)
+  | "alert" -> Report.Alert (alert_of_json (field "alert" j))
+  | "fault" -> Report.Fault (fault_of_json (field "fault" j))
+  | "timeout" -> Report.Timeout
+  | s -> bad "unknown outcome kind %S" s
+
+let cpu_outcome_to_json (o : Cpu.outcome) =
+  Results.Obj
+    (match o with
+    | Cpu.Exited v -> [ ("kind", jstr "exited"); ("value", j64 v) ]
+    | Cpu.Faulted (f, ip) ->
+        [ ("kind", jstr "faulted"); ("fault", fault_to_json f); ("ip", jint ip) ]
+    | Cpu.Out_of_fuel -> [ ("kind", jstr "out_of_fuel") ])
+
+let cpu_outcome_of_json j : Cpu.outcome =
+  match sfield "kind" j with
+  | "exited" -> Cpu.Exited (i64field "value" j)
+  | "faulted" -> Cpu.Faulted (fault_of_json (field "fault" j), ifield "ip" j)
+  | "out_of_fuel" -> Cpu.Out_of_fuel
+  | s -> bad "unknown machine outcome %S" s
+
+let hart_state_to_json (s : Smp.state) =
+  Results.Obj
+    (match s with
+    | Smp.Running -> [ ("state", jstr "running") ]
+    | Smp.Done v -> [ ("state", jstr "done"); ("value", j64 v) ]
+    | Smp.Crashed (f, ip) ->
+        [ ("state", jstr "crashed"); ("fault", fault_to_json f); ("ip", jint ip) ])
+
+let hart_state_of_json j : Smp.state =
+  match sfield "state" j with
+  | "running" -> Smp.Running
+  | "done" -> Smp.Done (i64field "value" j)
+  | "crashed" -> Smp.Crashed (fault_of_json (field "fault" j), ifield "ip" j)
+  | s -> bad "unknown hart state %S" s
+
+(* ---- configuration ---- *)
+
+let policy_to_json (p : Policy.t) =
+  Results.Obj
+    [
+      ("taint_network", jbool p.Policy.taint_network);
+      ("taint_files", jbool p.Policy.taint_files);
+      ("h1", jbool p.Policy.h1);
+      ("h2", jopt jstr p.Policy.h2);
+      ("h3", jbool p.Policy.h3);
+      ("h4", jbool p.Policy.h4);
+      ("h5", jbool p.Policy.h5);
+      ("low_level", jbool p.Policy.low_level);
+      ( "action",
+        jstr
+          (match p.Policy.action with
+          | Policy.Halt_program -> "halt"
+          | Policy.Log_only -> "log") );
+    ]
+
+let policy_of_json j : Policy.t =
+  {
+    Policy.taint_network = bfield "taint_network" j;
+    taint_files = bfield "taint_files" j;
+    h1 = bfield "h1" j;
+    h2 = as_opt as_string (field "h2" j);
+    h3 = bfield "h3" j;
+    h4 = bfield "h4" j;
+    h5 = bfield "h5" j;
+    low_level = bfield "low_level" j;
+    action =
+      (match sfield "action" j with
+      | "halt" -> Policy.Halt_program
+      | "log" -> Policy.Log_only
+      | s -> bad "unknown policy action %S" s);
+  }
+
+let io_cost_to_json (c : World.io_cost) =
+  Results.Obj
+    [
+      ("per_call", jint c.World.per_call);
+      ("per_byte", jint c.World.per_byte);
+      ("sendfile_per_byte", jint c.World.sendfile_per_byte);
+    ]
+
+let io_cost_of_json j : World.io_cost =
+  {
+    World.per_call = ifield "per_call" j;
+    per_byte = ifield "per_byte" j;
+    sendfile_per_byte = ifield "sendfile_per_byte" j;
+  }
+
+let threading_to_json = function
+  | T_single -> Results.Obj [ ("kind", jstr "single") ]
+  | T_threads q ->
+      Results.Obj [ ("kind", jstr "threads"); ("quantum", jopt jint q) ]
+
+let threading_of_json j =
+  match sfield "kind" j with
+  | "single" -> T_single
+  | "threads" -> T_threads (as_opt as_int (field "quantum" j))
+  | s -> bad "unknown threading kind %S" s
+
+let trace_options_to_json (o : Flowtrace.options) =
+  Results.Obj
+    [
+      ("capacity", jint o.Flowtrace.capacity);
+      ( "only",
+        jopt
+          (fun ks ->
+            Results.List (List.map (fun k -> jstr (Flowtrace.kind_to_string k)) ks))
+          o.Flowtrace.only );
+    ]
+
+let trace_options_of_json j : Flowtrace.options =
+  {
+    Flowtrace.capacity = ifield "capacity" j;
+    only =
+      as_opt
+        (fun l ->
+          as_list l
+          |> List.map (fun k ->
+                 let s = as_string k in
+                 match Flowtrace.kind_of_string s with
+                 | Some k -> k
+                 | None -> bad "unknown event kind %S" s))
+        (field "only" j);
+  }
+
+let config_to_json c =
+  Results.Obj
+    [
+      ("policy", policy_to_json c.c_policy);
+      ("io_cost", io_cost_to_json c.c_io_cost);
+      ("fuel", jint c.c_fuel);
+      ("threading", threading_to_json c.c_threading);
+      ("trace", jopt trace_options_to_json c.c_trace);
+    ]
+
+let config_of_json j =
+  {
+    c_policy = policy_of_json (field "policy" j);
+    c_io_cost = io_cost_of_json (field "io_cost" j);
+    c_fuel = ifield "fuel" j;
+    c_threading = threading_of_json (field "threading" j);
+    c_trace = as_opt trace_options_of_json (field "trace" j);
+  }
+
+(* ---- machine state ---- *)
+
+let stats_to_json (s : Stats.t) =
+  Results.Obj
+    [
+      ("instructions", jint s.Stats.instructions);
+      ("cycles", jint s.Stats.cycles);
+      ("loads", jint s.Stats.loads);
+      ("stores", jint s.Stats.stores);
+      ("branches", jint s.Stats.branches);
+      ("predicated_off", jint s.Stats.predicated_off);
+      ("syscalls", jint s.Stats.syscalls);
+      ("io_cycles", jint s.Stats.io_cycles);
+      ("slots_by_prov", jints s.Stats.slots_by_prov);
+    ]
+
+let stats_of_json j : Stats.t =
+  let s = Stats.create () in
+  s.Stats.instructions <- ifield "instructions" j;
+  s.Stats.cycles <- ifield "cycles" j;
+  s.Stats.loads <- ifield "loads" j;
+  s.Stats.stores <- ifield "stores" j;
+  s.Stats.branches <- ifield "branches" j;
+  s.Stats.predicated_off <- ifield "predicated_off" j;
+  s.Stats.syscalls <- ifield "syscalls" j;
+  s.Stats.io_cycles <- ifield "io_cycles" j;
+  let slots = as_ints (field "slots_by_prov" j) in
+  if Array.length slots <> Array.length s.Stats.slots_by_prov then
+    bad "issue-slot provenance arity mismatch";
+  Array.blit slots 0 s.Stats.slots_by_prov 0 (Array.length slots);
+  s
+
+let pipe_to_json (p : Pipeline.snap) =
+  Results.Obj
+    [
+      ("cycle", jint p.Pipeline.s_cycle);
+      ("slots_used", jint p.Pipeline.s_slots_used);
+      ("mem_used", jint p.Pipeline.s_mem_used);
+      ("reg_ready", jints p.Pipeline.s_reg_ready);
+      ("pred_ready", jints p.Pipeline.s_pred_ready);
+    ]
+
+let pipe_of_json j : Pipeline.snap =
+  {
+    Pipeline.s_cycle = ifield "cycle" j;
+    s_slots_used = ifield "slots_used" j;
+    s_mem_used = ifield "mem_used" j;
+    s_reg_ready = as_ints (field "reg_ready" j);
+    s_pred_ready = as_ints (field "pred_ready" j);
+  }
+
+let cache_to_json (c : Cache.snap) =
+  Results.Obj
+    [
+      ("lines", ji64s c.Cache.s_lines);
+      ("hits", jint c.Cache.s_hits);
+      ("misses", jint c.Cache.s_misses);
+    ]
+
+let cache_of_json j : Cache.snap =
+  {
+    Cache.s_lines = as_i64s (field "lines" j);
+    s_hits = ifield "hits" j;
+    s_misses = ifield "misses" j;
+  }
+
+let hart_to_json h =
+  Results.Obj
+    [
+      ("values", ji64s h.h_values);
+      ("nats", jbits h.h_nats);
+      ("preds", jbits h.h_preds);
+      ("unat", j64 h.h_unat);
+      ("ip", jint h.h_ip);
+      ("stats", stats_to_json h.h_stats);
+      ("pipe", pipe_to_json h.h_pipe);
+      ("cache", cache_to_json h.h_cache);
+      ( "call_stack",
+        Results.List
+          (List.map
+             (fun (ret, sp) -> Results.List [ jint ret; j64 sp ])
+             h.h_call_stack) );
+      ( "ftregs",
+        jopt
+          (fun (ids, depths) ->
+            Results.Obj [ ("id", jints ids); ("depth", jints depths) ])
+          h.h_ftregs );
+    ]
+
+let hart_of_json j =
+  {
+    h_values = as_i64s (field "values" j);
+    h_nats = as_bits (field "nats" j);
+    h_preds = as_bits (field "preds" j);
+    h_unat = i64field "unat" j;
+    h_ip = ifield "ip" j;
+    h_stats = stats_of_json (field "stats" j);
+    h_pipe = pipe_of_json (field "pipe" j);
+    h_cache = cache_of_json (field "cache" j);
+    h_call_stack =
+      as_list (field "call_stack" j)
+      |> List.map (function
+           | Results.List [ ret; sp ] -> (as_int ret, as_i64 sp)
+           | _ -> bad "malformed call-stack frame");
+    h_ftregs =
+      as_opt
+        (fun o -> (as_ints (field "id" o), as_ints (field "depth" o)))
+        (field "ftregs" j);
+  }
+
+let machine_to_json = function
+  | M_cpu h -> Results.Obj [ ("shape", jstr "cpu"); ("hart", hart_to_json h) ]
+  | M_smp { sm_quantum; sm_harts; sm_round; sm_finished } ->
+      Results.Obj
+        [
+          ("shape", jstr "smp");
+          ("quantum", jint sm_quantum);
+          ( "harts",
+            Results.List
+              (List.map
+                 (fun (id, state, h) ->
+                   Results.Obj
+                     [
+                       ("id", jint id);
+                       ("state", hart_state_to_json state);
+                       ("hart", hart_to_json h);
+                     ])
+                 sm_harts) );
+          ( "round",
+            Results.List
+              (List.map
+                 (fun (id, rem) -> Results.List [ jint id; jint rem ])
+                 sm_round) );
+          ("finished", jopt cpu_outcome_to_json sm_finished);
+        ]
+
+let machine_of_json j =
+  match sfield "shape" j with
+  | "cpu" -> M_cpu (hart_of_json (field "hart" j))
+  | "smp" ->
+      M_smp
+        {
+          sm_quantum = ifield "quantum" j;
+          sm_harts =
+            as_list (field "harts" j)
+            |> List.map (fun h ->
+                   ( ifield "id" h,
+                     hart_state_of_json (field "state" h),
+                     hart_of_json (field "hart" h) ));
+          sm_round =
+            as_list (field "round" j)
+            |> List.map (function
+                 | Results.List [ id; rem ] -> (as_int id, as_int rem)
+                 | _ -> bad "malformed round entry");
+          sm_finished = as_opt cpu_outcome_of_json (field "finished" j);
+        }
+  | s -> bad "unknown machine shape %S" s
+
+(* ---- pages, world, flow ---- *)
+
+let pages_to_json pages =
+  Results.List
+    (List.map
+       (fun (key, data) ->
+         Results.Obj [ ("key", j64 key); ("data", jstr (hex_encode data)) ])
+       pages)
+
+let pages_of_json j =
+  as_list j
+  |> List.map (fun p -> (i64field "key" p, hex_decode (sfield "data" p)))
+
+let world_to_json (d : World.dump) =
+  Results.Obj
+    [
+      ( "files",
+        Results.List
+          (List.map
+             (fun (path, content, tainted) ->
+               Results.Obj
+                 [
+                   ("path", jstr path);
+                   ("content", jstr content);
+                   ("tainted", jbool tainted);
+                 ])
+             d.World.d_files) );
+      ( "fds",
+        Results.List
+          (List.map
+             (fun (fd, (s : World.fd_state)) ->
+               Results.Obj
+                 [
+                   ("fd", jint fd);
+                   ("content", jstr s.World.fd_content);
+                   ("pos", jint s.World.fd_pos);
+                   ("tainted", jbool s.World.fd_tainted);
+                   ("path", jopt jstr s.World.fd_path);
+                 ])
+             d.World.d_fds) );
+      ("next_fd", jint d.World.d_next_fd);
+      ("pending", Results.List (List.map jstr d.World.d_pending));
+      ("output", jstr d.World.d_output);
+      ("html", jstr d.World.d_html);
+      ("sql", Results.List (List.map jstr d.World.d_sql));
+      ("commands", Results.List (List.map jstr d.World.d_commands));
+      ("alerts", Results.List (List.map alert_to_json d.World.d_alerts));
+      ("brk", j64 d.World.d_brk);
+    ]
+
+let world_of_json j : World.dump =
+  {
+    World.d_files =
+      as_list (field "files" j)
+      |> List.map (fun f ->
+             (sfield "path" f, sfield "content" f, bfield "tainted" f));
+    d_fds =
+      as_list (field "fds" j)
+      |> List.map (fun f ->
+             ( ifield "fd" f,
+               {
+                 World.fd_content = sfield "content" f;
+                 fd_pos = ifield "pos" f;
+                 fd_tainted = bfield "tainted" f;
+                 fd_path = as_opt as_string (field "path" f);
+               } ));
+    d_next_fd = ifield "next_fd" j;
+    d_pending = as_list (field "pending" j) |> List.map as_string;
+    d_output = sfield "output" j;
+    d_html = sfield "html" j;
+    d_sql = as_list (field "sql" j) |> List.map as_string;
+    d_commands = as_list (field "commands" j) |> List.map as_string;
+    d_alerts = as_list (field "alerts" j) |> List.map alert_of_json;
+    d_brk = i64field "brk" j;
+  }
+
+let source_to_json (s : Flowtrace.source) =
+  Results.Obj
+    [
+      ("sid", jint s.Flowtrace.sid);
+      ("channel", jstr s.Flowtrace.channel);
+      ("origin", jstr s.Flowtrace.origin);
+      ("offset", jint s.Flowtrace.offset);
+      ("len", jint s.Flowtrace.len);
+    ]
+
+let source_of_json j : Flowtrace.source =
+  {
+    Flowtrace.sid = ifield "sid" j;
+    channel = sfield "channel" j;
+    origin = sfield "origin" j;
+    offset = ifield "offset" j;
+    len = ifield "len" j;
+  }
+
+let detail_to_json (d : Flowtrace.detail) =
+  Results.Obj
+    (match d with
+    | Flowtrace.Ev_birth { src; addr } ->
+        [ ("t", jstr "birth"); ("src", source_to_json src); ("addr", j64 addr) ]
+    | Flowtrace.Ev_load { reg; addr; id } ->
+        [ ("t", jstr "load"); ("reg", jint reg); ("addr", j64 addr); ("id", jint id) ]
+    | Flowtrace.Ev_prop { dst; src; id; depth } ->
+        [
+          ("t", jstr "prop");
+          ("dst", jint dst);
+          ("src", jint src);
+          ("id", jint id);
+          ("depth", jint depth);
+        ]
+    | Flowtrace.Ev_store { reg; addr; len; id } ->
+        [
+          ("t", jstr "store");
+          ("reg", jint reg);
+          ("addr", j64 addr);
+          ("len", jint len);
+          ("id", jint id);
+        ]
+    | Flowtrace.Ev_purge { reg } -> [ ("t", jstr "purge"); ("reg", jint reg) ]
+    | Flowtrace.Ev_check { reg; tainted } ->
+        [ ("t", jstr "check"); ("reg", jint reg); ("tainted", jbool tainted) ]
+    | Flowtrace.Ev_sink { policy; detail } ->
+        [ ("t", jstr "sink"); ("policy", jstr policy); ("detail", jstr detail) ])
+
+let detail_of_json j : Flowtrace.detail =
+  match sfield "t" j with
+  | "birth" ->
+      Flowtrace.Ev_birth
+        { src = source_of_json (field "src" j); addr = i64field "addr" j }
+  | "load" ->
+      Flowtrace.Ev_load
+        { reg = ifield "reg" j; addr = i64field "addr" j; id = ifield "id" j }
+  | "prop" ->
+      Flowtrace.Ev_prop
+        {
+          dst = ifield "dst" j;
+          src = ifield "src" j;
+          id = ifield "id" j;
+          depth = ifield "depth" j;
+        }
+  | "store" ->
+      Flowtrace.Ev_store
+        {
+          reg = ifield "reg" j;
+          addr = i64field "addr" j;
+          len = ifield "len" j;
+          id = ifield "id" j;
+        }
+  | "purge" -> Flowtrace.Ev_purge { reg = ifield "reg" j }
+  | "check" ->
+      Flowtrace.Ev_check { reg = ifield "reg" j; tainted = bfield "tainted" j }
+  | "sink" ->
+      Flowtrace.Ev_sink
+        { policy = sfield "policy" j; detail = sfield "detail" j }
+  | s -> bad "unknown event type %S" s
+
+let event_to_json (e : Flowtrace.event) =
+  Results.Obj
+    [
+      ("seq", jint e.Flowtrace.seq);
+      ("ip", jint e.Flowtrace.ip);
+      ("ev", detail_to_json e.Flowtrace.ev);
+    ]
+
+let event_of_json j : Flowtrace.event =
+  {
+    Flowtrace.seq = ifield "seq" j;
+    ip = ifield "ip" j;
+    ev = detail_of_json (field "ev" j);
+  }
+
+let flow_to_json (d : Flowtrace.dump) pages =
+  Results.Obj
+    [
+      ("enabled", jbool d.Flowtrace.d_enabled);
+      ("capacity", jint d.Flowtrace.d_capacity);
+      ("keep", jbits d.Flowtrace.d_keep);
+      ("count", jint d.Flowtrace.d_count);
+      ("window", Results.List (List.map event_to_json d.Flowtrace.d_window));
+      ("sources", Results.List (List.map source_to_json d.Flowtrace.d_sources));
+      ("next_id", jint d.Flowtrace.d_next_id);
+      ( "spec",
+        Results.List
+          (List.map
+             (fun (ip, sid) -> Results.List [ jint ip; jint sid ])
+             d.Flowtrace.d_spec) );
+      ("births", jint d.Flowtrace.d_births);
+      ("propagations", jint d.Flowtrace.d_propagations);
+      ("purges", jint d.Flowtrace.d_purges);
+      ("checks", jint d.Flowtrace.d_checks);
+      ("sink_hits", jint d.Flowtrace.d_sink_hits);
+      ("max_depth", jint d.Flowtrace.d_max_depth);
+      ("provenance_pages", pages_to_json pages);
+    ]
+
+let flow_of_json j =
+  let d =
+    {
+      Flowtrace.d_enabled = bfield "enabled" j;
+      d_capacity = ifield "capacity" j;
+      d_keep = as_bits (field "keep" j);
+      d_count = ifield "count" j;
+      d_window = as_list (field "window" j) |> List.map event_of_json;
+      d_sources = as_list (field "sources" j) |> List.map source_of_json;
+      d_next_id = ifield "next_id" j;
+      d_spec =
+        as_list (field "spec" j)
+        |> List.map (function
+             | Results.List [ ip; sid ] -> (as_int ip, as_int sid)
+             | _ -> bad "malformed spec-source entry");
+      d_births = ifield "births" j;
+      d_propagations = ifield "propagations" j;
+      d_purges = ifield "purges" j;
+      d_checks = ifield "checks" j;
+      d_sink_hits = ifield "sink_hits" j;
+      d_max_depth = ifield "max_depth" j;
+    }
+  in
+  (d, pages_of_json (field "provenance_pages" j))
+
+(* ---- the envelope ---- *)
+
+let to_json t =
+  Results.Obj
+    [
+      ("snapshot_version", jint version);
+      ("kind", jstr "shift-snapshot");
+      ("meta", Results.Obj (List.map (fun (k, v) -> (k, jstr v)) t.meta));
+      ("config", config_to_json t.config);
+      ("fuel_left", jint t.fuel_left);
+      ("result", jopt outcome_to_json t.result);
+      ("image", jstr (hex_encode (Marshal.to_string t.image [])));
+      ("memory", pages_to_json t.memory);
+      ("machine", machine_to_json t.machine);
+      ("world", world_to_json t.world);
+      ("flow", jopt (fun (d, pages) -> flow_to_json d pages) t.flow);
+    ]
+
+let of_json j =
+  try
+    (match Results.member "kind" j with
+    | Some (Results.String "shift-snapshot") -> ()
+    | _ -> bad "not a shift snapshot");
+    let v = ifield "snapshot_version" j in
+    if v <> version then bad "unsupported snapshot version %d (expected %d)" v version;
+    let meta =
+      match field "meta" j with
+      | Results.Obj fields -> List.map (fun (k, v) -> (k, as_string v)) fields
+      | _ -> bad "malformed meta"
+    in
+    let image : Image.t =
+      try Marshal.from_string (hex_decode (sfield "image" j)) 0
+      with Failure _ -> bad "corrupt embedded image"
+    in
+    Ok
+      {
+        meta;
+        image;
+        config = config_of_json (field "config" j);
+        fuel_left = ifield "fuel_left" j;
+        result = as_opt outcome_of_json (field "result" j);
+        memory = pages_of_json (field "memory" j);
+        machine = machine_of_json (field "machine" j);
+        world = world_of_json (field "world" j);
+        flow = as_opt flow_of_json (field "flow" j);
+      }
+  with Bad msg -> Error msg
+
+let save path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Results.to_string (to_json t));
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match Results.of_string text with
+      | Error msg -> Error ("invalid JSON: " ^ msg)
+      | Ok j -> of_json j)

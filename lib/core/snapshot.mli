@@ -1,0 +1,136 @@
+(** Deterministic checkpoint images of a live session.
+
+    A snapshot captures {e everything} that determines the rest of a
+    run: the compiled image, the session configuration, every hart's
+    architectural and micro-architectural state (registers with NaT
+    bits, UNAT, predicates, pipeline scoreboard, cache lines, counters),
+    the touched memory pages (which include the taint bitmap — region 0
+    of the address space), the OS world (files, fd positions, pending
+    requests, buffers, heap break), and — for traced runs — the
+    Flowtrace ring plus the provenance shadow pages.
+
+    The headline invariant (enforced by test/test_snapshot.ml and the
+    CI resume gate): checkpoint mid-flight, serialise to disk, restore
+    in a fresh process, run to completion — and every counter and
+    report field is byte-identical to the unbroken run, across single
+    hart, SMP and traced shapes.
+
+    The on-disk format is versioned JSON ({!Results.json}); binary
+    payloads (memory pages, the marshalled image) are hex-encoded.
+    [Session.checkpoint] produces snapshots and [Session.restore]
+    rebuilds live sessions from them; this module owns the data model
+    and the serialisation. *)
+
+(** {1 The data model} *)
+
+(** Machine shape, mirrored from [Session.Config.threading] (which this
+    module cannot name without a dependency cycle). *)
+type threading = T_single | T_threads of int option
+
+(** The serialisable part of a session configuration.  The world-setup
+    closure is deliberately absent: its effects are already captured in
+    the world and memory state, so a restored session runs with a no-op
+    setup. *)
+type config = {
+  c_policy : Shift_policy.Policy.t;
+  c_io_cost : Shift_os.World.io_cost;
+  c_fuel : int;  (** the configured budget, not what remains *)
+  c_threading : threading;
+  c_trace : Shift_machine.Flowtrace.options option;
+}
+
+(** One hart's complete execution state. *)
+type hart = {
+  h_values : int64 array;
+  h_nats : bool array;
+  h_preds : bool array;
+  h_unat : int64;
+  h_ip : int;
+  h_stats : Shift_machine.Stats.t;
+  h_pipe : Shift_machine.Pipeline.snap;
+  h_cache : Shift_machine.Cache.snap;
+  h_call_stack : (int * int64) list;  (** top of stack first *)
+  h_ftregs : (int array * int array) option;
+      (** register provenance shadow (ids, depths) for traced runs *)
+}
+
+type machine =
+  | M_cpu of hart
+  | M_smp of {
+      sm_quantum : int;
+      sm_harts : (int * Shift_machine.Smp.state * hart) list;
+          (** in id order, hart 0 first — finished harts included so
+              spawn numbering stays deterministic after restore *)
+      sm_round : (int * int) list;
+          (** suspended round-robin tail: hart id, remaining quantum *)
+      sm_finished : Shift_machine.Cpu.outcome option;
+    }
+
+type t = {
+  meta : (string * string) list;
+      (** free-form provenance (kernel name, mode, ...); not consumed
+          by restore *)
+  image : Shift_compiler.Image.t;
+      (** embedded so a snapshot is self-contained: [shiftc resume]
+          needs nothing but the file *)
+  config : config;
+  fuel_left : int;
+  result : Report.outcome option;  (** set when the run already finished *)
+  memory : (int64 * string) list;
+      (** touched pages as (page key, {!Shift_mem.Memory.page_size}
+          bytes), ascending key order, all-zero pages elided *)
+  machine : machine;
+  world : Shift_os.World.dump;
+  flow : (Shift_machine.Flowtrace.dump * (int64 * string) list) option;
+      (** flow-trace state plus provenance shadow pages, traced runs
+          only *)
+}
+
+val version : int
+(** Format version stamped into every serialised snapshot; loading
+    rejects other versions. *)
+
+(** {1 Capture and restore helpers}
+
+    [Session.checkpoint]/[Session.restore] are the public entry points;
+    these are the building blocks they use. *)
+
+val capture :
+  ?meta:(string * string) list ->
+  image:Shift_compiler.Image.t ->
+  config:config ->
+  fuel_left:int ->
+  result:Report.outcome option ->
+  engine:Shift_machine.Exec.t ->
+  world:Shift_os.World.t ->
+  unit ->
+  t
+(** Deep-copy the machine, memory, world and (when traced) flow state
+    out of a live engine.  Safe to call between [run_for] slices only —
+    never from inside a syscall handler. *)
+
+val export_cpu : traced:bool -> Shift_machine.Cpu.t -> hart
+(** Deep copy of one hart's state ([traced] adds the register
+    provenance shadow). *)
+
+val import_cpu : hart -> Shift_machine.Cpu.t -> unit
+(** Overwrite a freshly created CPU's state with the hart's.
+    @raise Invalid_argument on register-file arity mismatches. *)
+
+val load_memory : Shift_mem.Memory.t -> (int64 * string) list -> unit
+val load_provenance : Shift_mem.Provenance.t -> (int64 * string) list -> unit
+
+(** {1 Serialisation} *)
+
+val to_json : t -> Results.json
+(** Deterministic: field order is fixed, pages are sorted by key,
+    hashtable-backed state is sorted before emission. *)
+
+val of_json : Results.json -> (t, string) result
+
+val save : string -> t -> unit
+(** Write [to_json] (pretty-printed) to a file, atomically (write to a
+    temporary sibling, then rename). *)
+
+val load : string -> (t, string) result
+(** Read and parse a snapshot file. *)

@@ -37,3 +37,17 @@ let access t addr =
 
 let hits t = t.hit_count
 let misses t = t.miss_count
+
+(* ---------- checkpoint/restore ---------- *)
+
+type snap = { s_lines : int64 array; s_hits : int; s_misses : int }
+
+let export t =
+  { s_lines = Array.copy t.lines; s_hits = t.hit_count; s_misses = t.miss_count }
+
+let import t s =
+  if Array.length s.s_lines <> t.set_count then
+    invalid_arg "Cache.import: set count mismatch";
+  Array.blit s.s_lines 0 t.lines 0 t.set_count;
+  t.hit_count <- s.s_hits;
+  t.miss_count <- s.s_misses

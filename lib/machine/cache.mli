@@ -21,3 +21,17 @@ val misses : t -> int
 
 val miss_penalty : int
 (** Extra load-use latency on a miss (cycles). *)
+
+(** {1 Checkpoint/restore}
+
+    The resident line per set plus the hit/miss counters, as plain
+    data.  Restoring reproduces the exact hit/miss sequence — and so
+    the exact load latencies — of the unbroken run. *)
+
+type snap = { s_lines : int64 array; s_hits : int; s_misses : int }
+
+val export : t -> snap
+
+val import : t -> snap -> unit
+(** @raise Invalid_argument if the set counts differ (the restored
+    cache must be created with the same geometry). *)

@@ -359,6 +359,82 @@ let summary t =
     s_sources = List.length t.sources;
   }
 
+(* ---------- checkpoint/restore ---------- *)
+
+let provenance t = t.pmap
+
+type dump = {
+  d_enabled : bool;
+  d_capacity : int;
+  d_keep : bool array;
+  d_count : int;
+  d_window : event list;
+  d_sources : source list;
+  d_next_id : int;
+  d_spec : (int * int) list;
+  d_births : int;
+  d_propagations : int;
+  d_purges : int;
+  d_checks : int;
+  d_sink_hits : int;
+  d_max_depth : int;
+}
+
+let dump t =
+  {
+    d_enabled = t.enabled;
+    d_capacity = t.capacity;
+    d_keep = Array.copy t.keep;
+    d_count = t.count;
+    d_window = events t;
+    d_sources = t.sources;
+    d_next_id = t.next_id;
+    d_spec =
+      Hashtbl.fold (fun ip src acc -> (ip, src.sid) :: acc) t.spec_sources []
+      |> List.sort compare;
+    d_births = t.births;
+    d_propagations = t.propagations;
+    d_purges = t.purges;
+    d_checks = t.checks;
+    d_sink_hits = t.sink_hits;
+    d_max_depth = t.max_depth;
+  }
+
+let of_dump d =
+  if Array.length d.d_keep <> kind_count then
+    invalid_arg "Flowtrace.of_dump: keep filter arity mismatch";
+  let capacity = max 1 d.d_capacity in
+  let ring = Array.make capacity dummy_event in
+  (* the live window is the last [min count capacity] events; re-seating
+     each at [seq mod capacity] reproduces the exact ring layout (older
+     slots hold the dummy, which [events] never reads) *)
+  List.iter (fun e -> ring.(e.seq mod capacity) <- e) d.d_window;
+  let spec_sources = Hashtbl.create 16 in
+  List.iter
+    (fun (ip, sid) ->
+      match List.find_opt (fun s -> s.sid = sid) d.d_sources with
+      | Some src -> Hashtbl.add spec_sources ip src
+      | None ->
+          invalid_arg "Flowtrace.of_dump: spec source not in the source list")
+    d.d_spec;
+  {
+    enabled = d.d_enabled;
+    capacity;
+    ring;
+    count = d.d_count;
+    keep = Array.copy d.d_keep;
+    pmap = Provenance.create ();
+    sources = d.d_sources;
+    next_id = d.d_next_id;
+    spec_sources;
+    births = d.d_births;
+    propagations = d.d_propagations;
+    purges = d.d_purges;
+    checks = d.d_checks;
+    sink_hits = d.d_sink_hits;
+    max_depth = d.d_max_depth;
+  }
+
 (* ---------- printing ---------- *)
 
 let pp_source ppf s =

@@ -184,6 +184,40 @@ type summary = {
 
 val summary : t -> summary
 
+(** {1 Checkpoint/restore} *)
+
+val provenance : t -> Shift_mem.Provenance.t
+(** The per-byte provenance shadow map (for page-level serialisation —
+    see {!Shift_mem.Provenance.fold_pages}). *)
+
+(** The trace state as plain data: ring window, interned sources,
+    filters and counters.  The provenance shadow is {e not} included —
+    dump and reload it separately through {!provenance}. *)
+type dump = {
+  d_enabled : bool;
+  d_capacity : int;
+  d_keep : bool array;  (** kept kinds, indexed by {!kind_index} order *)
+  d_count : int;  (** total events ever emitted *)
+  d_window : event list;  (** live ring window, oldest first *)
+  d_sources : source list;  (** internal (newest-first) order *)
+  d_next_id : int;
+  d_spec : (int * int) list;  (** interned speculative sources: ip, sid *)
+  d_births : int;
+  d_propagations : int;
+  d_purges : int;
+  d_checks : int;
+  d_sink_hits : int;
+  d_max_depth : int;
+}
+
+val dump : t -> dump
+
+val of_dump : dump -> t
+(** Rebuild a trace whose ring, counters and interning state are
+    exactly the dumped ones (the provenance map starts empty — reload
+    its pages through {!provenance}).
+    @raise Invalid_argument on malformed dumps. *)
+
 val pp_source : Format.formatter -> source -> unit
 val pp_event : Format.formatter -> event -> unit
 val pp_summary : Format.formatter -> summary -> unit

@@ -67,3 +67,33 @@ let stall t n =
   end
 
 let cycles t = t.cycle
+
+(* ---------- checkpoint/restore ---------- *)
+
+type snap = {
+  s_cycle : int;
+  s_slots_used : int;
+  s_mem_used : int;
+  s_reg_ready : int array;
+  s_pred_ready : int array;
+}
+
+let export t =
+  {
+    s_cycle = t.cycle;
+    s_slots_used = t.slots_used;
+    s_mem_used = t.mem_used;
+    s_reg_ready = Array.copy t.reg_ready;
+    s_pred_ready = Array.copy t.pred_ready;
+  }
+
+let import t s =
+  if
+    Array.length s.s_reg_ready <> Array.length t.reg_ready
+    || Array.length s.s_pred_ready <> Array.length t.pred_ready
+  then invalid_arg "Pipeline.import: scoreboard size mismatch";
+  t.cycle <- s.s_cycle;
+  t.slots_used <- s.s_slots_used;
+  t.mem_used <- s.s_mem_used;
+  Array.blit s.s_reg_ready 0 t.reg_ready 0 (Array.length t.reg_ready);
+  Array.blit s.s_pred_ready 0 t.pred_ready 0 (Array.length t.pred_ready)

@@ -47,3 +47,26 @@ val stall : t -> int -> unit
 
 val cycles : t -> int
 (** Cycles elapsed so far. *)
+
+(** {1 Checkpoint/restore}
+
+    The complete timing state of a core, as plain data.  Restoring an
+    exported snapshot into a fresh core reproduces the exact issue
+    behaviour of the original: the scoreboard, the current issue group
+    and the cycle counter all carry over, so cycle counts after a
+    restore are byte-identical to an unbroken run. *)
+
+type snap = {
+  s_cycle : int;
+  s_slots_used : int;
+  s_mem_used : int;
+  s_reg_ready : int array;
+  s_pred_ready : int array;
+}
+
+val export : t -> snap
+(** A deep copy of the timing state. *)
+
+val import : t -> snap -> unit
+(** Overwrite the core's timing state with a previously exported snap.
+    @raise Invalid_argument on a scoreboard size mismatch. *)

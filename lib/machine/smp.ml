@@ -76,7 +76,12 @@ let run_steps hart n =
               normal thread exit; its result is in r8 *)
            hart.state <- Done (Cpu.get_value hart.cpu Shift_isa.Reg.ret)
        | Some (Cpu.Faulted (f, ip)) -> hart.state <- Crashed (f, ip)
-       | Some Cpu.Out_of_fuel -> assert false
+       | Some Cpu.Out_of_fuel ->
+           (* [Cpu.step] executes exactly one instruction and carries no
+              fuel; only the bounded run loops can report exhaustion *)
+           failwith
+             "Smp.run_steps: Cpu.step reported Out_of_fuel, but single-step \
+              execution is unfueled"
      done
    with Cpu.Exit_requested v -> hart.state <- Done v);
   !spent
@@ -136,3 +141,28 @@ let run ?(fuel = 2_000_000_000) t =
   match run_for t ~budget:fuel with
   | `Finished o -> o
   | `Yielded -> Cpu.Out_of_fuel
+
+(* ---------- checkpoint/restore ---------- *)
+
+let quantum t = t.quantum
+let harts t = List.map (fun h -> (h.id, h.state, h.cpu)) t.harts
+let round t = List.map (fun (h, rem) -> (h.id, rem)) t.round
+let finished t = t.finished
+
+let of_parts ?(quantum = 50) ~stack_top ~stack_stride ~harts ~round ~finished ()
+    =
+  let harts =
+    List.map (fun (id, state, cpu) -> { id; state; cpu }) harts
+  in
+  (match harts with
+  | { id = 0; _ } :: _ -> ()
+  | _ -> invalid_arg "Smp.of_parts: hart 0 must be first");
+  let round =
+    List.map
+      (fun (id, rem) ->
+        match List.find_opt (fun h -> h.id = id) harts with
+        | Some h -> (h, rem)
+        | None -> invalid_arg "Smp.of_parts: round references an unknown hart")
+      round
+  in
+  { quantum; stack_top; stack_stride; harts; round; finished }

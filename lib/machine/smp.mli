@@ -57,6 +57,38 @@ val run_for : t -> budget:int -> Cpu.status
     when a syscall handler raises.  A non-positive budget yields
     immediately. *)
 
+(** {1 Checkpoint/restore}
+
+    The scheduler state as plain data, so a multi-hart machine can be
+    serialised mid-round and rebuilt in a fresh process.  The per-hart
+    CPUs are exported by reference; serialising their contents is the
+    caller's job (see [Shift.Snapshot]). *)
+
+val quantum : t -> int
+
+val harts : t -> (int * state * Cpu.t) list
+(** All harts in id order, including finished and crashed ones (ids
+    must stay stable so future spawns keep numbering deterministic). *)
+
+val round : t -> (int * int) list
+(** The tail of the current round-robin round as [(hart id, remaining
+    quantum)] pairs — the head may be mid-quantum. *)
+
+val finished : t -> Cpu.outcome option
+
+val of_parts :
+  ?quantum:int ->
+  stack_top:int64 ->
+  stack_stride:int64 ->
+  harts:(int * state * Cpu.t) list ->
+  round:(int * int) list ->
+  finished:Cpu.outcome option ->
+  unit ->
+  t
+(** Rebuild a machine from exported parts.  [harts] must be in id order
+    with hart 0 first; [round] must reference known hart ids.
+    @raise Invalid_argument otherwise. *)
+
 val run : ?fuel:int -> t -> Cpu.outcome
 (** Schedule all harts until hart 0 finishes (its outcome is returned),
     a fault escapes, or the combined instruction budget runs out: one

@@ -186,3 +186,29 @@ let write_cstring t a s =
   write_u8 t (Int64.add a (Int64.of_int (String.length s))) 0
 
 let allocated_pages t = Hashtbl.length t.pages
+
+(* ---------- page iteration (checkpoint/restore) ----------
+
+   Pages are exported in ascending key order so a dump of the same
+   memory state is byte-identical regardless of hashtable history.
+   All-zero pages are skipped: a fresh page is zero-filled, so eliding
+   them loses nothing observable and keeps snapshots sparse. *)
+
+let zero_page = Bytes.make page_size '\000'
+
+let fold_pages t ~init ~f =
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.pages []
+    |> List.sort Int64.unsigned_compare
+  in
+  List.fold_left
+    (fun acc key ->
+      let p = Hashtbl.find t.pages key in
+      if Bytes.equal p zero_page then acc else f acc key p)
+    init keys
+
+let load_page t key data =
+  if String.length data <> page_size then
+    invalid_arg "Memory.load_page: page data must be exactly page_size bytes";
+  let p = page_of_key t key in
+  Bytes.blit_string data 0 p 0 page_size

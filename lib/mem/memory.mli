@@ -46,3 +46,17 @@ val write_cstring : t -> int64 -> string -> unit
 
 val allocated_pages : t -> int
 (** Number of pages touched so far (for tests and reporting). *)
+
+(** {1 Page iteration (checkpoint/restore)} *)
+
+val fold_pages : t -> init:'a -> f:('a -> int64 -> bytes -> 'a) -> 'a
+(** Fold over the allocated pages in ascending page-key order (the key
+    is the address shifted right by log2 page size).  All-zero pages
+    are skipped — a never-allocated page reads as zeros, so eliding
+    them is invisible to {!read}.  The [bytes] is the live backing
+    store: do not mutate it. *)
+
+val load_page : t -> int64 -> string -> unit
+(** [load_page t key data] installs [data] (exactly {!page_size} bytes)
+    as the page with the given key, allocating it if needed.
+    @raise Invalid_argument on a size mismatch. *)

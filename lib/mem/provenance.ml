@@ -115,3 +115,32 @@ let first_id t ~addr ~len =
   !found
 
 let allocated_pages t = Hashtbl.length t.pages
+
+(* Page iteration for checkpoint/restore: ascending key order, all-zero
+   pages elided (a missing page reads as id 0 everywhere). *)
+
+let zero_page = Bytes.make (page_bytes * slot_size) '\000'
+
+let fold_pages t ~init ~f =
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.pages []
+    |> List.sort Int64.unsigned_compare
+  in
+  List.fold_left
+    (fun acc key ->
+      let p = Hashtbl.find t.pages key in
+      if Bytes.equal p zero_page then acc else f acc key p)
+    init keys
+
+let load_page t key data =
+  if String.length data <> page_bytes * slot_size then
+    invalid_arg "Provenance.load_page: wrong page size";
+  let p =
+    match Hashtbl.find_opt t.pages key with
+    | Some p -> p
+    | None ->
+        let p = Bytes.make (page_bytes * slot_size) '\000' in
+        Hashtbl.add t.pages key p;
+        p
+  in
+  Bytes.blit_string data 0 p 0 (page_bytes * slot_size)

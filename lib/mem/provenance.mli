@@ -35,3 +35,12 @@ val first_id : t -> addr:int64 -> len:int -> int
 (** The first non-zero id in [addr, addr+len), or [0]. *)
 
 val allocated_pages : t -> int
+
+val fold_pages : t -> init:'a -> f:('a -> int64 -> bytes -> 'a) -> 'a
+(** Fold over allocated shadow pages in ascending key order, skipping
+    all-zero pages (a missing page reads as id 0).  The [bytes] is the
+    live backing store: do not mutate it. *)
+
+val load_page : t -> int64 -> string -> unit
+(** Install a page dumped by {!fold_pages}.
+    @raise Invalid_argument on a size mismatch. *)

@@ -23,7 +23,7 @@ type t = {
   files : (string, string * bool) Hashtbl.t;  (* path -> content, tainted *)
   fds : (int, stream) Hashtbl.t;
   mutable next_fd : int;
-  mutable pending : string list;  (* queued network connections *)
+  pending : string Queue.t;  (* queued network connections, FIFO *)
   out_buf : Buffer.t;
   html_buf : Buffer.t;
   mutable sql : string list;
@@ -45,7 +45,7 @@ let create ?(policy = Policy.default) ?(gran = Shift_mem.Granularity.Word)
     files = Hashtbl.create 16;
     fds = Hashtbl.create 16;
     next_fd = 3;
-    pending = [];
+    pending = Queue.create ();
     out_buf = Buffer.create 256;
     html_buf = Buffer.create 256;
     sql = [];
@@ -71,7 +71,9 @@ let add_file t ?tainted path content =
   let tainted = Option.value tainted ~default:t.pol.Policy.taint_files in
   Hashtbl.replace t.files (resolve path) (content, tainted)
 
-let queue_request t req = t.pending <- t.pending @ [ req ]
+(* O(1) enqueue: request setup used to rebuild the whole list per
+   request, making N-request setups O(N^2) *)
+let queue_request t req = Queue.add req t.pending
 
 (* keyboard input, §3.3.1 source (3); fd 0, tainted unless said
    otherwise *)
@@ -207,10 +209,9 @@ let do_fd_write t cpu =
 
 let do_accept t cpu =
   charge t cpu ~bytes:0 ~per_byte:0;
-  match t.pending with
-  | [] -> ret_val cpu (-1L)
-  | req :: rest ->
-      t.pending <- rest;
+  match Queue.take_opt t.pending with
+  | None -> ret_val cpu (-1L)
+  | Some req ->
       let fd =
         alloc_fd t { content = req; pos = 0; tainted = t.pol.Policy.taint_network; path = None }
       in
@@ -228,12 +229,26 @@ let do_sendfile t cpu =
       charge t cpu ~bytes:n ~per_byte:t.io.sendfile_per_byte;
       ret_val cpu (Int64.of_int n)
 
+(* the heap may grow up to the top of its region's implemented offset
+   bits; past that, tag-space translation would alias other regions *)
+let heap_limit = Shift_mem.Addr.in_region 1 Shift_mem.Addr.impl_mask
+
 let do_sbrk t cpu =
   if Int64.equal t.brk 0L then t.brk <- heap_base;
   let n = arg cpu 0 in
-  let old = t.brk in
-  t.brk <- Int64.add t.brk n;
-  ret_val cpu old
+  let next = Int64.add t.brk n in
+  (* reject growth (or shrinkage) that leaves the heap: below its base,
+     past the region's implemented bits, or wrapped around — the break
+     stays put and the guest sees the conventional -1 *)
+  if
+    Int64.compare next heap_base < 0
+    || Int64.unsigned_compare next heap_limit > 0
+  then ret_val cpu (-1L)
+  else begin
+    let old = t.brk in
+    t.brk <- next;
+    ret_val cpu old
+  end
 
 let do_string_sink t cpu ~check ~record ~syscall =
   let addr = arg cpu 0 in
@@ -292,6 +307,78 @@ let do_join t cpu =
              on its next quantum (a busy wait at OS granularity) *)
           cpu.Cpu.ip <- cpu.Cpu.ip - 1)
 
+(* ---------- checkpoint/restore ---------- *)
+
+type fd_state = {
+  fd_content : string;
+  fd_pos : int;
+  fd_tainted : bool;
+  fd_path : string option;
+}
+
+type dump = {
+  d_files : (string * string * bool) list;
+  d_fds : (int * fd_state) list;
+  d_next_fd : int;
+  d_pending : string list;
+  d_output : string;
+  d_html : string;
+  d_sql : string list;  (* internal (newest-first) order *)
+  d_commands : string list;  (* internal (newest-first) order *)
+  d_alerts : Alert.t list;  (* internal (newest-first) order *)
+  d_brk : int64;
+}
+
+let dump t =
+  {
+    d_files =
+      Hashtbl.fold (fun path (content, tainted) acc -> (path, content, tainted) :: acc)
+        t.files []
+      |> List.sort compare;
+    d_fds =
+      Hashtbl.fold
+        (fun fd s acc ->
+          ( fd,
+            {
+              fd_content = s.content;
+              fd_pos = s.pos;
+              fd_tainted = s.tainted;
+              fd_path = s.path;
+            } )
+          :: acc)
+        t.fds []
+      |> List.sort compare;
+    d_next_fd = t.next_fd;
+    d_pending = List.of_seq (Queue.to_seq t.pending);
+    d_output = Buffer.contents t.out_buf;
+    d_html = Buffer.contents t.html_buf;
+    d_sql = t.sql;
+    d_commands = t.commands;
+    d_alerts = t.alert_log;
+    d_brk = t.brk;
+  }
+
+let undump t d =
+  Hashtbl.reset t.files;
+  List.iter (fun (path, content, tainted) -> Hashtbl.replace t.files path (content, tainted)) d.d_files;
+  Hashtbl.reset t.fds;
+  List.iter
+    (fun (fd, s) ->
+      Hashtbl.replace t.fds fd
+        { content = s.fd_content; pos = s.fd_pos; tainted = s.fd_tainted; path = s.fd_path })
+    d.d_fds;
+  t.next_fd <- d.d_next_fd;
+  Queue.clear t.pending;
+  List.iter (fun req -> Queue.add req t.pending) d.d_pending;
+  Buffer.clear t.out_buf;
+  Buffer.add_string t.out_buf d.d_output;
+  Buffer.clear t.html_buf;
+  Buffer.add_string t.html_buf d.d_html;
+  t.sql <- d.d_sql;
+  t.commands <- d.d_commands;
+  t.alert_log <- d.d_alerts;
+  t.brk <- d.d_brk
+
 let handler t cpu =
   let n = Int64.to_int (Cpu.get_value cpu Reg.sysnum) in
   if n = Sysno.exit_ then raise (Cpu.Exit_requested (arg cpu 0))
@@ -299,8 +386,15 @@ let handler t cpu =
   else if n = Sysno.write then do_fd_write t cpu
   else if n = Sysno.open_ then do_open t cpu
   else if n = Sysno.close then begin
-    Hashtbl.remove t.fds (Int64.to_int (arg cpu 0));
-    ret_val cpu 0L
+    (* closing a descriptor that isn't open is an error, like the
+       other fd syscalls: the table is untouched and the guest sees
+       the conventional -1 *)
+    let fd = Int64.to_int (arg cpu 0) in
+    if Hashtbl.mem t.fds fd then begin
+      Hashtbl.remove t.fds fd;
+      ret_val cpu 0L
+    end
+    else ret_val cpu (-1L)
   end
   else if n = Sysno.recv then do_read t cpu ~origin:"sys_recv"
   else if n = Sysno.send then do_fd_write t cpu

@@ -73,3 +73,38 @@ val set_threads :
 val taint_positions : t -> Shift_machine.Cpu.t -> int64 -> string -> int list
 (** Positions of tainted bytes of a guest string at an address (reads
     the bitmap at this world's granularity). *)
+
+(** {1 Checkpoint/restore}
+
+    The mutable kernel state as plain data: file system, open file
+    descriptors (with stream positions), the pending connection queue,
+    output buffers, sink logs and the heap break.  The policy,
+    granularity and I/O cost model are {e not} part of a dump — they
+    come from the session configuration that recreates the world. *)
+
+type fd_state = {
+  fd_content : string;
+  fd_pos : int;
+  fd_tainted : bool;
+  fd_path : string option;
+}
+
+type dump = {
+  d_files : (string * string * bool) list;  (** path, content, tainted; sorted *)
+  d_fds : (int * fd_state) list;  (** sorted by fd *)
+  d_next_fd : int;
+  d_pending : string list;  (** queue order, head first *)
+  d_output : string;
+  d_html : string;
+  d_sql : string list;  (** internal (newest-first) order *)
+  d_commands : string list;  (** internal (newest-first) order *)
+  d_alerts : Shift_policy.Alert.t list;  (** internal (newest-first) order *)
+  d_brk : int64;
+}
+
+val dump : t -> dump
+
+val undump : t -> dump -> unit
+(** Overwrite [t]'s mutable state with the dump's.  [t] should be a
+    fresh world created with the same policy/granularity/io_cost as the
+    dumped one. *)

@@ -224,9 +224,12 @@ let fleet_tests =
         let fleet = Shift.Fleet.run ~domains:2 fleet_jobs in
         let expect =
           Stats.total
-            (List.map
+            (List.filter_map
                (fun (r : Shift.Fleet.result) ->
-                 r.Shift.Fleet.report.Shift.Report.stats)
+                 match r.Shift.Fleet.outcome with
+                 | Shift.Fleet.Finished report ->
+                     Some report.Shift.Report.stats
+                 | Shift.Fleet.Crashed _ -> None)
                fleet.Shift.Fleet.results)
         in
         Util.check_string "totals" (stats_sig expect)

@@ -174,10 +174,136 @@ let cost_tests =
         Util.check_i64 "64" 64L (Util.exit_code r));
   ]
 
+(* descriptor lifecycle: close removes the entry, numbering is
+   deterministic and never reuses a freed number *)
+let fd_tests =
+  [
+    tc "read after close returns -1" (fun () ->
+        let r =
+          run
+            ~setup:(fun w -> World.add_file w "f" "abcdef")
+            ~locals:[ scalar "fd"; array "buf" 16 ]
+            [
+              set "fd" (call "sys_open" [ str "f" ]);
+              Ir.Expr (call "sys_close" [ v "fd" ]);
+              ret (call "sys_read" [ v "fd"; v "buf"; i 16 ]);
+            ]
+        in
+        Util.check_i64 "-1" (-1L) (Util.exit_code r));
+    tc "close returns 0 and -1 for an unknown fd" (fun () ->
+        let r =
+          run
+            ~setup:(fun w -> World.add_file w "f" "x")
+            ~locals:[ scalar "fd"; scalar "a"; scalar "b" ]
+            [
+              set "fd" (call "sys_open" [ str "f" ]);
+              set "a" (call "sys_close" [ v "fd" ]);
+              set "b" (call "sys_close" [ i 99 ]);
+              ret ((v "a" *: i 100) +: v "b");
+            ]
+        in
+        Util.check_i64 "0 then -1" (-1L) (Util.exit_code r));
+    tc "fd numbering is deterministic and never reused" (fun () ->
+        (* first open gets 3, second 4; after closing 3 the next open
+           gets 5 — freed numbers are not recycled *)
+        let r =
+          run
+            ~setup:(fun w ->
+              World.add_file w "f" "x";
+              World.add_file w "g" "y")
+            ~locals:[ scalar "a"; scalar "b"; scalar "c" ]
+            [
+              set "a" (call "sys_open" [ str "f" ]);
+              set "b" (call "sys_open" [ str "g" ]);
+              Ir.Expr (call "sys_close" [ v "a" ]);
+              set "c" (call "sys_open" [ str "f" ]);
+              ret ((v "a" *: i 10000) +: (v "b" *: i 100) +: v "c");
+            ]
+        in
+        Util.check_i64 "3,4,5" 30405L (Util.exit_code r));
+    tc "closed descriptors leave the table" (fun () ->
+        let image =
+          Shift.Session.build ~mode:Mode.shift_word
+            (Util.main_returning
+               ~locals:[ scalar "a"; scalar "b" ]
+               [
+                 set "a" (call "sys_open" [ str "f" ]);
+                 set "b" (call "sys_open" [ str "g" ]);
+                 Ir.Expr (call "sys_close" [ v "a" ]);
+                 ret (i 0);
+               ])
+        in
+        let config =
+          Shift.Session.Config.make
+            ~setup:(fun w ->
+              World.add_file w "f" "x";
+              World.add_file w "g" "y")
+            ()
+        in
+        let live = Shift.Session.start ~config image in
+        let rec drive () =
+          match Shift.Session.advance live ~budget:max_int with
+          | `Yielded -> drive ()
+          | `Finished _ -> ()
+        in
+        drive ();
+        let d = World.dump (Shift.Session.world live) in
+        Util.check_int "one live fd" 1 (List.length d.World.d_fds);
+        (match d.World.d_fds with
+        | [ (fd, st) ] ->
+            Util.check_int "fd 4 survives" 4 fd;
+            Util.check_string "backed by g" "y" st.World.fd_content
+        | _ -> Alcotest.fail "expected exactly one fd");
+        Util.check_int "next_fd advanced past both" 5 d.World.d_next_fd);
+  ]
+
+(* sbrk argument validation: shrinking below the heap base or growing
+   past the heap limit fails with -1 and leaves the break untouched *)
+let sbrk_tests =
+  [
+    tc "shrinking below the heap base returns -1" (fun () ->
+        let r =
+          run ~locals:[ scalar "a"; scalar "b"; scalar "c" ]
+            [
+              set "a" (call "sys_sbrk" [ i 0 ]);
+              set "b" (call "sys_sbrk" [ i (-8) ]);
+              set "c" (call "sys_sbrk" [ i 0 ]);
+              (* b = -1 and the break did not move: c - a = 0 *)
+              ret (v "b" +: (v "c" -: v "a"));
+            ]
+        in
+        Util.check_i64 "-1, break untouched" (-1L) (Util.exit_code r));
+    tc "growing past the heap limit returns -1" (fun () ->
+        let r =
+          run ~locals:[ scalar "a"; scalar "b"; scalar "c" ]
+            [
+              set "a" (call "sys_sbrk" [ i 0 ]);
+              set "b" (call "sys_sbrk" [ i 0x1000_0000_0000_000 ]);
+              set "c" (call "sys_sbrk" [ i 0 ]);
+              ret (v "b" +: (v "c" -: v "a"));
+            ]
+        in
+        Util.check_i64 "-1, break untouched" (-1L) (Util.exit_code r));
+    tc "a valid grow then shrink round-trips the break" (fun () ->
+        let r =
+          run ~locals:[ scalar "a"; scalar "b"; scalar "c" ]
+            [
+              set "a" (call "sys_sbrk" [ i 128 ]);
+              set "b" (call "sys_sbrk" [ i (-128) ]);
+              set "c" (call "sys_sbrk" [ i 0 ]);
+              (* b is the pre-shrink break (a+128); c is back to a *)
+              ret ((v "b" -: v "a") +: (v "c" -: v "a"));
+            ]
+        in
+        Util.check_i64 "128 and back" 128L (Util.exit_code r));
+  ]
+
 let suites =
   [
     ("os.files", file_tests);
     ("os.network", net_tests);
     ("os.sinks", sink_tests);
     ("os.costs", cost_tests);
+    ("os.fds", fd_tests);
+    ("os.sbrk", sbrk_tests);
   ]
