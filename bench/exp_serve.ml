@@ -1,0 +1,176 @@
+(* Serve: the resident scheduler under open-loop load.
+
+   Three measurements over Shift.Serve.Scheduler (the layer behind
+   `shiftc serve`, driven in-process so the numbers are scheduler cost,
+   not socket cost):
+
+   - sustained throughput: kernel sessions submitted open-loop at a
+     fixed interarrival, sessions/sec from first submission to drain;
+   - slice latency: the host wall-clock cost of each Session.advance
+     slice, p50/p95/p99/max — the grain at which the daemon can
+     interleave tenants;
+   - migration: the same arrival stream with every session checkpointed
+     and handed to another worker every few slices, plus the
+     throughput cost of that cadence.
+
+   The payload ends with the determinism verdict CI gates on:
+   "solo_vs_serve_consistent" is true iff each kernel's report JSON is
+   byte-identical run solo (Session.exec), scheduled, and
+   checkpoint-migrated between workers. *)
+
+open Common
+module J = Shift.Results
+module Sched = Shift.Serve.Scheduler
+
+let bench_size = 256
+let arrival_jobs = 16
+let interarrival_s = 0.002
+let migrate_every = 2
+
+let config_of (k : Spec.kernel) =
+  Shift.Session.Config.make ~policy:Policy.default
+    ~setup:(Spec.setup ~size:bench_size ~tainted:true k)
+    ()
+
+let job_of ~name (k : Spec.kernel) =
+  Shift.Fleet.job ~name ~config:(config_of k) (fun () ->
+      Shift.Session.build ~mode:word k.Spec.program)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* one open-loop arrival phase; returns (sessions/sec, wall_s,
+   migrations, slice latencies in seconds) *)
+let arrival_phase ?migrate_every () =
+  let lock = Mutex.create () in
+  let latencies = ref [] in
+  let sched =
+    Sched.create
+      ~on_slice:(fun dt ->
+        Mutex.protect lock (fun () -> latencies := dt :: !latencies))
+      ()
+  in
+  let kernels = Array.of_list Spec.all in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to arrival_jobs - 1 do
+    let k = kernels.(i mod Array.length kernels) in
+    Sched.submit sched ?migrate_every
+      ~id:(Printf.sprintf "%s-%d" k.Spec.name i)
+      (job_of ~name:k.Spec.name k);
+    Unix.sleepf interarrival_s
+  done;
+  Sched.drain sched;
+  let wall = Unix.gettimeofday () -. t0 in
+  let finished = Sched.take_finished sched in
+  let crashed =
+    List.length
+      (List.filter
+         (fun (d : Sched.done_job) ->
+           match d.Sched.outcome with
+           | Shift.Fleet.Crashed _ -> true
+           | Shift.Fleet.Finished _ -> false)
+         finished)
+  in
+  let migrations =
+    List.fold_left
+      (fun acc (d : Sched.done_job) -> acc + d.Sched.migrations)
+      0 finished
+  in
+  Sched.shutdown sched;
+  if crashed > 0 then note "WARNING: %d of %d jobs crashed" crashed arrival_jobs;
+  (float_of_int arrival_jobs /. wall, wall, migrations, !latencies)
+
+(* solo vs scheduled vs migrated, compared as serialised report JSON *)
+let consistency () =
+  let kernels =
+    match Spec.all with a :: b :: c :: _ -> [ a; b; c ] | l -> l
+  in
+  let solo =
+    List.map
+      (fun (k : Spec.kernel) ->
+        let image = Shift.Session.build ~mode:word k.Spec.program in
+        J.to_string (J.of_report (Shift.Session.exec ~config:(config_of k) image)))
+      kernels
+  in
+  let via_scheduler ?migrate_every ~workers () =
+    let sched = Sched.create ~workers () in
+    List.iteri
+      (fun i (k : Spec.kernel) ->
+        Sched.submit sched ?migrate_every ~id:(string_of_int i)
+          (job_of ~name:k.Spec.name k))
+      kernels;
+    Sched.drain sched;
+    let finished = Sched.take_finished sched in
+    Sched.shutdown sched;
+    List.map
+      (fun i ->
+        match
+          List.find_opt (fun (d : Sched.done_job) -> d.Sched.job = string_of_int i) finished
+        with
+        | Some { Sched.outcome = Shift.Fleet.Finished r; _ } ->
+            J.to_string (J.of_report r)
+        | Some { Sched.outcome = Shift.Fleet.Crashed c; _ } ->
+            "crashed: " ^ c.Shift.Fleet.exn
+        | None -> "missing")
+      (List.mapi (fun i _ -> i) kernels)
+  in
+  let scheduled = via_scheduler ~workers:2 () in
+  let migrated = via_scheduler ~migrate_every ~workers:2 () in
+  (solo = scheduled, solo = migrated)
+
+let serve () =
+  header "Serve: the resident scheduler under open-loop load";
+  let rate, wall, _, lats = arrival_phase () in
+  let mrate, mwall, migrations, _ = arrival_phase ~migrate_every () in
+  let sorted = Array.of_list (List.map (fun s -> s *. 1e6) lats) in
+  Array.sort compare sorted;
+  let p50 = percentile sorted 0.50
+  and p95 = percentile sorted 0.95
+  and p99 = percentile sorted 0.99
+  and pmax = percentile sorted 1.0 in
+  table
+    ~columns:[ "phase"; "jobs"; "wall s"; "sessions/s"; "migrations" ]
+    [
+      [ "plain"; string_of_int arrival_jobs; f2 wall; f2 rate; "0" ];
+      [
+        "migrated"; string_of_int arrival_jobs; f2 mwall; f2 mrate;
+        string_of_int migrations;
+      ];
+    ];
+  note "slice latency (us): p50 %.1f  p95 %.1f  p99 %.1f  max %.1f" p50 p95
+    p99 pmax;
+  let vs_sched, vs_migrated = consistency () in
+  let consistent = vs_sched && vs_migrated in
+  note "solo vs serve consistent: %b (migrated: %b)" vs_sched vs_migrated;
+  J.Obj
+    [
+      ( "arrivals",
+        J.Obj
+          [
+            ("jobs", J.Int arrival_jobs);
+            ("interarrival_ms", J.Float (interarrival_s *. 1e3));
+            ("input_bytes", J.Int bench_size);
+            ("wall_s", J.Float wall);
+            ("sessions_per_sec", J.Float rate);
+          ] );
+      ( "slice_latency_us",
+        J.Obj
+          [
+            ("slices", J.Int (Array.length sorted));
+            ("p50", J.Float p50);
+            ("p95", J.Float p95);
+            ("p99", J.Float p99);
+            ("max", J.Float pmax);
+          ] );
+      ( "migration",
+        J.Obj
+          [
+            ("migrate_every_slices", J.Int migrate_every);
+            ("migrations", J.Int migrations);
+            ("wall_s", J.Float mwall);
+            ("sessions_per_sec", J.Float mrate);
+          ] );
+      ("solo_vs_serve_consistent", J.Bool consistent);
+    ]

@@ -32,6 +32,7 @@ let experiments =
     ("throughput", Exp_throughput.throughput);
     ("fleet", Exp_fleet.fleet);
     ("trace", Exp_trace.trace);
+    ("serve", Exp_serve.serve);
     ("bechamel", Bech.run);
   ]
 

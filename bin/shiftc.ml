@@ -21,32 +21,12 @@ module Stats = Shift_machine.Stats
 
 (* ---------- shared options ---------- *)
 
-let mode_of_string s =
-  let gran g = function
-    | "byte" -> Shift_mem.Granularity.Byte
-    | "word" -> Shift_mem.Granularity.Word
-    | _ -> g
-  in
-  match String.split_on_char '+' s with
-  | [ "none" ] | [ "uninstrumented" ] -> Ok Mode.Uninstrumented
-  | [ "dbt" ] | [ "software" ] ->
-      Ok (Mode.Software_dbt { granularity = Shift_mem.Granularity.Word })
-  | base :: enhs when base = "byte" || base = "word" ->
-      let enh =
-        {
-          Mode.set_clear_nat = List.mem "setclr" enhs || List.mem "both" enhs;
-          nat_aware_cmp = List.mem "tacmp" enhs || List.mem "both" enhs;
-        }
-      in
-      Ok (Mode.Shift { granularity = gran Shift_mem.Granularity.Word base; enh })
-  | _ ->
-      Error
-        (`Msg
-          (Printf.sprintf
-             "unknown mode %S (try none, word, byte, word+setclr, byte+both, dbt)" s))
-
+(* mode spellings are parsed by Mode.of_string — one parser shared with
+   the serve wire protocol, so the CLI and the daemon can never drift *)
 let mode_conv =
-  Arg.conv ((fun s -> mode_of_string s), fun ppf m -> Mode.pp ppf m)
+  Arg.conv
+    ( (fun s -> Result.map_error (fun e -> `Msg e) (Mode.of_string s)),
+      fun ppf m -> Mode.pp ppf m )
 
 let mode_arg =
   Arg.(
@@ -400,7 +380,13 @@ let httpd_cmd =
     Arg.(value & opt int 4096 & info [ "size" ] ~docv:"BYTES" ~doc:"Static file size.")
   in
   let requests_arg =
-    Arg.(value & opt int 10 & info [ "requests" ] ~docv:"N" ~doc:"Requests to serve.")
+    Arg.(
+      value & opt int 10
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "GET requests queued up front for the server to process (the \
+             workload replays a canned request stream through the resumable \
+             engine; it does not listen for live connections).")
   in
   let run mode file_size requests json =
     (* driven through the resumable engine in bounded slices, not one
@@ -604,6 +590,374 @@ let policies_cmd =
   Cmd.v (Cmd.info "policies" ~doc:"Show the policy catalogue (paper Table 1)")
     Term.(const run $ const ())
 
+(* ---------- the resident service ---------- *)
+
+module Protocol = Shift.Protocol
+module Serve = Shift.Serve
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Serve.Server.default_config.Serve.Server.socket_path
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains driving the admitted sessions (0 = the runtime's \
+             recommendation).  Results are byte-identical at any $(docv).")
+  in
+  let slice_arg =
+    Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.slice
+      & info [ "slice" ] ~docv:"N"
+          ~doc:
+            "Engine budget per advance, in instructions.  Slicing never \
+             changes results: counters are byte-identical however a session \
+             is cut.")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value & opt int Protocol.default_max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Cap on one request line's length, advertised in the hello ack; \
+             longer lines are refused with the $(b,oversized) error.")
+  in
+  let checkpoint_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Spill each parked session's snapshot to $(docv)/job-N.snap.json \
+             (removed when the job completes) so orphaned work survives a \
+             daemon crash and can be picked up with $(b,shiftc resume).")
+  in
+  let migrate_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "migrate-every" ] ~docv:"SLICES"
+          ~doc:
+            "Default migration cadence: checkpoint each session and hand it \
+             to another worker every $(docv) slices, for requests that do \
+             not choose their own.  Migration never changes results.")
+  in
+  let run socket workers slice max_bytes checkpoint_dir migrate =
+    let config =
+      {
+        Serve.Server.socket_path = socket;
+        workers;
+        slice;
+        max_request_bytes = max_bytes;
+        checkpoint_dir;
+        migrate_every = migrate;
+      }
+    in
+    Serve.Server.run
+      ~on_ready:(fun c ->
+        Printf.eprintf "shiftc serve: listening on %s\n%!"
+          c.Serve.Server.socket_path)
+      ~catalog:Shift_catalog.Catalog.standard config;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident taint-tracking service: admit jobs over a \
+          Unix-domain socket (versioned JSONL, see docs/PROTOCOL.md) and \
+          drive their sessions in engine slices on a resident domain pool, \
+          with deadlines, crash retries and live migration.  Serves until a \
+          drain request completes.")
+    Term.(
+      const run $ socket_arg $ workers_arg $ slice_arg $ max_bytes_arg
+      $ checkpoint_dir_arg $ migrate_arg)
+
+(* ---------- the client ---------- *)
+
+(* run one request against the daemon and render the response.
+
+   [project] picks the payload to print from a successful response's
+   ["result"]: job commands print result.report (byte-identical to the
+   one-shot command's --json output — the determinism gate cmp's the
+   two), batch prints the whole aggregate, status/drain the result
+   itself.  [--raw] prints the response line as it came off the wire. *)
+let client_round ~socket ~raw ~project env =
+  match Serve.Client.connect socket with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok c ->
+      let outcome =
+        match Serve.Client.request c env with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok json when raw ->
+            print_endline (Protocol.to_line json);
+            if Protocol.response_ok json then 0 else 1
+        | Ok json when not (Protocol.response_ok json) ->
+            prerr_endline (Protocol.to_line json);
+            1
+        | Ok json -> (
+            match Shift.Results.member "result" json with
+            | None ->
+                prerr_endline "malformed response: no \"result\" field";
+                1
+            | Some result -> (
+                match project result with
+                | Some payload ->
+                    print_endline (Shift.Results.to_string payload);
+                    0
+                | None ->
+                    prerr_endline "malformed response: unexpected result shape";
+                    1))
+      in
+      Serve.Client.close c;
+      outcome
+
+let whole_result = Option.some
+let report_field r = Shift.Results.member "report" r
+
+let tenant_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "tenant" ] ~docv:"NAME"
+        ~doc:"Tenant label echoed in the response (multi-tenant bookkeeping).")
+
+let deadline_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "deadline" ] ~docv:"FUEL"
+        ~doc:
+          "Per-request fuel deadline: the session's instruction budget is \
+           capped at $(docv), timing out runaway guests.")
+
+let migrate_every_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "migrate-every" ] ~docv:"SLICES"
+        ~doc:
+          "Checkpoint the session and hand it to another worker every \
+           $(docv) slices.  Migration never changes the result.")
+
+let id_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "id" ] ~docv:"ID"
+        ~doc:
+          "Request id echoed in the response (default: derived from the \
+           request).")
+
+let raw_arg =
+  Arg.(
+    value & flag
+    & info [ "raw" ]
+        ~doc:"Print the raw response line instead of the projected result.")
+
+let envelope ?id ?tenant ?deadline ?migrate_every request =
+  { Protocol.id; tenant; deadline; migrate_every; request }
+
+let client_run_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Input size (default: the kernel's).")
+  in
+  let safe_arg =
+    Arg.(value & flag & info [ "safe" ] ~doc:"Leave the input file untainted.")
+  in
+  let run socket raw id tenant deadline migrate name mode size safe =
+    client_round ~socket ~raw ~project:report_field
+      (envelope
+         ~id:(Option.value id ~default:("run:" ^ name))
+         ?tenant ?deadline ?migrate_every:migrate
+         (Protocol.Run { kernel = name; mode; size; safe }))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Submit a kernel run to the daemon and print its report")
+    Term.(
+      const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
+      $ migrate_every_arg $ name_arg $ mode_arg $ size_arg $ safe_arg)
+
+let client_attack_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Attack case (prefix of the program name).")
+  in
+  let benign_arg =
+    Arg.(value & flag & info [ "benign" ] ~doc:"Use the benign input instead of the exploit.")
+  in
+  let run socket raw id tenant deadline migrate name mode benign =
+    client_round ~socket ~raw ~project:report_field
+      (envelope
+         ~id:(Option.value id ~default:("attack:" ^ name))
+         ?tenant ?deadline ?migrate_every:migrate
+         (Protocol.Attack { case = name; mode; benign }))
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Submit a Table-2 attack case to the daemon and print its report")
+    Term.(
+      const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
+      $ migrate_every_arg $ name_arg $ mode_arg $ benign_arg)
+
+let client_trace_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"IMAGE"
+          ~doc:"What to trace: an attack case (prefix of the program name) or a kernel.")
+  in
+  let benign_arg =
+    Arg.(
+      value & flag
+      & info [ "benign" ]
+          ~doc:"For attack cases: use the benign input instead of the exploit.")
+  in
+  let ring_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "ring" ] ~docv:"N"
+          ~doc:"Capacity of the event ring buffer (older events are dropped).")
+  in
+  let events_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "events" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated event kinds to record \
+             (birth,load,prop,store,purge,check,sink); default all.")
+  in
+  let run socket raw id tenant deadline migrate name mode benign ring events =
+    client_round ~socket ~raw ~project:report_field
+      (envelope
+         ~id:(Option.value id ~default:("trace:" ^ name))
+         ?tenant ?deadline ?migrate_every:migrate
+         (Protocol.Trace { image = name; mode; benign; ring; only = events }))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Submit a traced run to the daemon; the report carries the \
+          flow-trace summary (for the full event stream use shiftc trace)")
+    Term.(
+      const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
+      $ migrate_every_arg $ name_arg $ mode_arg $ benign_arg $ ring_arg
+      $ events_arg)
+
+let client_batch_cmd =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"KERNEL" ~doc:"Kernels to batch (default: the whole suite).")
+  in
+  let size_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Input size (default: each kernel's).")
+  in
+  let safe_arg =
+    Arg.(value & flag & info [ "safe" ] ~doc:"Leave the input files untainted.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry a crashed job up to $(docv) extra times from its checkpoint.")
+  in
+  let run socket raw id tenant deadline migrate names mode size safe retries =
+    client_round ~socket ~raw ~project:whole_result
+      (envelope
+         ~id:(Option.value id ~default:"batch")
+         ?tenant ?deadline ?migrate_every:migrate
+         (Protocol.Batch { kernels = names; mode; size; safe; retries }))
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Submit a kernel batch to the daemon and print the aggregate \
+          (byte-identical to shiftc batch --json)")
+    Term.(
+      const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
+      $ migrate_every_arg $ names_arg $ mode_arg $ size_arg $ safe_arg
+      $ retries_arg)
+
+let client_status_cmd =
+  let run socket raw id tenant =
+    client_round ~socket ~raw ~project:whole_result
+      (envelope ?id ?tenant Protocol.Status)
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Print the daemon's scheduler counters")
+    Term.(const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg)
+
+let client_drain_cmd =
+  let run socket raw id tenant =
+    client_round ~socket ~raw ~project:whole_result
+      (envelope ?id ?tenant Protocol.Drain)
+  in
+  Cmd.v
+    (Cmd.info "drain"
+       ~doc:
+         "Stop admission, wait for in-flight jobs to finish, then shut the \
+          daemon down")
+    Term.(const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg)
+
+let client_raw_cmd =
+  let line_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"JSON" ~doc:"One request line, sent verbatim after the hello.")
+  in
+  let run socket line =
+    match Serve.Client.connect socket with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok c ->
+        let outcome =
+          match Serve.Client.send_line c line with
+          | Error e ->
+              prerr_endline e;
+              1
+          | Ok () -> (
+              match Serve.Client.read_line c with
+              | None ->
+                  prerr_endline "server closed the connection";
+                  1
+              | Some response ->
+                  print_endline response;
+                  0)
+        in
+        Serve.Client.close c;
+        outcome
+  in
+  Cmd.v
+    (Cmd.info "raw"
+       ~doc:
+         "Send one raw protocol line and print the first response line \
+          (for poking at the wire protocol).")
+    Term.(const run $ socket_arg $ line_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running shiftc serve daemon over its socket (see \
+          docs/PROTOCOL.md for the wire format)")
+    [
+      client_run_cmd; client_attack_cmd; client_trace_cmd; client_batch_cmd;
+      client_status_cmd; client_drain_cmd; client_raw_cmd;
+    ]
+
 let () =
   let doc = "SHIFT: information flow tracking on speculative hardware (ISCA'08 reproduction)" in
   let info = Cmd.info "shiftc" ~version:"1.0.0" ~doc in
@@ -611,4 +965,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; resume_cmd; batch_cmd; attack_cmd; httpd_cmd;
-            disasm_cmd; exec_cmd; trace_cmd; policies_cmd ]))
+            disasm_cmd; exec_cmd; trace_cmd; policies_cmd; serve_cmd;
+            client_cmd ]))

@@ -1,0 +1,107 @@
+(* The standard serve catalogue.  Every job here must mirror the
+   corresponding one-shot CLI command's configuration exactly — the CI
+   determinism gate cmp's a served report against the solo command's
+   JSON, so any drift (policy, setup, fuel, trace options) breaks the
+   build. *)
+
+module Spec = Shift_workloads.Spec
+module Policy = Shift_policy.Policy
+module Case = Shift_attacks.Attack_case
+
+let find_kernel name =
+  match Spec.find name with
+  | Some k -> Ok k
+  | None ->
+      Error
+        (Printf.sprintf "unknown kernel %S; try: %s" name
+           (String.concat ", "
+              (List.map (fun (k : Spec.kernel) -> k.Spec.name) Spec.all)))
+
+let find_case name =
+  match Shift_attacks.Attacks.find name with
+  | Some c -> Ok c
+  | None ->
+      Error
+        (Printf.sprintf "unknown attack case %S; try: %s" name
+           (String.concat ", "
+              (List.map
+                 (fun (c : Case.t) -> c.Case.program_name)
+                 Shift_attacks.Attacks.all)))
+
+(* the same config [shiftc run] and [shiftc batch] build per kernel *)
+let kernel_job_of k ~mode ~size ~safe =
+  Shift.Fleet.job ~name:k.Spec.name
+    ~config:
+      (Shift.Session.Config.make ~policy:Policy.default
+         ~setup:(Spec.setup ?size ~tainted:(not safe) k)
+         ())
+    (fun () -> Shift.Session.build ~mode k.Spec.program)
+
+let kernel_job ~mode ~size ~safe name =
+  Result.map (kernel_job_of ~mode ~size ~safe) (find_kernel name)
+
+(* the same policy/input pair [shiftc attack] passes to Session.run *)
+let attack_job ~mode ~benign name =
+  Result.map
+    (fun (c : Case.t) ->
+      let input = if benign then c.Case.benign else c.Case.exploit in
+      Shift.Fleet.job ~name:c.Case.program_name
+        ~config:(Shift.Session.Config.make ~policy:c.Case.policy ~setup:input ())
+        (fun () -> Shift.Session.build ~mode c.Case.program))
+    (find_case name)
+
+(* [shiftc trace]'s resolution order: attack case first, then kernel *)
+let trace_job ~mode ~benign ~ring ~only name =
+  let parse_kinds = function
+    | None -> Ok None
+    | Some s ->
+        let names = String.split_on_char ',' s in
+        let kinds = List.map Shift.Flowtrace.kind_of_string names in
+        if List.mem None kinds then
+          Error (Printf.sprintf "unknown event kind in %S" s)
+        else Ok (Some (List.filter_map Fun.id kinds))
+  in
+  let resolve () =
+    match Shift_attacks.Attacks.find name with
+    | Some c ->
+        Ok
+          ( c.Case.program_name,
+            c.Case.policy,
+            (if benign then c.Case.benign else c.Case.exploit),
+            c.Case.program )
+    | None -> (
+        match find_kernel name with
+        | Ok k ->
+            Ok (k.Spec.name, Policy.default, Spec.setup ~tainted:true k, k.Spec.program)
+        | Error _ ->
+            Error
+              (Printf.sprintf "unknown image %S: not an attack case or kernel"
+                 name))
+  in
+  Result.bind (resolve ()) (fun (label, policy, setup, program) ->
+      Result.map
+        (fun only ->
+          Shift.Fleet.job ~name:label
+            ~config:
+              (Shift.Session.Config.make ~policy ~setup
+                 ~trace:{ Shift.Flowtrace.capacity = ring; only }
+                 ())
+            (fun () -> Shift.Session.build ~mode program))
+        (parse_kinds only))
+
+let batch_jobs ~mode ~size ~safe names =
+  let kernels =
+    match names with
+    | [] -> List.map Result.ok Spec.all
+    | names -> List.map find_kernel names
+  in
+  match
+    List.partition_map
+      (function Ok k -> Left k | Error e -> Right e)
+      kernels
+  with
+  | _, e :: _ -> Error e
+  | kernels, [] -> Ok (List.map (kernel_job_of ~mode ~size ~safe) kernels)
+
+let standard =
+  { Shift.Serve.kernel_job; attack_job; trace_job; batch_jobs }

@@ -1,0 +1,18 @@
+(** The standard job catalogue for [shiftc serve].
+
+    Maps the wire protocol's names — kernels from
+    {!Shift_workloads.Spec}, attack cases from {!Shift_attacks.Attacks}
+    — to {!Shift.Fleet.job}s whose configurations mirror the one-shot
+    CLI commands {e exactly}: a [run] job uses the same policy, setup
+    and fuel as [shiftc run], an [attack] job the same as
+    [shiftc attack], and a [batch] job list the same as [shiftc batch].
+    That mirroring is what makes the CI determinism gate sound: the
+    served report JSON is [cmp]-equal to the solo command's.
+
+    Lives outside [lib/core] because the core library cannot depend on
+    the workload and attack suites. *)
+
+val standard : Shift.Serve.catalog
+(** The catalogue over the SPEC-like kernel suite and the Table-2
+    attack cases.  Resolvers return [Error msg] (listing the known
+    names) for anything the suites don't contain. *)

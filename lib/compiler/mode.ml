@@ -27,3 +27,36 @@ let to_string = function
       Printf.sprintf "software-dbt-%s" (Shift_mem.Granularity.to_string granularity)
 
 let pp ppf m = Format.pp_print_string ppf (to_string m)
+
+(* Accepts both the CLI spellings (none, word, byte+setclr, dbt, ...)
+   and the canonical [to_string] forms, so every mode round-trips:
+   [of_string (to_string m) = Ok m]. *)
+let of_string s =
+  let err () =
+    Error
+      (Printf.sprintf
+         "unknown mode %S (try none, word, byte, word+setclr, byte+both, dbt)" s)
+  in
+  match String.split_on_char '+' s with
+  | [] -> err ()
+  | base :: enhs -> (
+      let known = [ "setclr"; "tacmp"; "both" ] in
+      if List.exists (fun e -> not (List.mem e known)) enhs then err ()
+      else
+        let enh =
+          {
+            set_clear_nat = List.mem "setclr" enhs || List.mem "both" enhs;
+            nat_aware_cmp = List.mem "tacmp" enhs || List.mem "both" enhs;
+          }
+        in
+        let shift granularity = Ok (Shift { granularity; enh }) in
+        let plain m = if enhs = [] then Ok m else err () in
+        match base with
+        | "none" | "uninstrumented" -> plain Uninstrumented
+        | "dbt" | "software" | "software-dbt-word" ->
+            plain (Software_dbt { granularity = Shift_mem.Granularity.Word })
+        | "software-dbt-byte" ->
+            plain (Software_dbt { granularity = Shift_mem.Granularity.Byte })
+        | "word" | "shift-word" -> shift Shift_mem.Granularity.Word
+        | "byte" | "shift-byte" -> shift Shift_mem.Granularity.Byte
+        | _ -> err ())

@@ -36,3 +36,11 @@ val shift_word : t
 val uses_nat : t -> bool
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse a mode name: the CLI spellings ([none], [word], [byte],
+    [word+setclr], [byte+both], [dbt], ...) and the canonical
+    {!to_string} forms are both accepted, so
+    [of_string (to_string m) = Ok m] for every mode.  The error string
+    names the accepted spellings.  This is the single mode parser the
+    CLI and the serve wire protocol share. *)

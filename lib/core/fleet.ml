@@ -10,6 +10,14 @@ type job = {
 let job ?(config = Session.Config.default) ?deadline ~name image =
   { name; image; config; deadline }
 
+let name (j : job) = j.name
+
+let with_deadline d (j : job) =
+  {
+    j with
+    deadline = Some (match j.deadline with None -> d | Some d' -> min d d');
+  }
+
 type crash = { exn : string; backtrace : string; attempts : int }
 type outcome = Finished of Report.t | Crashed of crash
 type result = { name : string; outcome : outcome }
@@ -31,18 +39,69 @@ let effective_config (j : job) =
   | None -> j.config
   | Some d -> { j.config with Session.Config.fuel = min j.config.Session.Config.fuel d }
 
-(* Advance a live session to completion in [slice]-sized steps,
-   refreshing [last] with an in-memory checkpoint after every yielded
-   slice when checkpointing is on. *)
-let drive ~checkpointing ~slice live last =
-  let rec loop () =
-    match Session.advance live ~budget:slice with
-    | `Finished _ -> Session.report live
-    | `Yielded ->
-        if checkpointing then last := Some (Session.checkpoint live);
-        loop ()
+(* ---------- the single-job supervised driver ---------- *)
+
+type step =
+  | Done of Report.t
+  | Parked of Snapshot.t
+  | Failed of { exn : string; backtrace : string }
+
+(* One supervised stretch of one job's session: start it (or restore it
+   from [resume]), advance it in [slice]-sized budgets, and stop at the
+   first of (a) the run finishing — [Done], (b) [park_after] yielded
+   slices elapsing — the session is frozen and handed back as [Parked],
+   which is how the serve scheduler migrates a job between workers, or
+   (c) anything raising — contained as [Failed] rather than escaping.
+   [checkpoint_slices] refreshes a checkpoint through [on_checkpoint]
+   after every yielded slice (the crash-recovery pattern [run] uses);
+   [on_slice] observes each [Session.advance] call's host-side wall
+   clock, which is how the serve layer measures slice latency.  Slicing,
+   parking and restoring never change results: the engine's counters are
+   byte-identical however a run is cut (test/test_snapshot.ml). *)
+let step ?(slice = max_int) ?park_after ?(checkpoint_slices = false)
+    ?on_checkpoint ?resume ?on_slice (j : job) =
+  let config = effective_config j in
+  let checkpoint live =
+    let snap = Session.checkpoint live in
+    Option.iter (fun f -> f snap) on_checkpoint;
+    snap
   in
-  loop ()
+  let timed live =
+    match on_slice with
+    | None -> Session.advance live ~budget:slice
+    | Some f ->
+        let t0 = Unix.gettimeofday () in
+        let r = Session.advance live ~budget:slice in
+        f (Unix.gettimeofday () -. t0);
+        r
+  in
+  match
+    let live =
+      match resume with
+      | Some snap -> Session.restore snap
+      | None -> Session.start ~config (j.image ())
+    in
+    let rec loop yields =
+      match timed live with
+      | `Finished _ -> Done (Session.report live)
+      | `Yielded -> (
+          let yields = yields + 1 in
+          match park_after with
+          | Some k when yields >= k -> Parked (checkpoint live)
+          | _ ->
+              if checkpoint_slices then ignore (checkpoint live);
+              loop yields)
+    in
+    loop 0
+  with
+  | result -> result
+  | exception e ->
+      Failed
+        {
+          exn = Printexc.to_string e;
+          backtrace =
+            Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ());
+        }
 
 (* One job under supervision: any exception out of the image thunk, the
    session machinery or a syscall handler is contained as [Crashed]
@@ -50,38 +109,26 @@ let drive ~checkpointing ~slice live last =
    attempt restarts from the last checkpoint (or from scratch when
    checkpointing is off or nothing was checkpointed yet). *)
 let exec_job ~retries ~checkpoint_every (j : job) =
-  let config = effective_config j in
-  let checkpointing = checkpoint_every <> None in
-  let slice =
-    match checkpoint_every with Some n when n > 0 -> n | _ -> max_int
+  let slice, checkpoint_slices =
+    match checkpoint_every with Some n when n > 0 -> (n, true) | _ -> (max_int, false)
   in
   let last = ref None in
   let rec attempt n =
     match
-      let live =
-        match !last with
-        | Some snap -> Session.restore snap
-        | None -> Session.start ~config (j.image ())
-      in
-      drive ~checkpointing ~slice live last
+      step ~slice ~checkpoint_slices
+        ~on_checkpoint:(fun snap -> last := Some snap)
+        ?resume:!last j
     with
-    | report -> Finished report
-    | exception e ->
-        let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+    | Done report -> Finished report
+    | Parked _ ->
+        failwith "Fleet.exec_job: step parked a job with no park_after set"
+    | Failed { exn; backtrace } ->
         if n < retries then attempt (n + 1)
-        else
-          Crashed
-            { exn = Printexc.to_string e; backtrace = bt; attempts = n + 1 }
+        else Crashed { exn; backtrace; attempts = n + 1 }
   in
   attempt 0
 
-let run ?domains ?(retries = 0) ?checkpoint_every jobs =
-  let results =
-    Pool.map ?domains
-      (fun (j : job) ->
-        { name = j.name; outcome = exec_job ~retries ~checkpoint_every j })
-      jobs
-  in
+let aggregate results =
   let reports =
     List.filter_map
       (fun r -> match r.outcome with Finished rep -> Some rep | Crashed _ -> None)
@@ -105,6 +152,13 @@ let run ?domains ?(retries = 0) ?checkpoint_every jobs =
     crashed =
       count (fun r -> match r.outcome with Crashed _ -> true | _ -> false) results;
   }
+
+let run ?domains ?(retries = 0) ?checkpoint_every jobs =
+  aggregate
+    (Pool.map ?domains
+       (fun (j : job) ->
+         { name = j.name; outcome = exec_job ~retries ~checkpoint_every j })
+       jobs)
 
 let to_json t =
   Results.Obj

@@ -33,6 +33,14 @@ val job :
     deadline the supervisor enforces regardless of the job's own
     configuration. *)
 
+val name : job -> string
+(** The job's display name. *)
+
+val with_deadline : int -> job -> job
+(** Tighten the job's fuel deadline to [min existing given] — how the
+    serve layer applies a per-request (per-tenant) deadline on top of
+    whatever the job was built with. *)
+
 (** Why a job produced no report. *)
 type crash = {
   exn : string;  (** printed exception *)
@@ -57,6 +65,43 @@ type t = {
   crashed : int;  (** jobs whose thunk or session raised *)
 }
 
+(** {1 The single-job supervised driver}
+
+    {!step} is the unit the batch supervisor and the [shiftc serve]
+    scheduler are both built from: one supervised stretch of one job's
+    session. *)
+
+(** How a stretch ended. *)
+type step =
+  | Done of Report.t  (** the session ran to completion *)
+  | Parked of Snapshot.t
+      (** [park_after] slices elapsed; the session is frozen in the
+          snapshot and can be resumed — by any worker — via
+          [step ~resume] *)
+  | Failed of { exn : string; backtrace : string }
+      (** the image thunk, the session machinery or a syscall handler
+          raised; contained here rather than escaping *)
+
+val step :
+  ?slice:int ->
+  ?park_after:int ->
+  ?checkpoint_slices:bool ->
+  ?on_checkpoint:(Snapshot.t -> unit) ->
+  ?resume:Snapshot.t ->
+  ?on_slice:(float -> unit) ->
+  job ->
+  step
+(** Start the job's session (or restore it from [resume]) and advance
+    it in [slice]-instruction budgets (default: one maximal slice).
+    [park_after] freezes and returns the session after that many
+    yielded slices — the serve scheduler's migration point.
+    [checkpoint_slices] refreshes a checkpoint through [on_checkpoint]
+    after every yielded slice (crash recovery).  [on_slice] observes
+    each advance call's host-side wall-clock seconds; it runs on
+    whatever domain drives the job, so a shared sink must synchronise.
+    Slicing, parking and restoring never change results: counters are
+    byte-identical however a run is cut. *)
+
 val run :
   ?domains:int -> ?retries:int -> ?checkpoint_every:int -> job list -> t
 (** Run every job through the domain pool ({!Pool.map} semantics for
@@ -68,6 +113,12 @@ val run :
     every slice, so a retry resumes from the last good checkpoint
     instead of from scratch.  Checkpoint slicing never changes results:
     the engine's counters are byte-identical however a run is sliced. *)
+
+val aggregate : result list -> t
+(** Fold per-job results (in job order) into the fleet report — the
+    aggregation {!run} applies after its pool pass, exposed so the
+    serve layer can batch jobs it scheduled itself and still emit the
+    same aggregate as [shiftc batch]. *)
 
 val to_json : t -> Results.json
 (** Deterministic serialisation: session counts, aggregate counters,

@@ -9,6 +9,78 @@ let set_domains n = configured := n
 
 let domains () = if !configured <= 0 then recommended () else !configured
 
+(* ---------- persistent workers ---------- *)
+
+(* A resident domain pool: [map] spins domains up and down per call,
+   which is right for batch grids but wrong for a long-lived service.
+   [Workers] keeps its domains alive, feeding them thunks through a
+   mutex-guarded queue, until [shutdown]. *)
+module Workers = struct
+  type t = {
+    lock : Mutex.t;
+    work : Condition.t;  (* signalled on submit and on shutdown *)
+    queue : (unit -> unit) Queue.t;
+    mutable stopping : bool;
+    mutable members : unit Domain.t list;
+    size : int;
+  }
+
+  let worker t () =
+    let rec loop () =
+      let task =
+        Mutex.protect t.lock (fun () ->
+            let rec wait () =
+              if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+              else if t.stopping then None
+              else begin
+                Condition.wait t.work t.lock;
+                wait ()
+              end
+            in
+            wait ())
+      in
+      match task with
+      | None -> ()
+      | Some task ->
+          (* a raising task must not take its worker down: the pool is
+             shared by every job of the service, so containment happens
+             here as well as in the supervisor above *)
+          (try task () with _ -> ());
+          loop ()
+    in
+    loop ()
+
+  let create ?(domains = 0) () =
+    let size = if domains <= 0 then recommended () else domains in
+    let t =
+      {
+        lock = Mutex.create ();
+        work = Condition.create ();
+        queue = Queue.create ();
+        stopping = false;
+        members = [];
+        size;
+      }
+    in
+    t.members <- List.init size (fun _ -> Domain.spawn (worker t));
+    t
+
+  let size t = t.size
+
+  let submit t task =
+    Mutex.protect t.lock (fun () ->
+        if t.stopping then invalid_arg "Pool.Workers.submit: pool is shut down";
+        Queue.add task t.queue;
+        Condition.signal t.work)
+
+  let shutdown t =
+    Mutex.protect t.lock (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.work);
+    List.iter Domain.join t.members;
+    t.members <- []
+end
+
 let map ?domains:override f items =
   let want =
     match override with

@@ -23,6 +23,33 @@ val domains : unit -> int
 (** The pool size {!map} will use: the {!set_domains} value, defaulting
     to [Domain.recommended_domain_count ()]. *)
 
+(** A resident domain pool for long-lived services.
+
+    {!map} spins its domains up and down per call — right for batch
+    grids, wrong for a daemon.  A {!Workers.t} keeps its domains alive
+    and feeds them submitted thunks until {!Workers.shutdown}; the
+    [shiftc serve] scheduler drives session slices through one. *)
+module Workers : sig
+  type t
+
+  val create : ?domains:int -> unit -> t
+  (** Spawn a pool of [domains] resident workers ([<= 0], the default,
+      means [Domain.recommended_domain_count ()]). *)
+
+  val size : t -> int
+  (** The number of worker domains. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a thunk; some worker runs it FIFO.  A raising thunk is
+      contained (the worker survives and its exception is dropped), so
+      callers that care wrap their own supervision around the task.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting work, let the queue run dry, and join every
+      worker.  Already-queued tasks complete first. *)
+end
+
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f items] applies [f] to every item and returns the results in
     input order.  Items are distributed over [min domains (length

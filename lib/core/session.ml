@@ -128,6 +128,7 @@ let start ?(config = Config.default) (image : Image.t) =
 let world live = live.world
 let engine live = live.engine
 let outcome live = live.result
+let fuel_left live = live.fuel_left
 
 let flowtrace live =
   let ft = (Exec.hart0 live.engine).Cpu.flowtrace in

@@ -111,6 +111,10 @@ val engine : live -> Shift_machine.Exec.t
 val outcome : live -> Report.outcome option
 (** The final outcome, once {!advance} returned [`Finished]. *)
 
+val fuel_left : live -> int
+(** Instructions left in the session's budget — what a scheduler or
+    status endpoint reports about a run still in flight. *)
+
 val flowtrace : live -> Shift_machine.Flowtrace.t option
 (** The session's flow trace, when the config asked for one — query it
     mid-run between slices, or after the run for events and chains. *)

@@ -35,6 +35,12 @@ module Fleet = Fleet
     ([Session.checkpoint] / [Session.restore]). *)
 module Snapshot = Snapshot
 
+(** The [shiftc serve] wire protocol (versioned JSONL). *)
+module Protocol = Protocol
+
+(** The resident service: scheduler, socket server, client. *)
+module Serve = Serve
+
 (** The resumable execution engine sessions are driven through. *)
 module Exec = Shift_machine.Exec
 
