@@ -33,7 +33,7 @@ let experiments =
     ("fleet", Exp_fleet.fleet);
     ("trace", Exp_trace.trace);
     ("serve", Exp_serve.serve);
-    ("bechamel", Bech.run);
+    ("bechamel", Bench_tables.run);
   ]
 
 let usage () =

@@ -46,6 +46,45 @@ let json_arg =
           "Emit the run's report as JSON via the bench results schema \
            instead of pretty-printed text.")
 
+let no_superblocks_arg =
+  Arg.(
+    value & flag
+    & info [ "no-superblocks" ]
+        ~doc:
+          "Run on the pure interpreter, never compiling hot regions to \
+           superblocks.  On and off are observationally identical — same \
+           counters, alerts, traces and JSON — so this is an escape hatch \
+           for differential testing and debugging, not a semantic knob.")
+
+let sb_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "sb-stats" ]
+        ~doc:
+          "Print the host-side superblock-compiler counters (blocks \
+           compiled, cache hits/misses, invalidations, interpreter-fallback \
+           instructions) after the report.  With $(b,--json) they form a \
+           separate trailing JSON line, so the report itself stays \
+           byte-identical with and without $(b,--no-superblocks).")
+
+let sb_stats_json (sb : Stats.superblocks) =
+  Shift.Results.Obj
+    [
+      ( "superblocks",
+        Shift.Results.Obj
+          [
+            ("compiled", Shift.Results.Int sb.Stats.sb_compiled);
+            ("hits", Shift.Results.Int sb.Stats.sb_hits);
+            ("misses", Shift.Results.Int sb.Stats.sb_misses);
+            ("invalidations", Shift.Results.Int sb.Stats.sb_invalidations);
+            ("fallback", Shift.Results.Int sb.Stats.sb_fallback);
+          ] );
+    ]
+
+let print_sb_stats ~json sb =
+  if json then print_endline (Shift.Results.to_string (sb_stats_json sb))
+  else Format.printf "superblocks:  %a@." Stats.pp_superblocks sb
+
 let print_json (r : Shift.Report.t) =
   print_endline (Shift.Results.to_string (Shift.Results.of_report r))
 
@@ -135,7 +174,7 @@ let run_cmd =
              exit with status 3, leaving the run resumable with \
              $(b,shiftc resume) — a deterministic stand-in for a crash.")
   in
-  let run name mode size safe json every file limit =
+  let run name mode size safe json every file limit no_sb sb_stats =
     match find_kernel name with
     | Error e ->
         prerr_endline e;
@@ -144,7 +183,7 @@ let run_cmd =
         let config =
           Shift.Session.Config.make ~policy:Policy.default
             ~setup:(Spec.setup ?size ~tainted:(not safe) k)
-            ()
+            ~superblocks:(not no_sb) ()
         in
         let finish live =
           let r = Shift.Session.report live in
@@ -153,6 +192,8 @@ let run_cmd =
             Format.printf "kernel %s under %a@." k.Spec.name Mode.pp mode;
             print_report r
           end;
+          if sb_stats then
+            print_sb_stats ~json (Shift.Session.superblock_stats live);
           0
         in
         match (every, file) with
@@ -203,7 +244,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a SPEC-like kernel on the simulated machine")
     Term.(
       const run $ name_arg $ mode_arg $ size_arg $ safe_arg $ json_arg
-      $ every_arg $ file_arg $ limit_arg)
+      $ every_arg $ file_arg $ limit_arg $ no_superblocks_arg $ sb_stats_arg)
 
 let resume_cmd =
   let file_arg =
@@ -287,7 +328,7 @@ let batch_cmd =
              supervisor contains the crash while every other job still \
              completes.")
   in
-  let run mode names jobs size safe json retries every poison =
+  let run mode names jobs size safe json retries every poison no_sb =
     let kernels =
       match names with
       | [] -> List.map Result.ok Spec.all
@@ -306,7 +347,7 @@ let batch_cmd =
                 ~config:
                   (Shift.Session.Config.make ~policy:Policy.default
                      ~setup:(Spec.setup ?size ~tainted:(not safe) k)
-                     ())
+                     ~superblocks:(not no_sb) ())
                 (fun () -> Shift.Session.build ~mode k.Spec.program))
             kernels
         in
@@ -339,7 +380,7 @@ let batch_cmd =
           a deterministic aggregate report")
     Term.(
       const run $ mode_arg $ names_arg $ jobs_arg $ size_arg $ safe_arg
-      $ json_arg $ retries_arg $ every_arg $ poison_arg)
+      $ json_arg $ retries_arg $ every_arg $ poison_arg $ no_superblocks_arg)
 
 let attack_cmd =
   let name_arg =
@@ -350,7 +391,7 @@ let attack_cmd =
   let benign_arg =
     Arg.(value & flag & info [ "benign" ] ~doc:"Use the benign input instead of the exploit.")
   in
-  let run name mode benign json =
+  let run name mode benign json no_sb =
     match Shift_attacks.Attacks.find name with
     | None ->
         prerr_endline "unknown attack case; see `shiftc list`";
@@ -358,7 +399,8 @@ let attack_cmd =
     | Some c ->
         let input = if benign then c.Case.benign else c.Case.exploit in
         let r =
-          Shift.Session.run ~policy:c.Case.policy ~setup:input ~mode c.Case.program
+          Shift.Session.run ~policy:c.Case.policy ~setup:input
+            ~superblocks:(not no_sb) ~mode c.Case.program
         in
         if json then print_json r
         else begin
@@ -373,7 +415,9 @@ let attack_cmd =
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a Table-2 security-evaluation case")
-    Term.(const run $ name_arg $ mode_arg $ benign_arg $ json_arg)
+    Term.(
+      const run $ name_arg $ mode_arg $ benign_arg $ json_arg
+      $ no_superblocks_arg)
 
 let httpd_cmd =
   let size_arg =
@@ -488,7 +532,7 @@ let trace_cmd =
                   list`)"
                  name))
   in
-  let run name mode benign ring events json =
+  let run name mode benign ring events json no_sb =
     match (resolve name, parse_kinds events) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
@@ -498,7 +542,7 @@ let trace_cmd =
         let config =
           Shift.Session.Config.make ~policy ~setup
             ~trace:{ Shift.Flowtrace.capacity = ring; only }
-            ()
+            ~superblocks:(not no_sb) ()
         in
         let image = Shift.Session.build ~mode program in
         let live = Shift.Session.start ~config image in
@@ -528,7 +572,9 @@ let trace_cmd =
        ~doc:
          "Run an attack case or kernel with Flowtrace enabled and dump the \
           taint-flow events (JSONL with --json)")
-    Term.(const run $ name_arg $ mode_arg $ benign_arg $ ring_arg $ events_arg $ json_arg)
+    Term.(
+      const run $ name_arg $ mode_arg $ benign_arg $ ring_arg $ events_arg
+      $ json_arg $ no_superblocks_arg)
 
 let exec_cmd =
   let file_arg =
@@ -773,18 +819,20 @@ let client_run_cmd =
   let safe_arg =
     Arg.(value & flag & info [ "safe" ] ~doc:"Leave the input file untainted.")
   in
-  let run socket raw id tenant deadline migrate name mode size safe =
+  let run socket raw id tenant deadline migrate name mode size safe no_sb =
     client_round ~socket ~raw ~project:report_field
       (envelope
          ~id:(Option.value id ~default:("run:" ^ name))
          ?tenant ?deadline ?migrate_every:migrate
-         (Protocol.Run { kernel = name; mode; size; safe }))
+         (Protocol.Run
+            { kernel = name; mode; size; safe; superblocks = not no_sb }))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Submit a kernel run to the daemon and print its report")
     Term.(
       const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
-      $ migrate_every_arg $ name_arg $ mode_arg $ size_arg $ safe_arg)
+      $ migrate_every_arg $ name_arg $ mode_arg $ size_arg $ safe_arg
+      $ no_superblocks_arg)
 
 let client_attack_cmd =
   let name_arg =
@@ -795,19 +843,21 @@ let client_attack_cmd =
   let benign_arg =
     Arg.(value & flag & info [ "benign" ] ~doc:"Use the benign input instead of the exploit.")
   in
-  let run socket raw id tenant deadline migrate name mode benign =
+  let run socket raw id tenant deadline migrate name mode benign no_sb =
     client_round ~socket ~raw ~project:report_field
       (envelope
          ~id:(Option.value id ~default:("attack:" ^ name))
          ?tenant ?deadline ?migrate_every:migrate
-         (Protocol.Attack { case = name; mode; benign }))
+         (Protocol.Attack
+            { case = name; mode; benign; superblocks = not no_sb }))
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Submit a Table-2 attack case to the daemon and print its report")
     Term.(
       const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
-      $ migrate_every_arg $ name_arg $ mode_arg $ benign_arg)
+      $ migrate_every_arg $ name_arg $ mode_arg $ benign_arg
+      $ no_superblocks_arg)
 
 let client_trace_cmd =
   let name_arg =
@@ -836,12 +886,21 @@ let client_trace_cmd =
             "Comma-separated event kinds to record \
              (birth,load,prop,store,purge,check,sink); default all.")
   in
-  let run socket raw id tenant deadline migrate name mode benign ring events =
+  let run socket raw id tenant deadline migrate name mode benign ring events
+      no_sb =
     client_round ~socket ~raw ~project:report_field
       (envelope
          ~id:(Option.value id ~default:("trace:" ^ name))
          ?tenant ?deadline ?migrate_every:migrate
-         (Protocol.Trace { image = name; mode; benign; ring; only = events }))
+         (Protocol.Trace
+            {
+              image = name;
+              mode;
+              benign;
+              ring;
+              only = events;
+              superblocks = not no_sb;
+            }))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -851,7 +910,7 @@ let client_trace_cmd =
     Term.(
       const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
       $ migrate_every_arg $ name_arg $ mode_arg $ benign_arg $ ring_arg
-      $ events_arg)
+      $ events_arg $ no_superblocks_arg)
 
 let client_batch_cmd =
   let names_arg =
@@ -873,12 +932,21 @@ let client_batch_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Retry a crashed job up to $(docv) extra times from its checkpoint.")
   in
-  let run socket raw id tenant deadline migrate names mode size safe retries =
+  let run socket raw id tenant deadline migrate names mode size safe retries
+      no_sb =
     client_round ~socket ~raw ~project:whole_result
       (envelope
          ~id:(Option.value id ~default:"batch")
          ?tenant ?deadline ?migrate_every:migrate
-         (Protocol.Batch { kernels = names; mode; size; safe; retries }))
+         (Protocol.Batch
+            {
+              kernels = names;
+              mode;
+              size;
+              safe;
+              retries;
+              superblocks = not no_sb;
+            }))
   in
   Cmd.v
     (Cmd.info "batch"
@@ -888,7 +956,7 @@ let client_batch_cmd =
     Term.(
       const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
       $ migrate_every_arg $ names_arg $ mode_arg $ size_arg $ safe_arg
-      $ retries_arg)
+      $ retries_arg $ no_superblocks_arg)
 
 let client_status_cmd =
   let run socket raw id tenant =

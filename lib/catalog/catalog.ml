@@ -29,29 +29,31 @@ let find_case name =
                  Shift_attacks.Attacks.all)))
 
 (* the same config [shiftc run] and [shiftc batch] build per kernel *)
-let kernel_job_of k ~mode ~size ~safe =
+let kernel_job_of k ~mode ~size ~safe ~superblocks =
   Shift.Fleet.job ~name:k.Spec.name
     ~config:
       (Shift.Session.Config.make ~policy:Policy.default
          ~setup:(Spec.setup ?size ~tainted:(not safe) k)
-         ())
+         ~superblocks ())
     (fun () -> Shift.Session.build ~mode k.Spec.program)
 
-let kernel_job ~mode ~size ~safe name =
-  Result.map (kernel_job_of ~mode ~size ~safe) (find_kernel name)
+let kernel_job ~mode ~size ~safe ~superblocks name =
+  Result.map (kernel_job_of ~mode ~size ~safe ~superblocks) (find_kernel name)
 
 (* the same policy/input pair [shiftc attack] passes to Session.run *)
-let attack_job ~mode ~benign name =
+let attack_job ~mode ~benign ~superblocks name =
   Result.map
     (fun (c : Case.t) ->
       let input = if benign then c.Case.benign else c.Case.exploit in
       Shift.Fleet.job ~name:c.Case.program_name
-        ~config:(Shift.Session.Config.make ~policy:c.Case.policy ~setup:input ())
+        ~config:
+          (Shift.Session.Config.make ~policy:c.Case.policy ~setup:input
+             ~superblocks ())
         (fun () -> Shift.Session.build ~mode c.Case.program))
     (find_case name)
 
 (* [shiftc trace]'s resolution order: attack case first, then kernel *)
-let trace_job ~mode ~benign ~ring ~only name =
+let trace_job ~mode ~benign ~ring ~only ~superblocks name =
   let parse_kinds = function
     | None -> Ok None
     | Some s ->
@@ -85,11 +87,11 @@ let trace_job ~mode ~benign ~ring ~only name =
             ~config:
               (Shift.Session.Config.make ~policy ~setup
                  ~trace:{ Shift.Flowtrace.capacity = ring; only }
-                 ())
+                 ~superblocks ())
             (fun () -> Shift.Session.build ~mode program))
         (parse_kinds only))
 
-let batch_jobs ~mode ~size ~safe names =
+let batch_jobs ~mode ~size ~safe ~superblocks names =
   let kernels =
     match names with
     | [] -> List.map Result.ok Spec.all
@@ -101,7 +103,8 @@ let batch_jobs ~mode ~size ~safe names =
       kernels
   with
   | _, e :: _ -> Error e
-  | kernels, [] -> Ok (List.map (kernel_job_of ~mode ~size ~safe) kernels)
+  | kernels, [] ->
+      Ok (List.map (kernel_job_of ~mode ~size ~safe ~superblocks) kernels)
 
 let standard =
   { Shift.Serve.kernel_job; attack_job; trace_job; batch_jobs }

@@ -54,14 +54,21 @@ type request =
       mode : Mode.t;
       size : int option;
       safe : bool;
+      superblocks : bool;
     }
-  | Attack of { case : string; mode : Mode.t; benign : bool }
+  | Attack of {
+      case : string;
+      mode : Mode.t;
+      benign : bool;
+      superblocks : bool;
+    }
   | Trace of {
       image : string;
       mode : Mode.t;
       benign : bool;
       ring : int;
       only : string option;
+      superblocks : bool;
     }
   | Batch of {
       kernels : string list;
@@ -69,6 +76,7 @@ type request =
       size : int option;
       safe : bool;
       retries : int;
+      superblocks : bool;
     }
   | Status
   | Drain
@@ -158,13 +166,30 @@ let body_of_json kind j =
       let* size = int_field "size" j in
       let* size = positive "size" size in
       let* safe = bool_field "safe" j in
-      Ok (Run { kernel; mode; size; safe = Option.value ~default:false safe })
+      let* superblocks = bool_field "superblocks" j in
+      Ok
+        (Run
+           {
+             kernel;
+             mode;
+             size;
+             safe = Option.value ~default:false safe;
+             superblocks = Option.value ~default:true superblocks;
+           })
   | "attack" ->
       let* case = string_field "case" j in
       let* case = Option.to_result ~none:"attack requires a \"case\"" case in
       let* mode = mode_field j in
       let* benign = bool_field "benign" j in
-      Ok (Attack { case; mode; benign = Option.value ~default:false benign })
+      let* superblocks = bool_field "superblocks" j in
+      Ok
+        (Attack
+           {
+             case;
+             mode;
+             benign = Option.value ~default:false benign;
+             superblocks = Option.value ~default:true superblocks;
+           })
   | "trace" ->
       let* image = string_field "image" j in
       let* image = Option.to_result ~none:"trace requires an \"image\"" image in
@@ -173,6 +198,7 @@ let body_of_json kind j =
       let* ring = int_field "ring" j in
       let* ring = positive "ring" ring in
       let* only = string_field "events" j in
+      let* superblocks = bool_field "superblocks" j in
       Ok
         (Trace
            {
@@ -181,6 +207,7 @@ let body_of_json kind j =
              benign = Option.value ~default:false benign;
              ring = Option.value ~default:4096 ring;
              only;
+             superblocks = Option.value ~default:true superblocks;
            })
   | "batch" ->
       let* kernels = string_list_field "kernels" j in
@@ -194,6 +221,7 @@ let body_of_json kind j =
         | Some n when n < 0 -> Error "field \"retries\" must be non-negative"
         | _ -> Ok ()
       in
+      let* superblocks = bool_field "superblocks" j in
       Ok
         (Batch
            {
@@ -202,6 +230,7 @@ let body_of_json kind j =
              size;
              safe = Option.value ~default:false safe;
              retries = Option.value ~default:0 retries;
+             superblocks = Option.value ~default:true superblocks;
            })
   | "status" -> Ok Status
   | "drain" -> Ok Drain
@@ -284,13 +313,18 @@ let request_to_json (env : envelope) =
   let mode m = ("mode", str (Mode.to_string m)) in
   let body =
     match env.request with
-    | Run { kernel; mode = m; size; safe } ->
+    | Run { kernel; mode = m; size; safe; superblocks } ->
         [ ("kernel", str kernel); mode m ]
         @ opt "size" size (fun s -> Results.Int s)
-        @ [ ("safe", Results.Bool safe) ]
-    | Attack { case; mode = m; benign } ->
-        [ ("case", str case); mode m; ("benign", Results.Bool benign) ]
-    | Trace { image; mode = m; benign; ring; only } ->
+        @ [ ("safe", Results.Bool safe); ("superblocks", Results.Bool superblocks) ]
+    | Attack { case; mode = m; benign; superblocks } ->
+        [
+          ("case", str case);
+          mode m;
+          ("benign", Results.Bool benign);
+          ("superblocks", Results.Bool superblocks);
+        ]
+    | Trace { image; mode = m; benign; ring; only; superblocks } ->
         [
           ("image", str image);
           mode m;
@@ -298,10 +332,15 @@ let request_to_json (env : envelope) =
           ("ring", Results.Int ring);
         ]
         @ opt "events" only str
-    | Batch { kernels; mode = m; size; safe; retries } ->
+        @ [ ("superblocks", Results.Bool superblocks) ]
+    | Batch { kernels; mode = m; size; safe; retries; superblocks } ->
         [ ("kernels", Results.List (List.map str kernels)); mode m ]
         @ opt "size" size (fun s -> Results.Int s)
-        @ [ ("safe", Results.Bool safe); ("retries", Results.Int retries) ]
+        @ [
+            ("safe", Results.Bool safe);
+            ("retries", Results.Int retries);
+            ("superblocks", Results.Bool superblocks);
+          ]
     | Status | Drain -> []
   in
   Results.Obj (common @ body)

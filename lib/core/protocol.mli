@@ -55,18 +55,24 @@ val kinds : string list
     ["run"], ["attack"], ["trace"], ["batch"], ["status"], ["drain"]. *)
 
 (** The request body, by kind.  Modes travel as
-    {!Shift_compiler.Mode.to_string} names and default to [word]. *)
+    {!Shift_compiler.Mode.to_string} names and default to [word].  Job
+    kinds carry a [superblocks] flag (wire field ["superblocks"],
+    default [true]): [false] runs the session on the pure interpreter —
+    observationally identical, so it is a debugging escape hatch, not a
+    semantic knob. *)
 type request =
   | Run of {
       kernel : string;
       mode : Shift_compiler.Mode.t;
       size : int option;  (** input bytes; [None] = the kernel's default *)
       safe : bool;  (** leave the input untainted *)
+      superblocks : bool;
     }
   | Attack of {
       case : string;  (** prefix of the Table-2 program name *)
       mode : Shift_compiler.Mode.t;
       benign : bool;
+      superblocks : bool;
     }
   | Trace of {
       image : string;  (** attack case or kernel, as [shiftc trace] *)
@@ -74,6 +80,7 @@ type request =
       benign : bool;
       ring : int;  (** event-ring capacity *)
       only : string option;  (** comma-separated event kinds, or all *)
+      superblocks : bool;
     }
   | Batch of {
       kernels : string list;  (** [[]] = the whole kernel suite *)
@@ -81,6 +88,7 @@ type request =
       size : int option;
       safe : bool;
       retries : int;  (** per-job crash retries *)
+      superblocks : bool;
     }
   | Status
   | Drain

@@ -10,11 +10,13 @@ type catalog = {
     mode:Shift_compiler.Mode.t ->
     size:int option ->
     safe:bool ->
+    superblocks:bool ->
     string ->
     (Fleet.job, string) result;
   attack_job :
     mode:Shift_compiler.Mode.t ->
     benign:bool ->
+    superblocks:bool ->
     string ->
     (Fleet.job, string) result;
   trace_job :
@@ -22,12 +24,14 @@ type catalog = {
     benign:bool ->
     ring:int ->
     only:string option ->
+    superblocks:bool ->
     string ->
     (Fleet.job, string) result;
   batch_jobs :
     mode:Shift_compiler.Mode.t ->
     size:int option ->
     safe:bool ->
+    superblocks:bool ->
     string list ->
     (Fleet.job list, string) result;
 }
@@ -397,27 +401,28 @@ module Server = struct
       | Protocol.Drain ->
           draining := true;
           drain_waiters := (conn, env.id, env.tenant) :: !drain_waiters
-      | Protocol.Run { kernel; mode; size; safe } ->
+      | Protocol.Run { kernel; mode; size; safe; superblocks } ->
           refuse_if_draining (fun () ->
               with_id (fun () ->
                   resolved (submit_single conn env)
-                    (catalog.kernel_job ~mode ~size ~safe kernel)))
-      | Protocol.Attack { case; mode; benign } ->
+                    (catalog.kernel_job ~mode ~size ~safe ~superblocks kernel)))
+      | Protocol.Attack { case; mode; benign; superblocks } ->
           refuse_if_draining (fun () ->
               with_id (fun () ->
                   resolved (submit_single conn env)
-                    (catalog.attack_job ~mode ~benign case)))
-      | Protocol.Trace { image; mode; benign; ring; only } ->
+                    (catalog.attack_job ~mode ~benign ~superblocks case)))
+      | Protocol.Trace { image; mode; benign; ring; only; superblocks } ->
           refuse_if_draining (fun () ->
               with_id (fun () ->
                   resolved (submit_single conn env)
-                    (catalog.trace_job ~mode ~benign ~ring ~only image)))
-      | Protocol.Batch { kernels; mode; size; safe; retries } ->
+                    (catalog.trace_job ~mode ~benign ~ring ~only ~superblocks
+                       image)))
+      | Protocol.Batch { kernels; mode; size; safe; retries; superblocks } ->
           refuse_if_draining (fun () ->
               with_id (fun () ->
                   resolved
                     (submit_batch conn env retries)
-                    (catalog.batch_jobs ~mode ~size ~safe kernels)))
+                    (catalog.batch_jobs ~mode ~size ~safe ~superblocks kernels)))
     in
     let process_line conn line =
       if String.length line > 0 then

@@ -32,11 +32,13 @@ type catalog = {
     mode:Shift_compiler.Mode.t ->
     size:int option ->
     safe:bool ->
+    superblocks:bool ->
     string ->
     (Fleet.job, string) result;
   attack_job :
     mode:Shift_compiler.Mode.t ->
     benign:bool ->
+    superblocks:bool ->
     string ->
     (Fleet.job, string) result;
   trace_job :
@@ -44,12 +46,14 @@ type catalog = {
     benign:bool ->
     ring:int ->
     only:string option ->
+    superblocks:bool ->
     string ->
     (Fleet.job, string) result;
   batch_jobs :
     mode:Shift_compiler.Mode.t ->
     size:int option ->
     safe:bool ->
+    superblocks:bool ->
     string list ->
     (Fleet.job list, string) result;
       (** [[]] means the catalogue's whole suite *)

@@ -24,6 +24,7 @@ module Config = struct
     setup : World.t -> unit;
     threading : threading;
     trace : Shift_machine.Flowtrace.options option;
+    superblocks : bool;
   }
 
   let default =
@@ -34,12 +35,13 @@ module Config = struct
       setup = (fun _ -> ());
       threading = Single;
       trace = None;
+      superblocks = true;
     }
 
   let make ?(policy = Policy.default) ?(io_cost = World.default_io_cost)
       ?(fuel = default_fuel) ?(setup = fun _ -> ()) ?(threading = Single)
-      ?trace () =
-    { policy; io_cost; fuel; setup; threading; trace }
+      ?trace ?(superblocks = true) () =
+    { policy; io_cost; fuel; setup; threading; trace; superblocks }
 end
 
 let gran_of_mode = function
@@ -95,6 +97,7 @@ type live = {
 
 let start ?(config = Config.default) (image : Image.t) =
   let cpu = load image in
+  cpu.Cpu.sb.Cpu.sb_on <- config.Config.superblocks;
   (match config.Config.trace with
   | Some options ->
       cpu.Cpu.flowtrace <- Shift_machine.Flowtrace.create ~options ()
@@ -133,6 +136,8 @@ let fuel_left live = live.fuel_left
 let flowtrace live =
   let ft = (Exec.hart0 live.engine).Cpu.flowtrace in
   if ft.Shift_machine.Flowtrace.enabled then Some ft else None
+
+let superblock_stats live = Exec.superblock_stats live.engine
 
 let timeout live =
   live.result <- Some Report.Timeout;
@@ -192,6 +197,7 @@ let checkpoint ?meta live =
         c_fuel = live.config.Config.fuel;
         c_threading = snapshot_threading live.config.Config.threading;
         c_trace = live.config.Config.trace;
+        c_superblocks = live.config.Config.superblocks;
       }
     ~fuel_left:live.fuel_left ~result:live.result ~engine:live.engine
     ~world:live.world ()
@@ -206,7 +212,7 @@ let restore (snap : Snapshot.t) =
     Config.make ~policy:sc.Snapshot.c_policy ~io_cost:sc.Snapshot.c_io_cost
       ~fuel:sc.Snapshot.c_fuel
       ~threading:(session_threading sc.Snapshot.c_threading)
-      ?trace:sc.Snapshot.c_trace ()
+      ?trace:sc.Snapshot.c_trace ~superblocks:sc.Snapshot.c_superblocks ()
   in
   let mem = Shift_mem.Memory.create () in
   Snapshot.load_memory mem snap.Snapshot.memory;
@@ -225,6 +231,7 @@ let restore (snap : Snapshot.t) =
   in
   let make_cpu hart =
     let cpu = Cpu.create ~mem image.program in
+    cpu.Cpu.sb.Cpu.sb_on <- config.Config.superblocks;
     Snapshot.import_cpu hart cpu;
     cpu.Cpu.syscall_handler <- Some (World.handler world);
     (match flowtrace with Some ft -> cpu.Cpu.flowtrace <- ft | None -> ());
@@ -270,20 +277,24 @@ let exec ?config image =
 
 (* ---------- the historical entry points, as one-line wrappers ---------- *)
 
-let run_image ?policy ?io_cost ?fuel ?setup ?trace image =
-  exec ~config:(Config.make ?policy ?io_cost ?fuel ?setup ?trace ()) image
+let run_image ?policy ?io_cost ?fuel ?setup ?trace ?superblocks image =
+  exec
+    ~config:(Config.make ?policy ?io_cost ?fuel ?setup ?trace ?superblocks ())
+    image
 
-let run ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ?trace ~mode prog =
-  run_image ?policy ?io_cost ?fuel ?setup ?trace
+let run ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ?trace
+    ?superblocks ~mode prog =
+  run_image ?policy ?io_cost ?fuel ?setup ?trace ?superblocks
     (build ?with_runtime ?taint_returns ~mode prog)
 
-let run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum image =
+let run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum ?superblocks image =
   exec
     ~config:
       (Config.make ?policy ?io_cost ?fuel ?setup
-         ~threading:(Config.Threads { quantum }) ())
+         ~threading:(Config.Threads { quantum }) ?superblocks ())
     image
 
-let run_mt ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ?quantum ~mode prog =
-  run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum
+let run_mt ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ?quantum
+    ?superblocks ~mode prog =
+  run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum ?superblocks
     (build ?with_runtime ?taint_returns ~mode prog)

@@ -40,11 +40,17 @@ module Config : sig
             alerts carry chains, and the report gains a [flow]
             summary.  [None] (the default) costs one branch per
             instrumented op. *)
+    superblocks : bool;
+        (** whether hot guest regions may be compiled to closure chains
+            ({!Shift_machine.Superblock}).  On (the default) and off are
+            observationally identical — same counters, alerts, traces
+            and snapshots — so [false] is an escape hatch for
+            differential testing and debugging, not a semantic knob. *)
   }
 
   val default : t
   (** Default policy and I/O costs, 2e9 fuel, no setup, single hart,
-      no tracing. *)
+      no tracing, superblocks on. *)
 
   val make :
     ?policy:Shift_policy.Policy.t ->
@@ -53,6 +59,7 @@ module Config : sig
     ?setup:(Shift_os.World.t -> unit) ->
     ?threading:threading ->
     ?trace:Shift_machine.Flowtrace.options ->
+    ?superblocks:bool ->
     unit ->
     t
   (** {!default} with the given fields overridden. *)
@@ -119,6 +126,12 @@ val flowtrace : live -> Shift_machine.Flowtrace.t option
 (** The session's flow trace, when the config asked for one — query it
     mid-run between slices, or after the run for events and chains. *)
 
+val superblock_stats : live -> Shift_machine.Stats.superblocks
+(** Host-side superblock compiler counters aggregated across harts.
+    Diagnostics only: never part of the report, the [--json] output or
+    snapshots (they differ between superblocks-on and -off runs, which
+    must stay byte-identical). *)
+
 val report : live -> Report.t
 (** Assemble the session's report: outcome (a session still live
     reports {!Report.Timeout}), aggregated machine counters, and
@@ -159,6 +172,7 @@ val run_image :
   ?fuel:int ->
   ?setup:(Shift_os.World.t -> unit) ->
   ?trace:Shift_machine.Flowtrace.options ->
+  ?superblocks:bool ->
   Shift_compiler.Image.t ->
   Report.t
 (** Run a compiled image on a fresh machine and OS world.  [setup] is
@@ -172,6 +186,7 @@ val run :
   ?fuel:int ->
   ?setup:(Shift_os.World.t -> unit) ->
   ?trace:Shift_machine.Flowtrace.options ->
+  ?superblocks:bool ->
   mode:Shift_compiler.Mode.t ->
   Ir.program ->
   Report.t
@@ -190,6 +205,7 @@ val run_image_mt :
   ?fuel:int ->
   ?setup:(Shift_os.World.t -> unit) ->
   ?quantum:int ->
+  ?superblocks:bool ->
   Shift_compiler.Image.t ->
   Report.t
 (** Like {!run_image} with thread support enabled.  [quantum] is the
@@ -206,6 +222,7 @@ val run_mt :
   ?fuel:int ->
   ?setup:(Shift_os.World.t -> unit) ->
   ?quantum:int ->
+  ?superblocks:bool ->
   mode:Shift_compiler.Mode.t ->
   Ir.program ->
   Report.t

@@ -21,6 +21,7 @@ type config = {
   c_fuel : int;
   c_threading : threading;
   c_trace : Flowtrace.options option;
+  c_superblocks : bool;
 }
 
 type hart = {
@@ -466,6 +467,7 @@ let config_to_json c =
       ("fuel", jint c.c_fuel);
       ("threading", threading_to_json c.c_threading);
       ("trace", jopt trace_options_to_json c.c_trace);
+      ("superblocks", jbool c.c_superblocks);
     ]
 
 let config_of_json j =
@@ -475,6 +477,12 @@ let config_of_json j =
     c_fuel = ifield "fuel" j;
     c_threading = threading_of_json (field "threading" j);
     c_trace = as_opt trace_options_of_json (field "trace" j);
+    (* absent in snapshots taken before the superblock compiler existed:
+       those ran with the interpreter-equivalent default *)
+    c_superblocks =
+      (match Results.member "superblocks" j with
+      | Some v -> as_bool v
+      | None -> true);
   }
 
 (* ---- machine state ---- *)

@@ -37,6 +37,10 @@ type config = {
   c_fuel : int;  (** the configured budget, not what remains *)
   c_threading : threading;
   c_trace : Shift_machine.Flowtrace.options option;
+  c_superblocks : bool;
+      (** whether the superblock compiler may run; the block cache itself
+          is derived state and never snapshotted (a restored machine
+          starts cold with identical simulated counters) *)
 }
 
 (** One hart's complete execution state. *)

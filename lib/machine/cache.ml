@@ -1,6 +1,7 @@
 type t = {
   line_shift : int;
   set_count : int;
+  set_mask : int;  (* set_count - 1 when a power of two, else -1 *)
   lines : int64 array;  (* line address per set; -1 = invalid *)
   mutable hit_count : int;
   mutable miss_count : int;
@@ -17,6 +18,7 @@ let create ?(size_kb = 16) ?(line_bytes = 64) () =
   {
     line_shift = log2 line_bytes;
     set_count;
+    set_mask = (if set_count land (set_count - 1) = 0 then set_count - 1 else -1);
     lines = Array.make set_count (-1L);
     hit_count = 0;
     miss_count = 0;
@@ -24,7 +26,13 @@ let create ?(size_kb = 16) ?(line_bytes = 64) () =
 
 let access t addr =
   let line = Int64.shift_right_logical addr t.line_shift in
-  let set = Int64.to_int (Int64.unsigned_rem line (Int64.of_int t.set_count)) in
+  (* the power-of-two geometry (the default) indexes with a mask; the
+     unsigned remainder below computes the same set, one division
+     slower, for exotic sizes *)
+  let set =
+    if t.set_mask >= 0 then Int64.to_int line land t.set_mask
+    else Int64.to_int (Int64.unsigned_rem line (Int64.of_int t.set_count))
+  in
   if Int64.equal t.lines.(set) line then begin
     t.hit_count <- t.hit_count + 1;
     true

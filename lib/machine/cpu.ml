@@ -17,6 +17,28 @@ type t = {
   mutable flowtrace : Flowtrace.t;
   ftregs : Flowtrace.regs;
   call_stack : (int * int64) Stack.t;
+  sb : sb;
+}
+
+(* Superblock compiler state (see {!Superblock}).  Lives on the machine
+   so the block cache follows the hart, but it is a *derived* cache:
+   nothing here is ever snapshotted, and a restored machine starts cold
+   with identical simulated counters. *)
+and sb = {
+  mutable sb_on : bool;
+  sb_hot : int array;                      (* per-entry-pc execution counts *)
+  sb_blocks : sb_block option array;       (* compiled block per entry pc *)
+  mutable sb_watched : bool;               (* memory write-watch registered *)
+  sb_stats : Stats.superblocks;
+}
+
+and sb_block = {
+  sb_entry : int;
+  sb_len : int;
+  sb_ft : bool;              (* flowtrace.enabled the block was compiled for *)
+  sb_provs : int array;      (* per-instruction provenance index, for unwinds *)
+  sb_prov_counts : int array;(* per-provenance slot counts for the whole block *)
+  sb_body : t -> unit;       (* straight-line compiled body *)
 }
 
 type outcome =
@@ -36,6 +58,7 @@ let call_stack_limit = 100_000
 let create ?(entry = "_start") ?mem program =
   let preds = Array.make Pred.count false in
   preds.(Pred.p0) <- true;
+  let size = Program.size program in
   {
     program;
     decoded = Decode.of_program program;
@@ -53,6 +76,14 @@ let create ?(entry = "_start") ?mem program =
     flowtrace = Flowtrace.disabled ();
     ftregs = Flowtrace.fresh_regs ();
     call_stack = Stack.create ();
+    sb =
+      {
+        sb_on = true;
+        sb_hot = Array.make size 0;
+        sb_blocks = Array.make size None;
+        sb_watched = false;
+        sb_stats = Stats.sb_create ();
+      };
   }
 
 let get_value t r = t.values.(r)

@@ -40,6 +40,32 @@ type t = {
       (** Taint-provenance trace; {!Flowtrace.disabled} by default. *)
   ftregs : Flowtrace.regs;  (** this hart's register provenance shadow *)
   call_stack : (int * int64) Stack.t;
+  sb : sb;  (** superblock compiler state; a derived cache, never snapshotted *)
+}
+
+(** State of the dynamic superblock compiler (driven by {!Superblock}).
+    Everything here is derivable from the program and the run so far:
+    snapshots skip it, and a restored machine starts with a cold block
+    cache yet byte-identical simulated counters. *)
+and sb = {
+  mutable sb_on : bool;
+      (** master switch ([Session.Config.superblocks] lands here) *)
+  sb_hot : int array;                 (** per-entry-pc execution counts *)
+  sb_blocks : sb_block option array;  (** compiled block per entry pc *)
+  mutable sb_watched : bool;  (** code-region write watch registered *)
+  sb_stats : Stats.superblocks;
+}
+
+(** One compiled superblock: a single-entry straight-line region ending
+    at the first control transfer (or the length cap), with operands,
+    predicates and trace hooks resolved at compile time. *)
+and sb_block = {
+  sb_entry : int;
+  sb_len : int;
+  sb_ft : bool;  (** flowtrace.enabled value the body was specialised for *)
+  sb_provs : int array;
+  sb_prov_counts : int array;
+  sb_body : t -> unit;
 }
 
 type outcome =
@@ -49,6 +75,14 @@ type outcome =
 
 exception Exit_requested of int64
 (** A syscall handler raises this to terminate the program (exit(2)). *)
+
+exception Fault_exn of Fault.t
+(** Internal control flow for faults; {!step} converts it to
+    {!Faulted}.  Exposed for {!Superblock}, whose compiled bodies must
+    raise and observe exactly what the interpreter does. *)
+
+exception Halt_exn of int64
+(** Internal control flow for [halt]; {!step} converts it to {!Exited}. *)
 
 val create : ?entry:string -> ?mem:Shift_mem.Memory.t -> Shift_isa.Program.t -> t
 (** Fresh machine with zeroed registers and [ip] at [entry] (default
@@ -90,3 +124,32 @@ val run : ?fuel:int -> t -> outcome
 val step : t -> outcome option
 (** Execute a single instruction; [None] while the program is still
     running. *)
+
+(** {1 Execution internals}
+
+    Exposed so {!Superblock} can compile instruction bodies that are
+    observably identical to {!step}.  Not a stable user API. *)
+
+val branch_penalty : int
+val chk_penalty : int
+val syscall_overhead : int
+
+val eval_arith : Shift_isa.Instr.arith -> int64 -> int64 -> int64
+(** Arithmetic semantics; raises {!Fault_exn} on division by zero. *)
+
+val set_pred : t -> Shift_isa.Pred.t -> bool -> unit
+(** Write a predicate register (writes to p0 are discarded). *)
+
+val unat_bit : int64 -> int
+(** UNAT bit index covering an 8-byte-aligned spill address. *)
+
+val goto : t -> int -> unit
+(** Taken control transfer: set [ip], count the branch, redirect the
+    pipeline with {!branch_penalty}. *)
+
+val exec_op : t -> Decode.info -> unit
+(** The functional effect of one instruction whose qualifying predicate
+    is true (advances [ip]; may raise {!Fault_exn}, {!Halt_exn} or the
+    syscall handler's exceptions).  Timing and statistics other than
+    per-op event counters are the caller's job, exactly as in
+    {!step}. *)

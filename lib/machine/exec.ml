@@ -22,13 +22,20 @@ let stats t =
   | Cpu cpu -> cpu.Cpu.stats
   | Smp smp -> Smp.stats smp
 
+let superblock_stats t =
+  match t.machine with
+  | Cpu cpu -> Stats.sb_total [ Superblock.stats cpu ]
+  | Smp smp ->
+      Stats.sb_total
+        (List.map (fun (_, _, cpu) -> Superblock.stats cpu) (Smp.harts smp))
+
 let run_for t ~budget =
   match t.finished with
   | Some o -> `Finished o
   | None ->
       let status =
         match t.machine with
-        | Cpu cpu -> Cpu.run_for cpu ~budget
+        | Cpu cpu -> Superblock.run_for cpu ~budget
         | Smp smp -> Smp.run_for smp ~budget
       in
       (match status with

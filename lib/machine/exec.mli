@@ -40,6 +40,10 @@ val stats : t -> Stats.t
 (** The run's counters: the CPU's own (live, shared) for a single hart;
     a fresh {!Stats.concurrent} aggregate over all harts for SMP. *)
 
+val superblock_stats : t -> Stats.superblocks
+(** A fresh aggregate of the host-side superblock counters across all
+    harts (see {!Stats.superblocks}: never part of simulated state). *)
+
 val finished : t -> Cpu.outcome option
 (** The memoised terminal outcome, once a {!run_for} call returned
     [`Finished]. *)

@@ -66,9 +66,13 @@ let all_kinds = [ Birth; Load; Prop; Store; Purge; Check; Sink ]
 type t = {
   mutable enabled : bool;
   capacity : int;
+  mask : int;  (* capacity - 1 when capacity is a power of two, else -1 *)
   ring : event array;
   mutable count : int;
   keep : bool array;
+  mutable batching : bool;
+  scratch : event array;  (* block-local staging while [batching] *)
+  mutable scratch_len : int;
   pmap : Provenance.t;
   mutable sources : source list;
   mutable next_id : int;
@@ -100,9 +104,13 @@ let make ~enabled { capacity; only } =
   {
     enabled;
     capacity;
+    mask = (if capacity land (capacity - 1) = 0 then capacity - 1 else -1);
     ring = Array.make capacity dummy_event;
     count = 0;
     keep;
+    batching = false;
+    scratch = Array.make 128 dummy_event;
+    scratch_len = 0;
     pmap = Provenance.create ();
     sources = [];
     next_id = 1;
@@ -126,11 +134,38 @@ let copy_regs src dst =
   Array.blit src.id 0 dst.id 0 Reg.count;
   Array.blit src.depth 0 dst.depth 0 Reg.count
 
+(* The ring slot of sequence number [seq]: a power-of-two capacity (the
+   default 4096 is one) turns the division into a mask. *)
+let slot t seq = if t.mask >= 0 then seq land t.mask else seq mod t.capacity
+
+let flush_scratch t =
+  for i = 0 to t.scratch_len - 1 do
+    let e = t.scratch.(i) in
+    t.ring.(slot t e.seq) <- e
+  done;
+  t.scratch_len <- 0
+
 let emit t ip ev =
   if t.keep.(kind_index (kind_of ev)) then begin
-    t.ring.(t.count mod t.capacity) <- { seq = t.count; ip; ev };
-    t.count <- t.count + 1
+    let e = { seq = t.count; ip; ev } in
+    t.count <- t.count + 1;
+    if t.batching then begin
+      if t.scratch_len = Array.length t.scratch then flush_scratch t;
+      t.scratch.(t.scratch_len) <- e;
+      t.scratch_len <- t.scratch_len + 1
+    end
+    else t.ring.(slot t e.seq) <- e
   end
+
+(* Per-superblock batching: between [begin_batch] and [end_batch] events
+   stage in the scratch buffer and land in the ring in one flush.  Slots
+   are computed from each event's own [seq], so the ring contents after
+   the flush are identical to unbatched emission. *)
+let begin_batch t = t.batching <- true
+
+let end_batch t =
+  flush_scratch t;
+  t.batching <- false
 
 let intern t ~channel ~origin ~offset ~len =
   let src = { sid = t.next_id; channel; origin; offset; len } in
@@ -420,9 +455,13 @@ let of_dump d =
   {
     enabled = d.d_enabled;
     capacity;
+    mask = (if capacity land (capacity - 1) = 0 then capacity - 1 else -1);
     ring;
     count = d.d_count;
     keep = Array.copy d.d_keep;
+    batching = false;
+    scratch = Array.make 128 dummy_event;
+    scratch_len = 0;
     pmap = Provenance.create ();
     sources = d.d_sources;
     next_id = d.d_next_id;

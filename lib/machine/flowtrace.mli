@@ -60,9 +60,13 @@ val all_kinds : kind list
 type t = {
   mutable enabled : bool;
   capacity : int;
+  mask : int;  (** [capacity - 1] when capacity is a power of two, else -1 *)
   ring : event array;
   mutable count : int;  (** events emitted (post-filter); seq of the next one *)
   keep : bool array;  (** event-kind filter, indexed by kind *)
+  mutable batching : bool;  (** events staging in [scratch] (superblock mode) *)
+  scratch : event array;
+  mutable scratch_len : int;
   pmap : Shift_mem.Provenance.t;
   mutable sources : source list;  (** newest first *)
   mutable next_id : int;
@@ -142,6 +146,19 @@ val on_check : t -> regs -> ip:int -> src:Reg.t -> tainted:bool -> unit
 val on_setnat : t -> regs -> ip:int -> reg:Reg.t -> unit
 val on_clrnat : t -> regs -> ip:int -> reg:Reg.t -> unit
 val on_sink : t -> ip:int -> policy:string -> detail:string -> unit
+
+(** {1 Batched emission}
+
+    The superblock driver brackets each compiled block with
+    [begin_batch]/[end_batch]: events stage in a block-local scratch
+    buffer and land in the ring in one flush.  Each event keeps the
+    sequence number it was emitted with, so ring contents, [count] and
+    drop accounting are identical to unbatched emission.  Queries must
+    not run between the brackets; the driver guarantees [end_batch] on
+    every exit path, including faults. *)
+
+val begin_batch : t -> unit
+val end_batch : t -> unit
 
 (** {1 Queries} *)
 

@@ -54,6 +54,101 @@ let issue t ~executing ~reads ~writes ~pred_writes ~qp ~is_mem ~latency =
     done
   end
 
+(* ---------- specialised issue, for compiled superblocks ----------
+
+   [compile_issue] bakes one instruction's operand shape into a closure
+   that performs exactly [issue ~executing:true]'s scoreboard
+   transitions: dead destination writes (r0 / p0) are filtered out at
+   compile time, the qualifying-predicate wait is dropped for qp = p0
+   (p0 is never scoreboarded, so its ready cycle is always 0), the
+   operand loops are unrolled for the common arities, and the
+   issue-group while loop is an if (one [next_cycle] resets both
+   counters below their limits).  [latency] stays a run-time argument —
+   loads only know theirs after the cache lookup. *)
+
+let compile_issue ~reads ~writes ~pred_writes ~qp ~is_mem =
+  let live_writes =
+    Array.of_list
+      (List.filter (fun r -> r <> Shift_isa.Reg.zero) (Array.to_list writes))
+  in
+  let live_preds =
+    Array.of_list
+      (List.filter (fun p -> p <> Shift_isa.Pred.p0) (Array.to_list pred_writes))
+  in
+  let qp_live = qp <> Shift_isa.Pred.p0 in
+  let group t =
+    if t.slots_used >= width || (is_mem && t.mem_used >= mem_ports) then
+      next_cycle t;
+    t.slots_used <- t.slots_used + 1;
+    if is_mem then t.mem_used <- t.mem_used + 1
+  in
+  let finish t latency =
+    for k = 0 to Array.length live_writes - 1 do
+      t.reg_ready.(Array.unsafe_get live_writes k) <- t.cycle + latency
+    done;
+    for k = 0 to Array.length live_preds - 1 do
+      t.pred_ready.(Array.unsafe_get live_preds k) <- t.cycle + 1
+    done
+  in
+  match
+    (qp_live, Array.length reads, Array.length live_writes,
+     Array.length live_preds)
+  with
+  | false, 0, 0, 0 -> fun t _latency -> group t
+  | false, 1, 1, 0 ->
+      let r0 = reads.(0) and w0 = live_writes.(0) in
+      fun t latency ->
+        advance_to t t.reg_ready.(r0);
+        group t;
+        t.reg_ready.(w0) <- t.cycle + latency
+  | false, 2, 1, 0 ->
+      let r0 = reads.(0) and r1 = reads.(1) and w0 = live_writes.(0) in
+      fun t latency ->
+        advance_to t t.reg_ready.(r0);
+        advance_to t t.reg_ready.(r1);
+        group t;
+        t.reg_ready.(w0) <- t.cycle + latency
+  | false, 0, 1, 0 ->
+      let w0 = live_writes.(0) in
+      fun t latency ->
+        group t;
+        t.reg_ready.(w0) <- t.cycle + latency
+  | false, 1, 0, 0 ->
+      let r0 = reads.(0) in
+      fun t _latency ->
+        advance_to t t.reg_ready.(r0);
+        group t
+  | false, 2, 0, 0 ->
+      let r0 = reads.(0) and r1 = reads.(1) in
+      fun t _latency ->
+        advance_to t t.reg_ready.(r0);
+        advance_to t t.reg_ready.(r1);
+        group t
+  | false, _, _, _ ->
+      fun t latency ->
+        for k = 0 to Array.length reads - 1 do
+          advance_to t t.reg_ready.(Array.unsafe_get reads k)
+        done;
+        group t;
+        finish t latency
+  | true, _, _, _ ->
+      fun t latency ->
+        advance_to t t.pred_ready.(qp);
+        for k = 0 to Array.length reads - 1 do
+          advance_to t t.reg_ready.(Array.unsafe_get reads k)
+        done;
+        group t;
+        finish t latency
+
+(* The predicated-off half of [issue]: the slot is occupied after the
+   qualifying predicate is ready, but no operand is waited for or
+   produced (and a memory port is not consumed). *)
+let compile_issue_off ~qp =
+  fun t ->
+    advance_to t t.pred_ready.(qp);
+    if t.slots_used >= width then next_cycle t;
+    t.slots_used <- t.slots_used + 1
+
 let redirect t ~penalty =
   t.cycle <- t.cycle + penalty;
   t.slots_used <- 0;

@@ -38,6 +38,29 @@ val issue :
     pre-decoded arrays of {!Decode.info} — the hot loop issues one of
     these per dynamic instruction, so no lists are allocated here. *)
 
+val compile_issue :
+  reads:Shift_isa.Reg.t array ->
+  writes:Shift_isa.Reg.t array ->
+  pred_writes:Shift_isa.Pred.t array ->
+  qp:Shift_isa.Pred.t ->
+  is_mem:bool ->
+  t ->
+  int ->
+  unit
+(** [compile_issue ~reads ~writes ~pred_writes ~qp ~is_mem] is a closure
+    [fun t latency -> ...] performing exactly
+    [issue t ~executing:true ... ~latency]'s scoreboard transitions,
+    with the operand shape specialised at closure-build time (dead r0/p0
+    destinations filtered, loops unrolled, the qp wait dropped for p0).
+    Built once per instruction by the superblock compiler
+    ({!Superblock}); byte-identical timing to {!issue} is what keeps
+    superblock runs indistinguishable from interpreter runs. *)
+
+val compile_issue_off : qp:Shift_isa.Pred.t -> t -> unit
+(** The [executing:false] counterpart: a closure accounting a
+    predicated-off slot ([latency] is irrelevant — nothing is
+    produced). *)
+
 val redirect : t -> penalty:int -> unit
 (** A taken control transfer: close the current issue group and charge a
     front-end redirect penalty. *)

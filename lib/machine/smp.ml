@@ -41,6 +41,10 @@ let spawn t ~parent ~entry ~arg =
      its register provenance alongside the register file *)
   cpu.Cpu.flowtrace <- parent.Cpu.flowtrace;
   Flowtrace.copy_regs parent.Cpu.ftregs cpu.Cpu.ftregs;
+  (* the child compiles its own superblocks (the block cache is
+     per-hart) but follows the parent's enable switch; sharing the
+     parent's memory means code-region stores invalidate across harts *)
+  cpu.Cpu.sb.Cpu.sb_on <- parent.Cpu.sb.Cpu.sb_on;
   Cpu.set_value cpu Shift_isa.Reg.sp
     (Int64.sub t.stack_top (Int64.mul (Int64.of_int id) t.stack_stride));
   Cpu.set_nat cpu Shift_isa.Reg.sp false;
@@ -62,29 +66,31 @@ let stats t =
   Stats.concurrent (List.map (fun h -> h.cpu.Cpu.stats) t.harts)
 
 (* run up to [n] instructions on a hart; returns the instructions
-   actually spent.  Stops early only when the hart leaves [Running]. *)
+   actually spent.  Stops early only when the hart leaves [Running].
+   Execution goes through the superblock driver, which interprets
+   per-instruction whenever the fast path does not apply, so the
+   interleaving is instruction-exact either way. *)
 let run_steps hart n =
-  let spent = ref 0 in
-  (try
-     while !spent < n && hart.state = Running do
-       incr spent;
-       match Cpu.step hart.cpu with
-       | None -> ()
-       | Some (Cpu.Exited v) -> hart.state <- Done v
-       | Some (Cpu.Faulted (Fault.Call_stack_underflow, _)) when hart.id > 0 ->
-           (* a secondary hart returning from its entry function is a
-              normal thread exit; its result is in r8 *)
-           hart.state <- Done (Cpu.get_value hart.cpu Shift_isa.Reg.ret)
-       | Some (Cpu.Faulted (f, ip)) -> hart.state <- Crashed (f, ip)
-       | Some Cpu.Out_of_fuel ->
-           (* [Cpu.step] executes exactly one instruction and carries no
-              fuel; only the bounded run loops can report exhaustion *)
-           failwith
-             "Smp.run_steps: Cpu.step reported Out_of_fuel, but single-step \
-              execution is unfueled"
-     done
-   with Cpu.Exit_requested v -> hart.state <- Done v);
-  !spent
+  if hart.state <> Running then 0
+  else begin
+    let spent, out = Superblock.steps hart.cpu ~limit:n in
+    (match out with
+    | None -> ()
+    | Some (Cpu.Exited v) -> hart.state <- Done v
+    | Some (Cpu.Faulted (Fault.Call_stack_underflow, _)) when hart.id > 0 ->
+        (* a secondary hart returning from its entry function is a
+           normal thread exit; its result is in r8 *)
+        hart.state <- Done (Cpu.get_value hart.cpu Shift_isa.Reg.ret)
+    | Some (Cpu.Faulted (f, ip)) -> hart.state <- Crashed (f, ip)
+    | Some Cpu.Out_of_fuel ->
+        (* the driver executes at most [n] instructions and carries no
+           fuel of its own; only the bounded run loops can report
+           exhaustion *)
+        failwith
+          "Smp.run_steps: Superblock.steps reported Out_of_fuel, but \
+           single-slice execution is unfueled");
+    spent
+  end
 
 let finalize_cycles t =
   List.iter

@@ -65,6 +65,43 @@ let total_slots t = Array.fold_left ( + ) 0 t.slots_by_prov
 let instrumentation_slots t =
   total_slots t - slots t Shift_isa.Prov.Orig
 
+(* ---------- superblock compiler counters ----------
+
+   Kept out of [t] on purpose: these describe how the host executed the
+   guest (block-cache behaviour), not what the guest did, so they must
+   not leak into snapshots or the default report JSON — runs with and
+   without the compiler stay byte-identical there. *)
+
+type superblocks = {
+  mutable sb_compiled : int;
+  mutable sb_hits : int;
+  mutable sb_misses : int;
+  mutable sb_invalidations : int;
+  mutable sb_fallback : int;
+}
+
+let sb_create () =
+  { sb_compiled = 0; sb_hits = 0; sb_misses = 0; sb_invalidations = 0;
+    sb_fallback = 0 }
+
+let sb_add ~into t =
+  into.sb_compiled <- into.sb_compiled + t.sb_compiled;
+  into.sb_hits <- into.sb_hits + t.sb_hits;
+  into.sb_misses <- into.sb_misses + t.sb_misses;
+  into.sb_invalidations <- into.sb_invalidations + t.sb_invalidations;
+  into.sb_fallback <- into.sb_fallback + t.sb_fallback
+
+let sb_total l =
+  let acc = sb_create () in
+  List.iter (fun t -> sb_add ~into:acc t) l;
+  acc
+
+let pp_superblocks ppf t =
+  Format.fprintf ppf
+    "@[<v>blocks compiled: %d@ block hits: %d@ block misses: %d@ \
+     invalidations: %d@ interpreted fallback: %d@]"
+    t.sb_compiled t.sb_hits t.sb_misses t.sb_invalidations t.sb_fallback
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>instructions: %d@ cycles: %d@ loads: %d@ stores: %d@ branches: %d@ \

@@ -43,3 +43,30 @@ val instrumentation_slots : t -> int
 (** Slots spent on non-[Orig] instructions. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Superblock compiler counters}
+
+    Host-side block-cache behaviour ({!Superblock}).  Deliberately not
+    part of {!t}: these depend on how the host executed the guest (block
+    cache warmth, fuel slicing), so folding them into the simulated
+    counters would break the guarantee that superblocks-on and
+    superblocks-off runs produce byte-identical reports and snapshots. *)
+
+type superblocks = {
+  mutable sb_compiled : int;       (** superblocks compiled *)
+  mutable sb_hits : int;           (** block-cache hits (blocks entered) *)
+  mutable sb_misses : int;         (** lookups that found no usable block *)
+  mutable sb_invalidations : int;  (** blocks dropped (code writes, trace flips) *)
+  mutable sb_fallback : int;       (** instructions run by the interpreter fallback *)
+}
+
+val sb_create : unit -> superblocks
+(** Fresh, all-zero counters. *)
+
+val sb_add : into:superblocks -> superblocks -> unit
+(** Element-wise accumulate. *)
+
+val sb_total : superblocks list -> superblocks
+(** Fresh element-wise sum (aggregating SMP harts). *)
+
+val pp_superblocks : Format.formatter -> superblocks -> unit

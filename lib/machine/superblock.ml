@@ -1,0 +1,670 @@
+(* The dynamic superblock compiler.
+
+   Hot single-entry straight-line regions of the guest program are
+   compiled into chains of pre-resolved OCaml closures: operand indices,
+   immediates, branch targets, Extr masks, predicate liveness and
+   flow-trace hooks are all bound at compile time, so the steady state
+   executes block-to-block through the block cache without touching the
+   generic decode/dispatch interpreter.
+
+   The contract is *counter identity*: a run with superblocks on must
+   produce exactly the simulated state a pure-interpreter run produces —
+   every Stats field, pipeline cycle, cache line, taint bit, Flowtrace
+   ring slot and alert.  Consequently no guest instruction is ever
+   elided or merged; the compiler only removes host-side work whose
+   absence is unobservable:
+
+   - decode dispatch and operand resolution (bound in the closure);
+   - the qualifying-predicate read for qp = p0 (p0 is architecturally
+     always true, so the predicated-off path is provably dead);
+   - NaT reads of immediate operands (an immediate's NaT is false);
+   - arithmetic on a discarded destination when it cannot fault;
+   - the per-instruction flowtrace enabled check (each block is
+     specialised for one value of [flowtrace.enabled] and refused when
+     the flag no longer matches);
+   - per-instruction [instructions]/[slots_by_prov] bumps (batched per
+     block and unwound exactly on faults).
+
+   Fuel accounting stays precise: a block is only entered when the
+   remaining budget covers its whole length, otherwise the tail is
+   interpreted instruction-at-a-time.  Engine slicing, checkpoints and
+   serve migration therefore see the same instruction boundaries as the
+   interpreter.
+
+   Blocks are invalidated when a guest store hits the synthetic code
+   region (region 2, 8 bytes per instruction slot, watched via
+   {!Shift_mem.Memory.watch}) — the conservative flush any translator
+   performs on writes to code pages — and when [flowtrace.enabled]
+   flips under a compiled block. *)
+
+open Shift_isa
+module Memory = Shift_mem.Memory
+module Addr = Shift_mem.Addr
+
+let hot_threshold = 8
+let max_block_len = 64
+
+(* The code region: instruction slot [pc] occupies the 8 bytes at
+   [code_addr pc].  Region 2 is otherwise unused (0 = taint bitmap,
+   1 = data/heap/stack, 3 = provenance shadow). *)
+let code_base = Addr.in_region 2 0L
+let code_addr pc = Addr.in_region 2 (Int64.of_int (pc * 8))
+
+let is_terminator (op : Instr.op) =
+  match op with
+  | Instr.Br _ | Instr.Br_reg _ | Instr.Call _ | Instr.Call_reg _ | Instr.Ret
+  | Instr.Chk_s _ | Instr.Halt | Instr.Syscall ->
+      true
+  | _ -> false
+
+let stats (t : Cpu.t) = t.Cpu.sb.Cpu.sb_stats
+
+let ft_enabled (t : Cpu.t) = t.Cpu.flowtrace.Flowtrace.enabled
+
+(* The raw trace hook must fire before every instruction, so any machine
+   with one runs on the interpreter. *)
+let usable (t : Cpu.t) =
+  t.Cpu.sb.Cpu.sb_on && (match t.Cpu.trace with None -> true | Some _ -> false)
+
+(* ---------- instruction bodies ----------
+
+   [compile_exec] returns the functional effect of one instruction whose
+   qualifying predicate is true — the closure-compiled mirror of
+   [Cpu.exec_op], specialised for [ft] (the flowtrace.enabled value the
+   enclosing block is compiled for).  Instructions with no specialised
+   shape fall back to [Cpu.exec_op], which is identical by
+   construction. *)
+
+let compile_exec (d : Decode.info) ~ft : Cpu.t -> unit =
+  let generic = fun t -> Cpu.exec_op t d in
+  match d.Decode.op with
+  | Instr.Nop -> fun t -> t.Cpu.ip <- t.Cpu.ip + 1
+  | Instr.Halt -> fun t -> raise (Cpu.Halt_exn t.Cpu.values.(Reg.ret))
+  | Instr.Movi (dst, v) ->
+      if dst = Reg.zero then fun t -> t.Cpu.ip <- t.Cpu.ip + 1
+      else if ft then fun t ->
+        t.Cpu.values.(dst) <- v;
+        t.Cpu.nats.(dst) <- false;
+        Flowtrace.on_const t.Cpu.flowtrace t.Cpu.ftregs ~dst;
+        t.Cpu.ip <- t.Cpu.ip + 1
+      else fun t ->
+        t.Cpu.values.(dst) <- v;
+        t.Cpu.nats.(dst) <- false;
+        t.Cpu.ip <- t.Cpu.ip + 1
+  | Instr.Mov (dst, src) ->
+      if dst = Reg.zero then fun t -> t.Cpu.ip <- t.Cpu.ip + 1
+      else if ft then fun t ->
+        t.Cpu.values.(dst) <- t.Cpu.values.(src);
+        t.Cpu.nats.(dst) <- t.Cpu.nats.(src);
+        Flowtrace.on_move t.Cpu.flowtrace t.Cpu.ftregs ~ip:t.Cpu.ip ~dst ~src;
+        t.Cpu.ip <- t.Cpu.ip + 1
+      else fun t ->
+        t.Cpu.values.(dst) <- t.Cpu.values.(src);
+        t.Cpu.nats.(dst) <- t.Cpu.nats.(src);
+        t.Cpu.ip <- t.Cpu.ip + 1
+  | Instr.Lea (dst, _) ->
+      let v = Int64.of_int d.Decode.target in
+      if dst = Reg.zero then fun t -> t.Cpu.ip <- t.Cpu.ip + 1
+      else if ft then fun t ->
+        t.Cpu.values.(dst) <- v;
+        t.Cpu.nats.(dst) <- false;
+        Flowtrace.on_const t.Cpu.flowtrace t.Cpu.ftregs ~dst;
+        t.Cpu.ip <- t.Cpu.ip + 1
+      else fun t ->
+        t.Cpu.values.(dst) <- v;
+        t.Cpu.nats.(dst) <- false;
+        t.Cpu.ip <- t.Cpu.ip + 1
+  | Instr.Arith (a, dst, s1, o) ->
+      let clear_idiom =
+        match (a, o) with
+        | (Instr.Xor | Instr.Sub), Instr.R s2 -> s1 = s2
+        | _ -> false
+      in
+      let can_fault = match a with Instr.Div | Instr.Rem -> true | _ -> false in
+      if dst = Reg.zero then
+        if not can_fault then fun t -> t.Cpu.ip <- t.Cpu.ip + 1
+        else generic
+      else begin
+        let src2 = match o with Instr.R r -> Some r | Instr.Imm _ -> None in
+        match o with
+        | Instr.Imm imm ->
+            (* an immediate operand carries no NaT: the operand_nat read
+               is dropped *)
+            if ft then fun t ->
+              let v = Cpu.eval_arith a t.Cpu.values.(s1) imm in
+              t.Cpu.values.(dst) <- v;
+              t.Cpu.nats.(dst) <- t.Cpu.nats.(s1);
+              Flowtrace.on_arith t.Cpu.flowtrace t.Cpu.ftregs ~ip:t.Cpu.ip ~dst
+                ~src1:s1 ~src2 ~clear:false;
+              t.Cpu.ip <- t.Cpu.ip + 1
+            else fun t ->
+              let v = Cpu.eval_arith a t.Cpu.values.(s1) imm in
+              t.Cpu.values.(dst) <- v;
+              t.Cpu.nats.(dst) <- t.Cpu.nats.(s1);
+              t.Cpu.ip <- t.Cpu.ip + 1
+        | Instr.R s2 ->
+            if clear_idiom then
+              if ft then fun t ->
+                let v = Cpu.eval_arith a t.Cpu.values.(s1) t.Cpu.values.(s2) in
+                t.Cpu.values.(dst) <- v;
+                t.Cpu.nats.(dst) <- false;
+                Flowtrace.on_arith t.Cpu.flowtrace t.Cpu.ftregs ~ip:t.Cpu.ip
+                  ~dst ~src1:s1 ~src2 ~clear:true;
+                t.Cpu.ip <- t.Cpu.ip + 1
+              else fun t ->
+                let v = Cpu.eval_arith a t.Cpu.values.(s1) t.Cpu.values.(s2) in
+                t.Cpu.values.(dst) <- v;
+                t.Cpu.nats.(dst) <- false;
+                t.Cpu.ip <- t.Cpu.ip + 1
+            else if ft then fun t ->
+              let v = Cpu.eval_arith a t.Cpu.values.(s1) t.Cpu.values.(s2) in
+              t.Cpu.values.(dst) <- v;
+              t.Cpu.nats.(dst) <- t.Cpu.nats.(s1) || t.Cpu.nats.(s2);
+              Flowtrace.on_arith t.Cpu.flowtrace t.Cpu.ftregs ~ip:t.Cpu.ip ~dst
+                ~src1:s1 ~src2 ~clear:false;
+              t.Cpu.ip <- t.Cpu.ip + 1
+            else fun t ->
+              let v = Cpu.eval_arith a t.Cpu.values.(s1) t.Cpu.values.(s2) in
+              t.Cpu.values.(dst) <- v;
+              t.Cpu.nats.(dst) <- t.Cpu.nats.(s1) || t.Cpu.nats.(s2);
+              t.Cpu.ip <- t.Cpu.ip + 1
+      end
+  | Instr.Cmp { cond; pt; pf; src1; src2; taint_aware } -> (
+      match src2 with
+      | Instr.Imm imm ->
+          if taint_aware then fun t ->
+            let r = Cond.eval cond t.Cpu.values.(src1) imm in
+            Cpu.set_pred t pt r;
+            Cpu.set_pred t pf (not r);
+            t.Cpu.ip <- t.Cpu.ip + 1
+          else fun t ->
+            if t.Cpu.nats.(src1) then begin
+              Cpu.set_pred t pt false;
+              Cpu.set_pred t pf false
+            end
+            else begin
+              let r = Cond.eval cond t.Cpu.values.(src1) imm in
+              Cpu.set_pred t pt r;
+              Cpu.set_pred t pf (not r)
+            end;
+            t.Cpu.ip <- t.Cpu.ip + 1
+      | Instr.R s2 ->
+          if taint_aware then fun t ->
+            let r = Cond.eval cond t.Cpu.values.(src1) t.Cpu.values.(s2) in
+            Cpu.set_pred t pt r;
+            Cpu.set_pred t pf (not r);
+            t.Cpu.ip <- t.Cpu.ip + 1
+          else fun t ->
+            if t.Cpu.nats.(src1) || t.Cpu.nats.(s2) then begin
+              Cpu.set_pred t pt false;
+              Cpu.set_pred t pf false
+            end
+            else begin
+              let r = Cond.eval cond t.Cpu.values.(src1) t.Cpu.values.(s2) in
+              Cpu.set_pred t pt r;
+              Cpu.set_pred t pf (not r)
+            end;
+            t.Cpu.ip <- t.Cpu.ip + 1)
+  | Instr.Tnat { pt; pf; src } ->
+      if ft then fun t ->
+        let n = t.Cpu.nats.(src) in
+        Cpu.set_pred t pt n;
+        Cpu.set_pred t pf (not n);
+        Flowtrace.on_check t.Cpu.flowtrace t.Cpu.ftregs ~ip:t.Cpu.ip ~src
+          ~tainted:n;
+        t.Cpu.ip <- t.Cpu.ip + 1
+      else fun t ->
+        let n = t.Cpu.nats.(src) in
+        Cpu.set_pred t pt n;
+        Cpu.set_pred t pf (not n);
+        t.Cpu.ip <- t.Cpu.ip + 1
+  | Instr.Extr { dst; src; pos; len } ->
+      if dst = Reg.zero then fun t -> t.Cpu.ip <- t.Cpu.ip + 1
+      else begin
+        let mask =
+          if len >= 64 then -1L
+          else Int64.sub (Int64.shift_left 1L (len land 63)) 1L
+        in
+        let sh = pos land 63 in
+        if ft then fun t ->
+          t.Cpu.values.(dst) <-
+            Int64.logand (Int64.shift_right_logical t.Cpu.values.(src) sh) mask;
+          t.Cpu.nats.(dst) <- t.Cpu.nats.(src);
+          Flowtrace.on_move t.Cpu.flowtrace t.Cpu.ftregs ~ip:t.Cpu.ip ~dst ~src;
+          t.Cpu.ip <- t.Cpu.ip + 1
+        else fun t ->
+          t.Cpu.values.(dst) <-
+            Int64.logand (Int64.shift_right_logical t.Cpu.values.(src) sh) mask;
+          t.Cpu.nats.(dst) <- t.Cpu.nats.(src);
+          t.Cpu.ip <- t.Cpu.ip + 1
+      end
+  | Instr.Ld _ | Instr.St _ ->
+      (* loads and stores are compiled by the fused builders in
+         [compile_instr], which bind the cache consultation, the issue
+         and the access in one closure; this arm is only reached for the
+         shapes those builders decline (dst = r0, spill) *)
+      generic
+  | Instr.Chk_s { src; _ } ->
+      let target = d.Decode.target in
+      if ft then fun t ->
+        let n = t.Cpu.nats.(src) in
+        Flowtrace.on_check t.Cpu.flowtrace t.Cpu.ftregs ~ip:t.Cpu.ip ~src
+          ~tainted:n;
+        if n then begin
+          t.Cpu.ip <- target;
+          t.Cpu.stats.Stats.branches <- t.Cpu.stats.Stats.branches + 1;
+          Pipeline.redirect t.Cpu.pipe ~penalty:Cpu.chk_penalty
+        end
+        else t.Cpu.ip <- t.Cpu.ip + 1
+      else fun t ->
+        if t.Cpu.nats.(src) then begin
+          t.Cpu.ip <- target;
+          t.Cpu.stats.Stats.branches <- t.Cpu.stats.Stats.branches + 1;
+          Pipeline.redirect t.Cpu.pipe ~penalty:Cpu.chk_penalty
+        end
+        else t.Cpu.ip <- t.Cpu.ip + 1
+  | Instr.Br _ ->
+      let target = d.Decode.target in
+      fun t -> Cpu.goto t target
+  | Instr.Br_reg _ | Instr.Call _ | Instr.Call_reg _ | Instr.Ret
+  | Instr.Fetchadd _ | Instr.Setnat _ | Instr.Clrnat _ | Instr.Syscall ->
+      generic
+
+(* ---------- timing prologue and memory fusion ----------
+
+   [compile_instr] wraps an instruction body with exactly [Cpu.step]'s
+   timing work — predicated-off accounting, the cache consultation for
+   valid memory accesses, the pipeline issue — through a
+   {!Pipeline.compile_issue} closure specialised for the instruction's
+   operand shape.  Loads and stores are *fused*: the address read, the
+   NaT/validity test, the cache lookup, the issue and the access itself
+   are one closure, so the machine state each stage needs is read once
+   (the interpreter reads it once in the timing prologue and again in
+   [exec_op]). *)
+
+let compile_instr (decoded : Decode.t) ~ft pc : Cpu.t -> unit =
+  let d = decoded.(pc) in
+  (* hooks fire only for original-program instructions: the SHIFT
+     instrumentation (non-Orig provenance) is transparent to the
+     provenance shadow, exactly as in [Cpu.exec_op] *)
+  let ft = ft && d.Decode.prov_index = 0 in
+  let qp = d.Decode.qp in
+  let lat0 = d.Decode.latency in
+  let issue =
+    Pipeline.compile_issue ~reads:d.Decode.reads ~writes:d.Decode.writes
+      ~pred_writes:d.Decode.pred_writes ~qp ~is_mem:d.Decode.is_mem
+  in
+  let hot =
+    match d.Decode.op with
+    | Instr.Ld { width; dst; addr; spec; fill } when dst <> Reg.zero ->
+        let w = Instr.bytes_of_width width in
+        let invalid t a =
+          (* mirrors [Cpu.exec_op]'s invalid-load path; runs after the
+             issue, like the fault raised from [exec_op] *)
+          if spec then begin
+            t.Cpu.values.(dst) <- 0L;
+            t.Cpu.nats.(dst) <- true;
+            if ft then
+              Flowtrace.on_spec_nat t.Cpu.flowtrace t.Cpu.ftregs ~ip:t.Cpu.ip
+                ~dst;
+            t.Cpu.ip <- t.Cpu.ip + 1
+          end
+          else if t.Cpu.nats.(addr) then
+            raise (Cpu.Fault_exn (Fault.Nat_consumption Fault.Load_address))
+          else raise (Cpu.Fault_exn (Fault.Invalid_address a))
+        in
+        if ft then fun t ->
+          let a = t.Cpu.values.(addr) in
+          let ok = (not t.Cpu.nats.(addr)) && Addr.is_valid a in
+          issue t.Cpu.pipe
+            (if ok then
+               if Cache.access t.Cpu.cache a then lat0
+               else lat0 + Cache.miss_penalty
+             else lat0);
+          if ok then begin
+            t.Cpu.values.(dst) <- Memory.read t.Cpu.mem a ~width:w;
+            t.Cpu.nats.(dst) <-
+              fill
+              && Int64.logand
+                   (Int64.shift_right_logical t.Cpu.unat (Cpu.unat_bit a))
+                   1L
+                 = 1L;
+            t.Cpu.stats.Stats.loads <- t.Cpu.stats.Stats.loads + 1;
+            Flowtrace.on_load t.Cpu.flowtrace t.Cpu.ftregs ~ip:t.Cpu.ip ~dst
+              ~addr:a ~len:w;
+            t.Cpu.ip <- t.Cpu.ip + 1
+          end
+          else invalid t a
+        else if fill then fun t ->
+          let a = t.Cpu.values.(addr) in
+          let ok = (not t.Cpu.nats.(addr)) && Addr.is_valid a in
+          issue t.Cpu.pipe
+            (if ok then
+               if Cache.access t.Cpu.cache a then lat0
+               else lat0 + Cache.miss_penalty
+             else lat0);
+          if ok then begin
+            t.Cpu.values.(dst) <- Memory.read t.Cpu.mem a ~width:w;
+            t.Cpu.nats.(dst) <-
+              Int64.logand
+                (Int64.shift_right_logical t.Cpu.unat (Cpu.unat_bit a))
+                1L
+              = 1L;
+            t.Cpu.stats.Stats.loads <- t.Cpu.stats.Stats.loads + 1;
+            t.Cpu.ip <- t.Cpu.ip + 1
+          end
+          else invalid t a
+        else fun t ->
+          let a = t.Cpu.values.(addr) in
+          let ok = (not t.Cpu.nats.(addr)) && Addr.is_valid a in
+          issue t.Cpu.pipe
+            (if ok then
+               if Cache.access t.Cpu.cache a then lat0
+               else lat0 + Cache.miss_penalty
+             else lat0);
+          if ok then begin
+            t.Cpu.values.(dst) <- Memory.read t.Cpu.mem a ~width:w;
+            t.Cpu.nats.(dst) <- false;
+            t.Cpu.stats.Stats.loads <- t.Cpu.stats.Stats.loads + 1;
+            t.Cpu.ip <- t.Cpu.ip + 1
+          end
+          else invalid t a
+    | Instr.St { width; addr; src; spill = false } ->
+        let w = Instr.bytes_of_width width in
+        if ft then fun t ->
+          let a = t.Cpu.values.(addr) in
+          let addr_nat = t.Cpu.nats.(addr) in
+          let valid = Addr.is_valid a in
+          if (not addr_nat) && valid then
+            ignore (Cache.access t.Cpu.cache a);
+          issue t.Cpu.pipe lat0;
+          if addr_nat then
+            raise (Cpu.Fault_exn (Fault.Nat_consumption Fault.Store_address));
+          if not valid then raise (Cpu.Fault_exn (Fault.Invalid_address a));
+          if t.Cpu.nats.(src) then
+            raise (Cpu.Fault_exn (Fault.Nat_consumption Fault.Store_value));
+          Memory.write t.Cpu.mem a ~width:w t.Cpu.values.(src);
+          t.Cpu.stats.Stats.stores <- t.Cpu.stats.Stats.stores + 1;
+          Flowtrace.on_store t.Cpu.flowtrace t.Cpu.ftregs ~ip:t.Cpu.ip ~src
+            ~addr:a ~len:w;
+          t.Cpu.ip <- t.Cpu.ip + 1
+        else fun t ->
+          let a = t.Cpu.values.(addr) in
+          let addr_nat = t.Cpu.nats.(addr) in
+          let valid = Addr.is_valid a in
+          if (not addr_nat) && valid then
+            ignore (Cache.access t.Cpu.cache a);
+          issue t.Cpu.pipe lat0;
+          if addr_nat then
+            raise (Cpu.Fault_exn (Fault.Nat_consumption Fault.Store_address));
+          if not valid then raise (Cpu.Fault_exn (Fault.Invalid_address a));
+          if t.Cpu.nats.(src) then
+            raise (Cpu.Fault_exn (Fault.Nat_consumption Fault.Store_value));
+          Memory.write t.Cpu.mem a ~width:w t.Cpu.values.(src);
+          t.Cpu.stats.Stats.stores <- t.Cpu.stats.Stats.stores + 1;
+          t.Cpu.ip <- t.Cpu.ip + 1
+    | Instr.Ld { addr; _ } ->
+        (* dst = r0: the load still times like a load (cache lookup,
+           latency) but executes through the generic interpreter body *)
+        let exec = compile_exec d ~ft in
+        fun t ->
+          let a = t.Cpu.values.(addr) in
+          let ok = (not t.Cpu.nats.(addr)) && Addr.is_valid a in
+          issue t.Cpu.pipe
+            (if ok then
+               if Cache.access t.Cpu.cache a then lat0
+               else lat0 + Cache.miss_penalty
+             else lat0);
+          exec t
+    | Instr.St { addr; _ } ->
+        (* spill stores execute generically but time like stores *)
+        let exec = compile_exec d ~ft in
+        fun t ->
+          if (not t.Cpu.nats.(addr)) && Addr.is_valid t.Cpu.values.(addr) then
+            ignore (Cache.access t.Cpu.cache t.Cpu.values.(addr));
+          issue t.Cpu.pipe lat0;
+          exec t
+    | _ ->
+        let exec = compile_exec d ~ft in
+        fun t ->
+          issue t.Cpu.pipe lat0;
+          exec t
+  in
+  if qp = Pred.p0 then
+    (* p0 is architecturally always true: the predicate read and the
+       predicated-off path are dropped *)
+    hot
+  else begin
+    let off = Pipeline.compile_issue_off ~qp in
+    fun t ->
+      if t.Cpu.preds.(qp) then hot t
+      else begin
+        t.Cpu.stats.Stats.predicated_off <-
+          t.Cpu.stats.Stats.predicated_off + 1;
+        off t.Cpu.pipe;
+        t.Cpu.ip <- t.Cpu.ip + 1
+      end
+  end
+
+(* Compose the per-instruction closures into one body, four at a time so
+   a 64-instruction block costs ~16 nested frames instead of 64. *)
+let rec seq (fs : (Cpu.t -> unit) array) i n : Cpu.t -> unit =
+  match n - i with
+  | 1 -> fs.(i)
+  | 2 ->
+      let a = fs.(i) and b = fs.(i + 1) in
+      fun t -> a t; b t
+  | 3 ->
+      let a = fs.(i) and b = fs.(i + 1) and c = fs.(i + 2) in
+      fun t -> a t; b t; c t
+  | _ ->
+      let a = fs.(i) and b = fs.(i + 1) and c = fs.(i + 2) and d = fs.(i + 3) in
+      if n - i = 4 then fun t -> a t; b t; c t; d t
+      else
+        let rest = seq fs (i + 4) n in
+        fun t -> a t; b t; c t; d t; rest t
+
+(* ---------- invalidation ---------- *)
+
+let invalidate_range (t : Cpu.t) ~p0 ~p1 =
+  let sb = t.Cpu.sb in
+  let blocks = sb.Cpu.sb_blocks in
+  let hi = min p1 (Array.length blocks - 1) in
+  let lo = max 0 (p0 - max_block_len + 1) in
+  for e = lo to hi do
+    match blocks.(e) with
+    | Some b when b.Cpu.sb_entry + b.Cpu.sb_len > p0 ->
+        blocks.(e) <- None;
+        sb.Cpu.sb_stats.Stats.sb_invalidations <-
+          sb.Cpu.sb_stats.Stats.sb_invalidations + 1
+    | _ -> ()
+  done
+
+(* A store landed in [a, a+len) inside the watched code region: drop
+   every compiled block whose instruction span covers a written slot. *)
+let on_code_write (t : Cpu.t) a len =
+  let off0 =
+    if Int64.unsigned_compare a code_base < 0 then 0L
+    else Int64.sub a code_base
+  in
+  let off1 = Int64.add (Int64.sub a code_base) (Int64.of_int (len - 1)) in
+  let p0 = Int64.to_int (Int64.shift_right_logical off0 3) in
+  let p1 = Int64.to_int (Int64.shift_right_logical off1 3) in
+  invalidate_range t ~p0 ~p1
+
+let ensure_watch (t : Cpu.t) =
+  let sb = t.Cpu.sb in
+  if not sb.Cpu.sb_watched then begin
+    sb.Cpu.sb_watched <- true;
+    let size = Program.size t.Cpu.program in
+    if size > 0 then
+      Memory.watch t.Cpu.mem ~lo:code_base ~hi:(code_addr size)
+        (fun a len -> on_code_write t a len)
+  end
+
+(* ---------- block discovery and compilation ---------- *)
+
+let compile_block (t : Cpu.t) entry =
+  ensure_watch t;
+  let sb = t.Cpu.sb in
+  let decoded = t.Cpu.decoded in
+  let size = Program.size t.Cpu.program in
+  let ft = ft_enabled t in
+  let len = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !len < max_block_len && entry + !len < size do
+    let d = decoded.(entry + !len) in
+    incr len;
+    if is_terminator d.Decode.op then stop := true
+  done;
+  let len = !len in
+  let fs = Array.init len (fun i -> compile_instr decoded ~ft (entry + i)) in
+  let provs =
+    Array.init len (fun i -> decoded.(entry + i).Decode.prov_index)
+  in
+  let prov_counts = Array.make Prov.card 0 in
+  Array.iter (fun p -> prov_counts.(p) <- prov_counts.(p) + 1) provs;
+  sb.Cpu.sb_blocks.(entry) <-
+    Some
+      {
+        Cpu.sb_entry = entry;
+        sb_len = len;
+        sb_ft = ft;
+        sb_provs = provs;
+        sb_prov_counts = prov_counts;
+        sb_body = seq fs 0 len;
+      };
+  sb.Cpu.sb_stats.Stats.sb_compiled <- sb.Cpu.sb_stats.Stats.sb_compiled + 1
+
+(* ---------- the block driver ---------- *)
+
+(* Execute one compiled block.  [instructions] and [slots_by_prov] are
+   bumped for the whole block up front; if an exception cuts the block
+   short, the unexecuted tail is unwound using the block's
+   straight-line shape (the faulting instruction is [t.ip], so exactly
+   [ip - entry + 1] instructions retired).  Returns the instructions
+   spent and the terminal outcome, if any. *)
+let exec_block (t : Cpu.t) (b : Cpu.sb_block) =
+  let st = t.Cpu.stats in
+  st.Stats.instructions <- st.Stats.instructions + b.Cpu.sb_len;
+  let sp = st.Stats.slots_by_prov in
+  let pc = b.Cpu.sb_prov_counts in
+  for i = 0 to Array.length pc - 1 do
+    sp.(i) <- sp.(i) + Array.unsafe_get pc i
+  done;
+  let ft = t.Cpu.flowtrace in
+  let batching = b.Cpu.sb_ft in
+  if batching then Flowtrace.begin_batch ft;
+  match b.Cpu.sb_body t with
+  | () ->
+      if batching then Flowtrace.end_batch ft;
+      (b.Cpu.sb_len, None)
+  | exception e ->
+      if batching then Flowtrace.end_batch ft;
+      let executed = t.Cpu.ip - b.Cpu.sb_entry + 1 in
+      if executed < b.Cpu.sb_len then begin
+        st.Stats.instructions <- st.Stats.instructions - (b.Cpu.sb_len - executed);
+        for k = executed to b.Cpu.sb_len - 1 do
+          let p = b.Cpu.sb_provs.(k) in
+          sp.(p) <- sp.(p) - 1
+        done
+      end;
+      (match e with
+      | Cpu.Fault_exn f -> (executed, Some (Cpu.Faulted (f, t.Cpu.ip)))
+      | Cpu.Halt_exn v | Cpu.Exit_requested v -> (executed, Some (Cpu.Exited v))
+      | e -> raise e)
+
+(* Interpret from the current ip up to and including the next block
+   terminator (or until the budget, a terminal outcome, or a pc with a
+   compiled block).  Used when a region is not hot yet and when the
+   remaining budget cannot cover a whole compiled block. *)
+let interp_to_boundary (t : Cpu.t) ~limit spent out =
+  let sb = t.Cpu.sb in
+  let size = Program.size t.Cpu.program in
+  let stop = ref false in
+  while (not !stop) && !out = None && !spent < limit do
+    let ip = t.Cpu.ip in
+    let boundary =
+      ip < 0 || ip >= size || is_terminator t.Cpu.decoded.(ip).Decode.op
+    in
+    (match Cpu.step t with Some o -> out := Some o | None -> ());
+    incr spent;
+    sb.Cpu.sb_stats.Stats.sb_fallback <- sb.Cpu.sb_stats.Stats.sb_fallback + 1;
+    if boundary then stop := true
+    else begin
+      let ip' = t.Cpu.ip in
+      if
+        ip' >= 0 && ip' < size
+        && match sb.Cpu.sb_blocks.(ip') with Some _ -> true | None -> false
+      then stop := true
+    end
+  done
+
+(* Run up to [limit] instructions through the block cache.  Returns the
+   instructions actually spent (exact, for engine slicing) and the
+   terminal outcome if one occurred.  Falls back to pure interpretation
+   when the machine is not [usable].  Cycle finalisation is the
+   caller's job, as with [Cpu.step]. *)
+let steps (t : Cpu.t) ~limit =
+  let spent = ref 0 in
+  let out = ref None in
+  (try
+     if not (usable t) then
+       while !out = None && !spent < limit do
+         incr spent;
+         match Cpu.step t with Some o -> out := Some o | None -> ()
+       done
+     else begin
+       let sb = t.Cpu.sb in
+       let size = Program.size t.Cpu.program in
+       while !out = None && !spent < limit do
+         let ip = t.Cpu.ip in
+         if ip < 0 || ip >= size then begin
+           (* out of range: one interpreter step produces the fault *)
+           incr spent;
+           match Cpu.step t with Some o -> out := Some o | None -> ()
+         end
+         else begin
+           match sb.Cpu.sb_blocks.(ip) with
+           | Some b when b.Cpu.sb_ft <> ft_enabled t ->
+               (* tracing was toggled under a compiled block: recompile *)
+               sb.Cpu.sb_blocks.(ip) <- None;
+               sb.Cpu.sb_stats.Stats.sb_invalidations <-
+                 sb.Cpu.sb_stats.Stats.sb_invalidations + 1
+           | Some b when b.Cpu.sb_len <= limit - !spent ->
+               sb.Cpu.sb_stats.Stats.sb_hits <-
+                 sb.Cpu.sb_stats.Stats.sb_hits + 1;
+               let n, o = exec_block t b in
+               spent := !spent + n;
+               out := o
+           | Some _ ->
+               (* the budget cannot cover the block: interpret the tail
+                  so the slice boundary is instruction-exact *)
+               interp_to_boundary t ~limit spent out
+           | None ->
+               sb.Cpu.sb_stats.Stats.sb_misses <-
+                 sb.Cpu.sb_stats.Stats.sb_misses + 1;
+               let c = sb.Cpu.sb_hot.(ip) + 1 in
+               sb.Cpu.sb_hot.(ip) <- c;
+               if c >= hot_threshold then compile_block t ip
+               else interp_to_boundary t ~limit spent out
+         end
+       done
+     end
+   with Cpu.Exit_requested v -> out := Some (Cpu.Exited v));
+  (* [Cpu.step] finalises the cycle count on terminal outcomes (via
+     [finish]); mirror that for outcomes produced by compiled blocks *)
+  (match !out with
+  | Some _ -> t.Cpu.stats.Stats.cycles <- Pipeline.cycles t.Cpu.pipe
+  | None -> ());
+  (!spent, !out)
+
+let run_for (t : Cpu.t) ~budget =
+  if not (usable t) then Cpu.run_for t ~budget
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        t.Cpu.stats.Stats.cycles <- Pipeline.cycles t.Cpu.pipe)
+      (fun () ->
+        let _spent, out = steps t ~limit:budget in
+        match out with Some o -> `Finished o | None -> `Yielded)

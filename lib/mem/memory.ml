@@ -15,6 +15,13 @@ type t = {
   pages : (int64, bytes) Hashtbl.t;
   tlb_keys : int64 array; (* page key per slot; -1 = empty (keys are >= 0) *)
   tlb_pages : bytes array;
+  (* Write watch: observers of guest stores into [watch_lo, watch_hi)
+     (the superblock compiler watches the code region so stores there
+     invalidate covering blocks).  The hot-path cost when nothing is
+     watched is one physical list-emptiness check per store. *)
+  mutable watch_lo : int64;
+  mutable watch_hi : int64;
+  mutable watchers : (int64 -> int -> unit) list;
 }
 
 let fast_path = ref true
@@ -26,7 +33,34 @@ let create () =
     pages = Hashtbl.create 1024;
     tlb_keys = Array.make tlb_size (-1L);
     tlb_pages = Array.make tlb_size no_page;
+    watch_lo = 0L;
+    watch_hi = 0L;
+    watchers = [];
   }
+
+let watch t ~lo ~hi f =
+  (match t.watchers with
+  | [] ->
+      t.watch_lo <- lo;
+      t.watch_hi <- hi
+  | _ ->
+      if Int64.unsigned_compare lo t.watch_lo < 0 then t.watch_lo <- lo;
+      if Int64.unsigned_compare hi t.watch_hi > 0 then t.watch_hi <- hi);
+  t.watchers <- f :: t.watchers
+
+(* Fire the watchers when [a, a+len) intersects the watched range.
+   Idempotent observers make double notification through the byte-walk
+   fallbacks harmless, so each top-level write path notifies at least
+   once without trying to notify exactly once. *)
+let notify t a len =
+  match t.watchers with
+  | [] -> ()
+  | ws ->
+      if
+        len > 0
+        && Int64.unsigned_compare a t.watch_hi < 0
+        && Int64.unsigned_compare (Int64.add a (Int64.of_int len)) t.watch_lo > 0
+      then List.iter (fun f -> f a len) ws
 
 let page_of_key t key =
   match Hashtbl.find_opt t.pages key with
@@ -60,7 +94,8 @@ let read_u8 t a =
 
 let write_u8 t a v =
   let p = page t a in
-  Bytes.set p (Int64.to_int (Int64.logand a page_mask)) (Char.chr (v land 0xff))
+  Bytes.set p (Int64.to_int (Int64.logand a page_mask)) (Char.chr (v land 0xff));
+  notify t a 1
 
 (* Byte-at-a-time reference paths, kept verbatim: the fast paths below
    must be observationally identical to these (differential tests and
@@ -100,14 +135,16 @@ let read t a ~width =
 
 let write t a ~width v =
   let off = Int64.to_int (Int64.logand a page_mask) in
-  if !fast_path && off + width <= page_size then
+  if !fast_path && off + width <= page_size then begin
     let p = page t a in
-    match width with
+    (match width with
     | 8 -> Bytes.set_int64_le p off v
     | 4 -> Bytes.set_int32_le p off (Int64.to_int32 v)
     | 2 -> Bytes.set_uint16_le p off (Int64.to_int v land 0xffff)
     | 1 -> Bytes.unsafe_set p off (Char.chr (Int64.to_int v land 0xff))
-    | _ -> write_ref t a ~width v
+    | _ -> write_ref t a ~width v);
+    notify t a width
+  end
   else write_ref t a ~width v
 
 (* String transfers reuse the page fast path: one blit per page the
@@ -142,7 +179,8 @@ let write_bytes t a s =
         go (pos + n)
       end
     in
-    go 0
+    go 0;
+    notify t a len
   end
   else String.iteri (fun i c -> write_u8 t (Int64.add a (Int64.of_int i)) (Char.code c)) s
 

@@ -19,6 +19,16 @@ val create : unit -> t
 
 val page_size : int
 
+val watch : t -> lo:int64 -> hi:int64 -> (int64 -> int -> unit) -> unit
+(** Register a store observer for the address range [\[lo, hi)].  Every
+    top-level write whose range intersects a watched range calls each
+    observer with the written address and length, at least once —
+    observers must be idempotent, because byte-walk fallbacks may
+    re-notify per byte.  Reads never notify.  The superblock compiler
+    uses this to invalidate compiled blocks on stores into the code
+    region; when no watcher is registered the cost is one list check
+    per write. *)
+
 val read_u8 : t -> int64 -> int
 val write_u8 : t -> int64 -> int -> unit
 

@@ -1,42 +1,55 @@
 (* Paged per-byte source-id shadow.  One page covers the same 4096 guest
    bytes as a Memory page and stores one little-endian int32 id per
-   byte; pages appear on first write and are never freed, so the
-   single-entry TLB can cache the live backing store without a
-   staleness hazard (same argument as Memory's TLB). *)
+   byte; pages appear on first write and are never freed, so a cached
+   TLB entry can never go stale (same argument as Memory's TLB).  The
+   TLB is direct-mapped with 64 entries, mirroring Memory: the tracing
+   hooks touch the data span and its shadow span in alternation, and a
+   single entry thrashes on exactly that pattern. *)
 
 let page_bytes = Memory.page_size (* guest bytes per page *)
 let page_shift = 12 (* log2 page_bytes, same key space as Memory *)
 let page_mask = Int64.of_int (page_bytes - 1)
 let slot_size = 4 (* shadow bytes per guest byte *)
 
+let tlb_bits = 6
+let tlb_size = 1 lsl tlb_bits
+
 type t = {
   pages : (int64, bytes) Hashtbl.t;
-  mutable tlb_key : int64; (* -1 = empty (keys are >= 0) *)
-  mutable tlb_page : bytes;
+  tlb_keys : int64 array; (* page key per slot; -1 = empty (keys are >= 0) *)
+  tlb_pages : bytes array;
 }
 
 let no_page = Bytes.create 0
 
 let create () =
-  { pages = Hashtbl.create 64; tlb_key = -1L; tlb_page = no_page }
+  {
+    pages = Hashtbl.create 64;
+    tlb_keys = Array.make tlb_size (-1L);
+    tlb_pages = Array.make tlb_size no_page;
+  }
 
 let key_of a = Int64.shift_right_logical a page_shift
 let off_of a = Int64.to_int (Int64.logand a page_mask)
 
 let find t a =
   let key = key_of a in
-  if Int64.equal t.tlb_key key then t.tlb_page
+  let slot = Int64.to_int key land (tlb_size - 1) in
+  if Int64.equal (Array.unsafe_get t.tlb_keys slot) key then
+    Array.unsafe_get t.tlb_pages slot
   else
     match Hashtbl.find_opt t.pages key with
     | Some p ->
-        t.tlb_key <- key;
-        t.tlb_page <- p;
+        Array.unsafe_set t.tlb_keys slot key;
+        Array.unsafe_set t.tlb_pages slot p;
         p
     | None -> no_page
 
 let page t a =
   let key = key_of a in
-  if Int64.equal t.tlb_key key then t.tlb_page
+  let slot = Int64.to_int key land (tlb_size - 1) in
+  if Int64.equal (Array.unsafe_get t.tlb_keys slot) key then
+    Array.unsafe_get t.tlb_pages slot
   else begin
     let p =
       match Hashtbl.find_opt t.pages key with
@@ -46,8 +59,8 @@ let page t a =
           Hashtbl.add t.pages key p;
           p
     in
-    t.tlb_key <- key;
-    t.tlb_page <- p;
+    Array.unsafe_set t.tlb_keys slot key;
+    Array.unsafe_set t.tlb_pages slot p;
     p
   end
 

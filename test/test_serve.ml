@@ -96,7 +96,13 @@ let protocol_tests =
               migrate_every = Some 3;
               request =
                 Protocol.Run
-                  { kernel = "gzip"; mode = Mode.shift_byte; size = Some 64; safe = true };
+                  {
+                    kernel = "gzip";
+                    mode = Mode.shift_byte;
+                    size = Some 64;
+                    safe = true;
+                    superblocks = false;
+                  };
             };
             {
               Protocol.id = Some "a1";
@@ -105,7 +111,12 @@ let protocol_tests =
               migrate_every = None;
               request =
                 Protocol.Attack
-                  { case = "gnu tar"; mode = Mode.shift_word; benign = true };
+                  {
+                    case = "gnu tar";
+                    mode = Mode.shift_word;
+                    benign = true;
+                    superblocks = true;
+                  };
             };
             {
               Protocol.id = Some "t1";
@@ -120,6 +131,7 @@ let protocol_tests =
                     benign = false;
                     ring = 128;
                     only = Some "birth,sink";
+                    superblocks = true;
                   };
             };
             {
@@ -135,6 +147,7 @@ let protocol_tests =
                     size = None;
                     safe = false;
                     retries = 2;
+                    superblocks = true;
                   };
             };
             {
@@ -372,6 +385,7 @@ let server_tests =
                            mode = Mode.shift_word;
                            size = Some 256;
                            safe = false;
+                           superblocks = true;
                          })))
             in
             let solo = solo_json "gzip" in
@@ -410,6 +424,7 @@ let server_tests =
                         mode = Mode.shift_word;
                         size = None;
                         safe = false;
+                        superblocks = true;
                       }))
             in
             Util.check_string "unknown_name" "unknown_name" (error_code_of unknown);
@@ -422,6 +437,7 @@ let server_tests =
                         mode = Mode.shift_word;
                         size = None;
                         safe = false;
+                        superblocks = true;
                       }))
             in
             Util.check_string "id required" "bad_request" (error_code_of idless);
@@ -444,6 +460,7 @@ let server_tests =
                                    mode = Mode.shift_word;
                                    size = Some 256;
                                    safe = false;
+                                   superblocks = true;
                                  }))))
                  with
                 | Ok () -> ()
@@ -492,6 +509,7 @@ let server_tests =
                       mode = Mode.shift_word;
                       size = Some 256;
                       safe = false;
+                      superblocks = true;
                     }));
             send (plain_env ~id:"bye" Protocol.Drain);
             let next () =
@@ -533,6 +551,7 @@ let server_tests =
                                mode = Mode.shift_word;
                                size = Some 16384;
                                safe = false;
+                               superblocks = true;
                              }))))
              with
             | Ok () -> ()
@@ -558,6 +577,7 @@ let server_tests =
                             mode = Mode.shift_word;
                             size = None;
                             safe = false;
+                            superblocks = true;
                           }))
                 in
                 Util.check_string "draining" "draining" (error_code_of refused);
