@@ -7,6 +7,10 @@ module Policy = Shift_policy.Policy
 module Stats = Shift_machine.Stats
 module Results = Shift.Results
 
+(* the harness batches through the core library's pool directly (the
+   old bench/pool.ml shim is gone) *)
+module Pool = Shift.Pool
+
 let fuel = 1_000_000_000
 
 (* ---------- kernel runs, memoised across experiments ---------- *)

@@ -16,6 +16,7 @@
    to stderr. *)
 
 open Shift_bench
+module Pool = Shift.Pool
 
 let experiments =
   [
@@ -33,6 +34,7 @@ let experiments =
     ("fleet", Exp_fleet.fleet);
     ("trace", Exp_trace.trace);
     ("serve", Exp_serve.serve);
+    ("backends", Exp_backends.backends);
     ("bechamel", Bench_tables.run);
   ]
 

@@ -38,6 +38,27 @@ let mode_arg =
            +setclr/+tacmp/+both architectural enhancements, or $(b,dbt) for \
            the software baseline.")
 
+(* backend spellings are parsed by Backend.of_string — the same single
+   name table the serve wire protocol and the catalog use *)
+let backend_conv =
+  Arg.conv
+    ( (fun s ->
+        Result.map_error (fun e -> `Msg e) (Shift.Backend.of_string s)),
+      fun ppf b -> Shift.Backend.pp ppf b )
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Shift.Backend.default
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Taint-tracking backend: $(b,nat) (on-core NaT reuse, the paper's \
+           design and the default), $(b,coproc) (a decoupled tag coprocessor \
+           draining a bounded propagation queue, so checks resolve with a \
+           measurable lag), or $(b,none) (uninstrumented baseline).  \
+           Non-nat backends run the guest uninstrumented regardless of \
+           $(b,--mode).")
+
 let json_arg =
   Arg.(
     value & flag
@@ -174,16 +195,17 @@ let run_cmd =
              exit with status 3, leaving the run resumable with \
              $(b,shiftc resume) — a deterministic stand-in for a crash.")
   in
-  let run name mode size safe json every file limit no_sb sb_stats =
+  let run name mode size safe json every file limit no_sb sb_stats backend =
     match find_kernel name with
     | Error e ->
         prerr_endline e;
         1
     | Ok k -> (
+        let mode = Shift.Session.effective_mode ~backend mode in
         let config =
           Shift.Session.Config.make ~policy:Policy.default
             ~setup:(Spec.setup ?size ~tainted:(not safe) k)
-            ~superblocks:(not no_sb) ()
+            ~superblocks:(not no_sb) ~backend ()
         in
         let finish live =
           let r = Shift.Session.report live in
@@ -199,7 +221,7 @@ let run_cmd =
         match (every, file) with
         | None, _ ->
             let live =
-              Shift.Session.start ~config (Shift.Session.build ~mode k.Spec.program)
+              Shift.Session.start ~config (Shift.Session.build ~backend ~mode k.Spec.program)
             in
             (match Shift.Session.advance live ~budget:max_int with
             | `Finished _ | `Yielded -> ());
@@ -216,7 +238,7 @@ let run_cmd =
               ]
             in
             let live =
-              Shift.Session.start ~config (Shift.Session.build ~mode k.Spec.program)
+              Shift.Session.start ~config (Shift.Session.build ~backend ~mode k.Spec.program)
             in
             let written = ref 0 in
             let rec loop () =
@@ -244,7 +266,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a SPEC-like kernel on the simulated machine")
     Term.(
       const run $ name_arg $ mode_arg $ size_arg $ safe_arg $ json_arg
-      $ every_arg $ file_arg $ limit_arg $ no_superblocks_arg $ sb_stats_arg)
+      $ every_arg $ file_arg $ limit_arg $ no_superblocks_arg $ sb_stats_arg
+      $ backend_arg)
 
 let resume_cmd =
   let file_arg =
@@ -328,7 +351,8 @@ let batch_cmd =
              supervisor contains the crash while every other job still \
              completes.")
   in
-  let run mode names jobs size safe json retries every poison no_sb =
+  let run mode names jobs size safe json retries every poison no_sb backend =
+    let mode = Shift.Session.effective_mode ~backend mode in
     let kernels =
       match names with
       | [] -> List.map Result.ok Spec.all
@@ -347,8 +371,8 @@ let batch_cmd =
                 ~config:
                   (Shift.Session.Config.make ~policy:Policy.default
                      ~setup:(Spec.setup ?size ~tainted:(not safe) k)
-                     ~superblocks:(not no_sb) ())
-                (fun () -> Shift.Session.build ~mode k.Spec.program))
+                     ~superblocks:(not no_sb) ~backend ())
+                (fun () -> Shift.Session.build ~backend ~mode k.Spec.program))
             kernels
         in
         let session_jobs =
@@ -380,7 +404,8 @@ let batch_cmd =
           a deterministic aggregate report")
     Term.(
       const run $ mode_arg $ names_arg $ jobs_arg $ size_arg $ safe_arg
-      $ json_arg $ retries_arg $ every_arg $ poison_arg $ no_superblocks_arg)
+      $ json_arg $ retries_arg $ every_arg $ poison_arg $ no_superblocks_arg
+      $ backend_arg)
 
 let attack_cmd =
   let name_arg =
@@ -391,7 +416,7 @@ let attack_cmd =
   let benign_arg =
     Arg.(value & flag & info [ "benign" ] ~doc:"Use the benign input instead of the exploit.")
   in
-  let run name mode benign json no_sb =
+  let run name mode benign json no_sb backend =
     match Shift_attacks.Attacks.find name with
     | None ->
         prerr_endline "unknown attack case; see `shiftc list`";
@@ -400,7 +425,7 @@ let attack_cmd =
         let input = if benign then c.Case.benign else c.Case.exploit in
         let r =
           Shift.Session.run ~policy:c.Case.policy ~setup:input
-            ~superblocks:(not no_sb) ~mode c.Case.program
+            ~superblocks:(not no_sb) ~backend ~mode c.Case.program
         in
         if json then print_json r
         else begin
@@ -417,7 +442,7 @@ let attack_cmd =
     (Cmd.info "attack" ~doc:"Run a Table-2 security-evaluation case")
     Term.(
       const run $ name_arg $ mode_arg $ benign_arg $ json_arg
-      $ no_superblocks_arg)
+      $ no_superblocks_arg $ backend_arg)
 
 let httpd_cmd =
   let size_arg =
@@ -432,10 +457,10 @@ let httpd_cmd =
              workload replays a canned request stream through the resumable \
              engine; it does not listen for live connections).")
   in
-  let run mode file_size requests json =
+  let run mode file_size requests json backend =
     (* driven through the resumable engine in bounded slices, not one
        monolithic run — same counters either way *)
-    let r = Httpd.serve ~mode ~file_size ~requests () in
+    let r = Httpd.serve ~mode ~file_size ~requests ~backend () in
     if json then print_json r
     else begin
       Format.printf "httpd: %d requests of a %d-byte file under %a@." requests
@@ -448,26 +473,26 @@ let httpd_cmd =
   in
   Cmd.v
     (Cmd.info "httpd" ~doc:"Run the web-server workload (the Figure-6 substrate)")
-    Term.(const run $ mode_arg $ size_arg $ requests_arg $ json_arg)
+    Term.(const run $ mode_arg $ size_arg $ requests_arg $ json_arg $ backend_arg)
 
 let disasm_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name.")
   in
-  let run name mode =
+  let run name mode backend =
     match find_kernel name with
     | Error e ->
         prerr_endline e;
         1
     | Ok k ->
-        let image = Shift.Session.build ~mode k.Spec.program in
+        let image = Shift.Session.build ~backend ~mode k.Spec.program in
         Format.printf "%a@." Shift_isa.Program.pp_listing
           image.Shift_compiler.Image.program;
         0
   in
   Cmd.v
     (Cmd.info "disasm" ~doc:"Print the (instrumented) listing of a kernel")
-    Term.(const run $ name_arg $ mode_arg)
+    Term.(const run $ name_arg $ mode_arg $ backend_arg)
 
 let trace_cmd =
   let name_arg =
@@ -532,19 +557,20 @@ let trace_cmd =
                   list`)"
                  name))
   in
-  let run name mode benign ring events json no_sb =
+  let run name mode benign ring events json no_sb backend =
     match (resolve name, parse_kinds events) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
         1
     | Ok pick, Ok only ->
+        let mode = Shift.Session.effective_mode ~backend mode in
         let label, policy, setup, program = pick benign in
         let config =
           Shift.Session.Config.make ~policy ~setup
             ~trace:{ Shift.Flowtrace.capacity = ring; only }
-            ~superblocks:(not no_sb) ()
+            ~superblocks:(not no_sb) ~backend ()
         in
-        let image = Shift.Session.build ~mode program in
+        let image = Shift.Session.build ~backend ~mode program in
         let live = Shift.Session.start ~config image in
         (match Shift.Session.advance live ~budget:max_int with
         | `Finished _ | `Yielded -> ());
@@ -574,7 +600,7 @@ let trace_cmd =
           taint-flow events (JSONL with --json)")
     Term.(
       const run $ name_arg $ mode_arg $ benign_arg $ ring_arg $ events_arg
-      $ json_arg $ no_superblocks_arg)
+      $ json_arg $ no_superblocks_arg $ backend_arg)
 
 let exec_cmd =
   let file_arg =
@@ -819,20 +845,28 @@ let client_run_cmd =
   let safe_arg =
     Arg.(value & flag & info [ "safe" ] ~doc:"Leave the input file untainted.")
   in
-  let run socket raw id tenant deadline migrate name mode size safe no_sb =
+  let run socket raw id tenant deadline migrate name mode size safe no_sb
+      backend =
     client_round ~socket ~raw ~project:report_field
       (envelope
          ~id:(Option.value id ~default:("run:" ^ name))
          ?tenant ?deadline ?migrate_every:migrate
          (Protocol.Run
-            { kernel = name; mode; size; safe; superblocks = not no_sb }))
+            {
+              kernel = name;
+              mode;
+              size;
+              safe;
+              superblocks = not no_sb;
+              backend;
+            }))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Submit a kernel run to the daemon and print its report")
     Term.(
       const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
       $ migrate_every_arg $ name_arg $ mode_arg $ size_arg $ safe_arg
-      $ no_superblocks_arg)
+      $ no_superblocks_arg $ backend_arg)
 
 let client_attack_cmd =
   let name_arg =
@@ -843,13 +877,13 @@ let client_attack_cmd =
   let benign_arg =
     Arg.(value & flag & info [ "benign" ] ~doc:"Use the benign input instead of the exploit.")
   in
-  let run socket raw id tenant deadline migrate name mode benign no_sb =
+  let run socket raw id tenant deadline migrate name mode benign no_sb backend =
     client_round ~socket ~raw ~project:report_field
       (envelope
          ~id:(Option.value id ~default:("attack:" ^ name))
          ?tenant ?deadline ?migrate_every:migrate
          (Protocol.Attack
-            { case = name; mode; benign; superblocks = not no_sb }))
+            { case = name; mode; benign; superblocks = not no_sb; backend }))
   in
   Cmd.v
     (Cmd.info "attack"
@@ -857,7 +891,7 @@ let client_attack_cmd =
     Term.(
       const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
       $ migrate_every_arg $ name_arg $ mode_arg $ benign_arg
-      $ no_superblocks_arg)
+      $ no_superblocks_arg $ backend_arg)
 
 let client_trace_cmd =
   let name_arg =
@@ -887,7 +921,7 @@ let client_trace_cmd =
              (birth,load,prop,store,purge,check,sink); default all.")
   in
   let run socket raw id tenant deadline migrate name mode benign ring events
-      no_sb =
+      no_sb backend =
     client_round ~socket ~raw ~project:report_field
       (envelope
          ~id:(Option.value id ~default:("trace:" ^ name))
@@ -900,6 +934,7 @@ let client_trace_cmd =
               ring;
               only = events;
               superblocks = not no_sb;
+              backend;
             }))
   in
   Cmd.v
@@ -910,7 +945,7 @@ let client_trace_cmd =
     Term.(
       const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
       $ migrate_every_arg $ name_arg $ mode_arg $ benign_arg $ ring_arg
-      $ events_arg $ no_superblocks_arg)
+      $ events_arg $ no_superblocks_arg $ backend_arg)
 
 let client_batch_cmd =
   let names_arg =
@@ -933,7 +968,7 @@ let client_batch_cmd =
           ~doc:"Retry a crashed job up to $(docv) extra times from its checkpoint.")
   in
   let run socket raw id tenant deadline migrate names mode size safe retries
-      no_sb =
+      no_sb backend =
     client_round ~socket ~raw ~project:whole_result
       (envelope
          ~id:(Option.value id ~default:"batch")
@@ -946,6 +981,7 @@ let client_batch_cmd =
               safe;
               retries;
               superblocks = not no_sb;
+              backend;
             }))
   in
   Cmd.v
@@ -956,7 +992,7 @@ let client_batch_cmd =
     Term.(
       const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ deadline_arg
       $ migrate_every_arg $ names_arg $ mode_arg $ size_arg $ safe_arg
-      $ retries_arg $ no_superblocks_arg)
+      $ retries_arg $ no_superblocks_arg $ backend_arg)
 
 let client_status_cmd =
   let run socket raw id tenant =

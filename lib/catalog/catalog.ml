@@ -28,32 +28,38 @@ let find_case name =
                  (fun (c : Case.t) -> c.Case.program_name)
                  Shift_attacks.Attacks.all)))
 
-(* the same config [shiftc run] and [shiftc batch] build per kernel *)
-let kernel_job_of k ~mode ~size ~safe ~superblocks =
+(* the same config [shiftc run] and [shiftc batch] build per kernel;
+   the mode is routed through [Session.effective_mode] exactly as the
+   CLI does, so non-nat backends compile the uninstrumented guest *)
+let kernel_job_of k ~mode ~size ~safe ~superblocks ~backend =
+  let mode = Shift.Session.effective_mode ~backend mode in
   Shift.Fleet.job ~name:k.Spec.name
     ~config:
       (Shift.Session.Config.make ~policy:Policy.default
          ~setup:(Spec.setup ?size ~tainted:(not safe) k)
-         ~superblocks ())
-    (fun () -> Shift.Session.build ~mode k.Spec.program)
+         ~superblocks ~backend ())
+    (fun () -> Shift.Session.build ~backend ~mode k.Spec.program)
 
-let kernel_job ~mode ~size ~safe ~superblocks name =
-  Result.map (kernel_job_of ~mode ~size ~safe ~superblocks) (find_kernel name)
+let kernel_job ~mode ~size ~safe ~superblocks ~backend name =
+  Result.map
+    (kernel_job_of ~mode ~size ~safe ~superblocks ~backend)
+    (find_kernel name)
 
 (* the same policy/input pair [shiftc attack] passes to Session.run *)
-let attack_job ~mode ~benign ~superblocks name =
+let attack_job ~mode ~benign ~superblocks ~backend name =
   Result.map
     (fun (c : Case.t) ->
+      let mode = Shift.Session.effective_mode ~backend mode in
       let input = if benign then c.Case.benign else c.Case.exploit in
       Shift.Fleet.job ~name:c.Case.program_name
         ~config:
           (Shift.Session.Config.make ~policy:c.Case.policy ~setup:input
-             ~superblocks ())
-        (fun () -> Shift.Session.build ~mode c.Case.program))
+             ~superblocks ~backend ())
+        (fun () -> Shift.Session.build ~backend ~mode c.Case.program))
     (find_case name)
 
 (* [shiftc trace]'s resolution order: attack case first, then kernel *)
-let trace_job ~mode ~benign ~ring ~only ~superblocks name =
+let trace_job ~mode ~benign ~ring ~only ~superblocks ~backend name =
   let parse_kinds = function
     | None -> Ok None
     | Some s ->
@@ -83,15 +89,16 @@ let trace_job ~mode ~benign ~ring ~only ~superblocks name =
   Result.bind (resolve ()) (fun (label, policy, setup, program) ->
       Result.map
         (fun only ->
+          let mode = Shift.Session.effective_mode ~backend mode in
           Shift.Fleet.job ~name:label
             ~config:
               (Shift.Session.Config.make ~policy ~setup
                  ~trace:{ Shift.Flowtrace.capacity = ring; only }
-                 ~superblocks ())
-            (fun () -> Shift.Session.build ~mode program))
+                 ~superblocks ~backend ())
+            (fun () -> Shift.Session.build ~backend ~mode program))
         (parse_kinds only))
 
-let batch_jobs ~mode ~size ~safe ~superblocks names =
+let batch_jobs ~mode ~size ~safe ~superblocks ~backend names =
   let kernels =
     match names with
     | [] -> List.map Result.ok Spec.all
@@ -104,7 +111,8 @@ let batch_jobs ~mode ~size ~safe ~superblocks names =
   with
   | _, e :: _ -> Error e
   | kernels, [] ->
-      Ok (List.map (kernel_job_of ~mode ~size ~safe ~superblocks) kernels)
+      Ok
+        (List.map (kernel_job_of ~mode ~size ~safe ~superblocks ~backend) kernels)
 
 let standard =
   { Shift.Serve.kernel_job; attack_job; trace_job; batch_jobs }

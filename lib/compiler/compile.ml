@@ -15,7 +15,8 @@ let insert_return_taints ~taint_returns items =
         | _ -> [ item ])
       items
 
-let compile ?(mode = Mode.Uninstrumented) ?(taint_returns = []) (prog : Ir.program) =
+let compile ?(mode = Mode.Uninstrumented) ?(taint_returns = []) ?keep_taint_markers
+    (prog : Ir.program) =
   (try Ir.validate ~externals:Codegen.externals prog
    with Ir.Invalid msg -> raise (Error msg));
   if Ir.find_func prog "main" = None then raise (Error "program has no main function");
@@ -32,7 +33,9 @@ let compile ?(mode = Mode.Uninstrumented) ?(taint_returns = []) (prog : Ir.progr
     List.map
       (fun (name, items) ->
         let items = insert_return_taints ~taint_returns items in
-        (name, Instrument.instrument ~mode ~scratch_addr ~is_start:(name = "_start") items))
+        (name,
+          Instrument.instrument ~mode ?keep_taint_markers ~scratch_addr
+            ~is_start:(name = "_start") items))
       units
   in
   let support = Instrument.support_units ~mode in

@@ -3,7 +3,12 @@
 
 exception Error of string
 
-val compile : ?mode:Mode.t -> ?taint_returns:string list -> Ir.program -> Image.t
+val compile :
+  ?mode:Mode.t ->
+  ?taint_returns:string list ->
+  ?keep_taint_markers:bool ->
+  Ir.program ->
+  Image.t
 (** Compile a whole program (application plus any runtime functions
     already merged in).  The program must define [main].
 

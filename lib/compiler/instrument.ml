@@ -381,17 +381,21 @@ let shift_instrument ~gran ~enh ~analysis ~index (i : Instr.t) =
       instrument_cmp ~enh i ~cond ~cpt:pt ~cpf:pf ~src1 ~src2
   | _ -> [ Program.I i ]
 
-let instrument ~mode ~scratch_addr ~is_start items =
+let instrument ~mode ?(keep_taint_markers = false) ~scratch_addr ~is_start items =
   match mode with
   | Mode.Uninstrumented ->
       (* taint markers have no meaning (and a stray NaT would fault), so
-         they are dropped *)
-      List.filter
-        (function
-          | Program.I { Instr.op = Instr.Setnat _ | Instr.Clrnat _; prov = Prov.Orig; _ } ->
-              false
-          | _ -> true)
-        items
+         they are dropped — unless a decoupled tag backend consumes them
+         as directives, in which case they stay and the machine skips
+         the actual NaT write *)
+      if keep_taint_markers then items
+      else
+        List.filter
+          (function
+            | Program.I { Instr.op = Instr.Setnat _ | Instr.Clrnat _; prov = Prov.Orig; _ } ->
+                false
+            | _ -> true)
+          items
   | Mode.Shift { granularity; enh } ->
       let analysis = Taint_analysis.analyse items in
       let index = ref (-1) in

@@ -22,11 +22,19 @@
 
 val instrument :
   mode:Mode.t ->
+  ?keep_taint_markers:bool ->
   scratch_addr:int64 ->
   is_start:bool ->
   Shift_isa.Program.item list ->
   Shift_isa.Program.item list
-(** Rewrite one unit (the item list of a single function). *)
+(** Rewrite one unit (the item list of a single function).
+
+    [keep_taint_markers] (default [false]) only matters under
+    [Mode.Uninstrumented]: the Orig-provenance [setnat]/[clrnat] taint
+    markers (the [untaint] builtin, tainted-return sources) are normally
+    dropped there, but a decoupled tag backend needs them kept in the
+    stream as coprocessor directives — the machine then skips the
+    actual NaT write, so no stray NaT can fault. *)
 
 val support_units : mode:Mode.t -> Shift_isa.Program.item list
 (** Extra units a mode needs (the software-DBT alert stub). *)

@@ -4,6 +4,7 @@
    CI greps it against both lists. *)
 
 module Mode = Shift_compiler.Mode
+module Backend = Shift_tracking.Backend
 
 let version = 1
 let default_max_request_bytes = 1 lsl 20
@@ -55,12 +56,14 @@ type request =
       size : int option;
       safe : bool;
       superblocks : bool;
+      backend : Backend.t;
     }
   | Attack of {
       case : string;
       mode : Mode.t;
       benign : bool;
       superblocks : bool;
+      backend : Backend.t;
     }
   | Trace of {
       image : string;
@@ -69,6 +72,7 @@ type request =
       ring : int;
       only : string option;
       superblocks : bool;
+      backend : Backend.t;
     }
   | Batch of {
       kernels : string list;
@@ -77,6 +81,7 @@ type request =
       safe : bool;
       retries : int;
       superblocks : bool;
+      backend : Backend.t;
     }
   | Status
   | Drain
@@ -137,6 +142,12 @@ let mode_field j =
   | None -> Ok Mode.shift_word
   | Some s -> Mode.of_string s
 
+let backend_field j =
+  let* s = string_field "backend" j in
+  match s with
+  | None -> Ok Backend.Nat
+  | Some s -> Backend.of_string s
+
 let positive name v =
   match v with
   | Some n when n <= 0 -> Error (Printf.sprintf "field %S must be positive" name)
@@ -167,6 +178,7 @@ let body_of_json kind j =
       let* size = positive "size" size in
       let* safe = bool_field "safe" j in
       let* superblocks = bool_field "superblocks" j in
+      let* backend = backend_field j in
       Ok
         (Run
            {
@@ -175,6 +187,7 @@ let body_of_json kind j =
              size;
              safe = Option.value ~default:false safe;
              superblocks = Option.value ~default:true superblocks;
+             backend;
            })
   | "attack" ->
       let* case = string_field "case" j in
@@ -182,6 +195,7 @@ let body_of_json kind j =
       let* mode = mode_field j in
       let* benign = bool_field "benign" j in
       let* superblocks = bool_field "superblocks" j in
+      let* backend = backend_field j in
       Ok
         (Attack
            {
@@ -189,6 +203,7 @@ let body_of_json kind j =
              mode;
              benign = Option.value ~default:false benign;
              superblocks = Option.value ~default:true superblocks;
+             backend;
            })
   | "trace" ->
       let* image = string_field "image" j in
@@ -199,6 +214,7 @@ let body_of_json kind j =
       let* ring = positive "ring" ring in
       let* only = string_field "events" j in
       let* superblocks = bool_field "superblocks" j in
+      let* backend = backend_field j in
       Ok
         (Trace
            {
@@ -208,6 +224,7 @@ let body_of_json kind j =
              ring = Option.value ~default:4096 ring;
              only;
              superblocks = Option.value ~default:true superblocks;
+             backend;
            })
   | "batch" ->
       let* kernels = string_list_field "kernels" j in
@@ -222,6 +239,7 @@ let body_of_json kind j =
         | _ -> Ok ()
       in
       let* superblocks = bool_field "superblocks" j in
+      let* backend = backend_field j in
       Ok
         (Batch
            {
@@ -231,6 +249,7 @@ let body_of_json kind j =
              safe = Option.value ~default:false safe;
              retries = Option.value ~default:0 retries;
              superblocks = Option.value ~default:true superblocks;
+             backend;
            })
   | "status" -> Ok Status
   | "drain" -> Ok Drain
@@ -311,20 +330,26 @@ let request_to_json (env : envelope) =
     @ opt "migrate_every" env.migrate_every (fun m -> Results.Int m)
   in
   let mode m = ("mode", str (Mode.to_string m)) in
+  let bk b = ("backend", str (Backend.to_string b)) in
   let body =
     match env.request with
-    | Run { kernel; mode = m; size; safe; superblocks } ->
+    | Run { kernel; mode = m; size; safe; superblocks; backend } ->
         [ ("kernel", str kernel); mode m ]
         @ opt "size" size (fun s -> Results.Int s)
-        @ [ ("safe", Results.Bool safe); ("superblocks", Results.Bool superblocks) ]
-    | Attack { case; mode = m; benign; superblocks } ->
+        @ [
+            ("safe", Results.Bool safe);
+            ("superblocks", Results.Bool superblocks);
+            bk backend;
+          ]
+    | Attack { case; mode = m; benign; superblocks; backend } ->
         [
           ("case", str case);
           mode m;
           ("benign", Results.Bool benign);
           ("superblocks", Results.Bool superblocks);
+          bk backend;
         ]
-    | Trace { image; mode = m; benign; ring; only; superblocks } ->
+    | Trace { image; mode = m; benign; ring; only; superblocks; backend } ->
         [
           ("image", str image);
           mode m;
@@ -332,14 +357,15 @@ let request_to_json (env : envelope) =
           ("ring", Results.Int ring);
         ]
         @ opt "events" only str
-        @ [ ("superblocks", Results.Bool superblocks) ]
-    | Batch { kernels; mode = m; size; safe; retries; superblocks } ->
+        @ [ ("superblocks", Results.Bool superblocks); bk backend ]
+    | Batch { kernels; mode = m; size; safe; retries; superblocks; backend } ->
         [ ("kernels", Results.List (List.map str kernels)); mode m ]
         @ opt "size" size (fun s -> Results.Int s)
         @ [
             ("safe", Results.Bool safe);
             ("retries", Results.Int retries);
             ("superblocks", Results.Bool superblocks);
+            bk backend;
           ]
     | Status | Drain -> []
   in

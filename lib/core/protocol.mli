@@ -59,7 +59,11 @@ val kinds : string list
     kinds carry a [superblocks] flag (wire field ["superblocks"],
     default [true]): [false] runs the session on the pure interpreter —
     observationally identical, so it is a debugging escape hatch, not a
-    semantic knob. *)
+    semantic knob.  Job kinds also carry a [backend] (wire field
+    ["backend"], a {!Shift_tracking.Backend.of_string} name, default
+    ["nat"]) selecting the taint-tracking backend; non-nat backends run
+    the guest uninstrumented regardless of [mode]
+    ([Session.effective_mode]). *)
 type request =
   | Run of {
       kernel : string;
@@ -67,12 +71,14 @@ type request =
       size : int option;  (** input bytes; [None] = the kernel's default *)
       safe : bool;  (** leave the input untainted *)
       superblocks : bool;
+      backend : Shift_tracking.Backend.t;
     }
   | Attack of {
       case : string;  (** prefix of the Table-2 program name *)
       mode : Shift_compiler.Mode.t;
       benign : bool;
       superblocks : bool;
+      backend : Shift_tracking.Backend.t;
     }
   | Trace of {
       image : string;  (** attack case or kernel, as [shiftc trace] *)
@@ -81,6 +87,7 @@ type request =
       ring : int;  (** event-ring capacity *)
       only : string option;  (** comma-separated event kinds, or all *)
       superblocks : bool;
+      backend : Shift_tracking.Backend.t;
     }
   | Batch of {
       kernels : string list;  (** [[]] = the whole kernel suite *)
@@ -89,6 +96,7 @@ type request =
       safe : bool;
       retries : int;  (** per-job crash retries *)
       superblocks : bool;
+      backend : Shift_tracking.Backend.t;
     }
   | Status
   | Drain

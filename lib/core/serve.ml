@@ -11,12 +11,14 @@ type catalog = {
     size:int option ->
     safe:bool ->
     superblocks:bool ->
+    backend:Shift_tracking.Backend.t ->
     string ->
     (Fleet.job, string) result;
   attack_job :
     mode:Shift_compiler.Mode.t ->
     benign:bool ->
     superblocks:bool ->
+    backend:Shift_tracking.Backend.t ->
     string ->
     (Fleet.job, string) result;
   trace_job :
@@ -25,6 +27,7 @@ type catalog = {
     ring:int ->
     only:string option ->
     superblocks:bool ->
+    backend:Shift_tracking.Backend.t ->
     string ->
     (Fleet.job, string) result;
   batch_jobs :
@@ -32,6 +35,7 @@ type catalog = {
     size:int option ->
     safe:bool ->
     superblocks:bool ->
+    backend:Shift_tracking.Backend.t ->
     string list ->
     (Fleet.job list, string) result;
 }
@@ -401,28 +405,32 @@ module Server = struct
       | Protocol.Drain ->
           draining := true;
           drain_waiters := (conn, env.id, env.tenant) :: !drain_waiters
-      | Protocol.Run { kernel; mode; size; safe; superblocks } ->
+      | Protocol.Run { kernel; mode; size; safe; superblocks; backend } ->
           refuse_if_draining (fun () ->
               with_id (fun () ->
                   resolved (submit_single conn env)
-                    (catalog.kernel_job ~mode ~size ~safe ~superblocks kernel)))
-      | Protocol.Attack { case; mode; benign; superblocks } ->
+                    (catalog.kernel_job ~mode ~size ~safe ~superblocks ~backend
+                       kernel)))
+      | Protocol.Attack { case; mode; benign; superblocks; backend } ->
           refuse_if_draining (fun () ->
               with_id (fun () ->
                   resolved (submit_single conn env)
-                    (catalog.attack_job ~mode ~benign ~superblocks case)))
-      | Protocol.Trace { image; mode; benign; ring; only; superblocks } ->
+                    (catalog.attack_job ~mode ~benign ~superblocks ~backend case)))
+      | Protocol.Trace { image; mode; benign; ring; only; superblocks; backend }
+        ->
           refuse_if_draining (fun () ->
               with_id (fun () ->
                   resolved (submit_single conn env)
                     (catalog.trace_job ~mode ~benign ~ring ~only ~superblocks
-                       image)))
-      | Protocol.Batch { kernels; mode; size; safe; retries; superblocks } ->
+                       ~backend image)))
+      | Protocol.Batch { kernels; mode; size; safe; retries; superblocks; backend }
+        ->
           refuse_if_draining (fun () ->
               with_id (fun () ->
                   resolved
                     (submit_batch conn env retries)
-                    (catalog.batch_jobs ~mode ~size ~safe ~superblocks kernels)))
+                    (catalog.batch_jobs ~mode ~size ~safe ~superblocks ~backend
+                       kernels)))
     in
     let process_line conn line =
       if String.length line > 0 then

@@ -33,12 +33,14 @@ type catalog = {
     size:int option ->
     safe:bool ->
     superblocks:bool ->
+    backend:Shift_tracking.Backend.t ->
     string ->
     (Fleet.job, string) result;
   attack_job :
     mode:Shift_compiler.Mode.t ->
     benign:bool ->
     superblocks:bool ->
+    backend:Shift_tracking.Backend.t ->
     string ->
     (Fleet.job, string) result;
   trace_job :
@@ -47,6 +49,7 @@ type catalog = {
     ring:int ->
     only:string option ->
     superblocks:bool ->
+    backend:Shift_tracking.Backend.t ->
     string ->
     (Fleet.job, string) result;
   batch_jobs :
@@ -54,6 +57,7 @@ type catalog = {
     size:int option ->
     safe:bool ->
     superblocks:bool ->
+    backend:Shift_tracking.Backend.t ->
     string list ->
     (Fleet.job list, string) result;
       (** [[]] means the catalogue's whole suite *)

@@ -9,6 +9,8 @@ module Prov = Shift_isa.Prov
 module Policy = Shift_policy.Policy
 module Alert = Shift_policy.Alert
 module World = Shift_os.World
+module Tracking = Shift_tracking.Tracking
+module Backend = Shift_tracking.Backend
 
 let default_fuel = 2_000_000_000
 
@@ -25,6 +27,7 @@ module Config = struct
     threading : threading;
     trace : Shift_machine.Flowtrace.options option;
     superblocks : bool;
+    backend : Backend.t;
   }
 
   let default =
@@ -36,21 +39,41 @@ module Config = struct
       threading = Single;
       trace = None;
       superblocks = true;
+      backend = Backend.Nat;
     }
 
   let make ?(policy = Policy.default) ?(io_cost = World.default_io_cost)
       ?(fuel = default_fuel) ?(setup = fun _ -> ()) ?(threading = Single)
-      ?trace ?(superblocks = true) () =
-    { policy; io_cost; fuel; setup; threading; trace; superblocks }
+      ?trace ?(superblocks = true) ?(backend = Backend.Nat) () =
+    { policy; io_cost; fuel; setup; threading; trace; superblocks; backend }
 end
 
 let gran_of_mode = function
   | Mode.Uninstrumented -> Shift_mem.Granularity.Word
   | Mode.Shift { granularity; _ } | Mode.Software_dbt { granularity } -> granularity
 
-let build ?(with_runtime = true) ?taint_returns ~mode prog =
+(* Only the nat backend consumes SHIFT's compiled-in instrumentation;
+   the coprocessor and the baseline both run the uninstrumented guest.
+   Every name-driven entry point (CLI, catalog, bench) routes its mode
+   choice through here so the pairing cannot drift. *)
+let effective_mode ~backend mode =
+  match (backend : Backend.t) with
+  | Backend.Nat -> mode
+  | Backend.Coproc | Backend.Off -> Mode.Uninstrumented
+
+(* the coprocessor maintains its bitmap (and the OS reads it) at byte
+   granularity regardless of the — uninstrumented — guest's mode *)
+let gran_for ~backend mode =
+  match (backend : Backend.t) with
+  | Backend.Coproc -> Shift_mem.Granularity.Byte
+  | Backend.Nat | Backend.Off -> gran_of_mode mode
+
+let build ?(with_runtime = true) ?taint_returns ?(backend = Backend.Nat) ~mode
+    prog =
+  let mode = effective_mode ~backend mode in
+  let keep_taint_markers = backend = Backend.Coproc in
   let prog = if with_runtime then Ir.merge Shift_runtime.Runtime.program prog else prog in
-  Compile.compile ~mode ?taint_returns prog
+  Compile.compile ~mode ?taint_returns ~keep_taint_markers prog
 
 let load (image : Image.t) =
   let cpu = Cpu.create image.program in
@@ -91,6 +114,7 @@ type live = {
   config : Config.t;
   world : World.t;
   engine : Exec.t;
+  tracking : Tracking.t;
   mutable fuel_left : int;
   mutable result : Report.outcome option;
 }
@@ -98,13 +122,19 @@ type live = {
 let start ?(config = Config.default) (image : Image.t) =
   let cpu = load image in
   cpu.Cpu.sb.Cpu.sb_on <- config.Config.superblocks;
+  let tracking =
+    Tracking.create ~backend:config.Config.backend
+      ~low_level:config.Config.policy.Policy.low_level ~mem:cpu.Cpu.mem ()
+  in
+  cpu.Cpu.tracking <- tracking;
   (match config.Config.trace with
   | Some options ->
       cpu.Cpu.flowtrace <- Shift_machine.Flowtrace.create ~options ()
   | None -> ());
   let world =
-    World.create ~policy:config.Config.policy ~gran:(gran_of_mode image.mode)
-      ~io_cost:config.Config.io_cost ()
+    World.create ~policy:config.Config.policy
+      ~gran:(gran_for ~backend:config.Config.backend image.mode)
+      ~io_cost:config.Config.io_cost ~tracking ()
   in
   config.Config.setup world;
   cpu.Cpu.syscall_handler <- Some (World.handler world);
@@ -126,12 +156,21 @@ let start ?(config = Config.default) (image : Image.t) =
             | Some (Smp.Crashed _) | None -> Some (-1L));
         Exec.of_smp smp
   in
-  { image; config; world; engine; fuel_left = config.Config.fuel; result = None }
+  {
+    image;
+    config;
+    world;
+    engine;
+    tracking;
+    fuel_left = config.Config.fuel;
+    result = None;
+  }
 
 let world live = live.world
 let engine live = live.engine
 let outcome live = live.result
 let fuel_left live = live.fuel_left
+let tracking live = live.tracking
 
 let flowtrace live =
   let ft = (Exec.hart0 live.engine).Cpu.flowtrace in
@@ -139,9 +178,18 @@ let flowtrace live =
 
 let superblock_stats live = Exec.superblock_stats live.engine
 
+let finish live o =
+  live.result <- Some o;
+  `Finished o
+
+(* A run that stops with records still in the tag queue must drain it:
+   a pending check may only now meet its tainted tag (the detection-lag
+   story), and leaving the queue full would make coproc outcomes depend
+   on where the run happened to end. *)
 let timeout live =
-  live.result <- Some Report.Timeout;
-  `Finished Report.Timeout
+  match Tracking.flush live.tracking with
+  | () -> finish live Report.Timeout
+  | exception Alert.Violation a -> finish live (Report.Alert a)
 
 let advance live ~budget =
   match live.result with
@@ -150,17 +198,19 @@ let advance live ~budget =
       if live.fuel_left <= 0 then timeout live
       else begin
         let slice = min budget live.fuel_left in
-        match Exec.run_for live.engine ~budget:slice with
+        match
+          let st = Exec.run_for live.engine ~budget:slice in
+          (match st with
+          | `Finished _ -> Tracking.flush live.tracking
+          | `Yielded -> ());
+          st
+        with
         | `Finished res ->
-            let o = outcome_of live.image live.config.Config.policy res in
-            live.result <- Some o;
-            `Finished o
+            finish live (outcome_of live.image live.config.Config.policy res)
         | `Yielded ->
             live.fuel_left <- live.fuel_left - slice;
             if live.fuel_left <= 0 then timeout live else `Yielded
-        | exception Alert.Violation a ->
-            live.result <- Some (Report.Alert a);
-            `Finished (Report.Alert a)
+        | exception Alert.Violation a -> finish live (Report.Alert a)
       end
 
 let report live =
@@ -198,7 +248,12 @@ let checkpoint ?meta live =
         c_threading = snapshot_threading live.config.Config.threading;
         c_trace = live.config.Config.trace;
         c_superblocks = live.config.Config.superblocks;
+        c_backend = live.config.Config.backend;
       }
+    ?tracking:
+      (if Tracking.per_instr live.tracking then
+         Some (Tracking.export live.tracking)
+       else None)
     ~fuel_left:live.fuel_left ~result:live.result ~engine:live.engine
     ~world:live.world ()
 
@@ -212,13 +267,22 @@ let restore (snap : Snapshot.t) =
     Config.make ~policy:sc.Snapshot.c_policy ~io_cost:sc.Snapshot.c_io_cost
       ~fuel:sc.Snapshot.c_fuel
       ~threading:(session_threading sc.Snapshot.c_threading)
-      ?trace:sc.Snapshot.c_trace ~superblocks:sc.Snapshot.c_superblocks ()
+      ?trace:sc.Snapshot.c_trace ~superblocks:sc.Snapshot.c_superblocks
+      ~backend:sc.Snapshot.c_backend ()
   in
   let mem = Shift_mem.Memory.create () in
   Snapshot.load_memory mem snap.Snapshot.memory;
+  let tracking =
+    Tracking.create ~backend:config.Config.backend
+      ~low_level:config.Config.policy.Policy.low_level ~mem ()
+  in
+  (match snap.Snapshot.tracking with
+  | Some d -> Tracking.import tracking d
+  | None -> ());
   let world =
-    World.create ~policy:sc.Snapshot.c_policy ~gran:(gran_of_mode image.mode)
-      ~io_cost:sc.Snapshot.c_io_cost ()
+    World.create ~policy:sc.Snapshot.c_policy
+      ~gran:(gran_for ~backend:config.Config.backend image.mode)
+      ~io_cost:sc.Snapshot.c_io_cost ~tracking ()
   in
   World.undump world snap.Snapshot.world;
   let flowtrace =
@@ -232,6 +296,7 @@ let restore (snap : Snapshot.t) =
   let make_cpu hart =
     let cpu = Cpu.create ~mem image.program in
     cpu.Cpu.sb.Cpu.sb_on <- config.Config.superblocks;
+    cpu.Cpu.tracking <- tracking;
     Snapshot.import_cpu hart cpu;
     cpu.Cpu.syscall_handler <- Some (World.handler world);
     (match flowtrace with Some ft -> cpu.Cpu.flowtrace <- ft | None -> ());
@@ -264,6 +329,7 @@ let restore (snap : Snapshot.t) =
     config;
     world;
     engine;
+    tracking;
     fuel_left = snap.Snapshot.fuel_left;
     result = snap.Snapshot.result;
   }
@@ -277,24 +343,26 @@ let exec ?config image =
 
 (* ---------- the historical entry points, as one-line wrappers ---------- *)
 
-let run_image ?policy ?io_cost ?fuel ?setup ?trace ?superblocks image =
+let run_image ?policy ?io_cost ?fuel ?setup ?trace ?superblocks ?backend image =
   exec
-    ~config:(Config.make ?policy ?io_cost ?fuel ?setup ?trace ?superblocks ())
+    ~config:
+      (Config.make ?policy ?io_cost ?fuel ?setup ?trace ?superblocks ?backend ())
     image
 
 let run ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ?trace
-    ?superblocks ~mode prog =
-  run_image ?policy ?io_cost ?fuel ?setup ?trace ?superblocks
-    (build ?with_runtime ?taint_returns ~mode prog)
+    ?superblocks ?backend ~mode prog =
+  run_image ?policy ?io_cost ?fuel ?setup ?trace ?superblocks ?backend
+    (build ?with_runtime ?taint_returns ?backend ~mode prog)
 
-let run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum ?superblocks image =
+let run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum ?superblocks ?backend
+    image =
   exec
     ~config:
       (Config.make ?policy ?io_cost ?fuel ?setup
-         ~threading:(Config.Threads { quantum }) ?superblocks ())
+         ~threading:(Config.Threads { quantum }) ?superblocks ?backend ())
     image
 
 let run_mt ?with_runtime ?taint_returns ?policy ?io_cost ?fuel ?setup ?quantum
-    ?superblocks ~mode prog =
-  run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum ?superblocks
-    (build ?with_runtime ?taint_returns ~mode prog)
+    ?superblocks ?backend ~mode prog =
+  run_image_mt ?policy ?io_cost ?fuel ?setup ?quantum ?superblocks ?backend
+    (build ?with_runtime ?taint_returns ?backend ~mode prog)

@@ -46,11 +46,19 @@ module Config : sig
             observationally identical — same counters, alerts, traces
             and snapshots — so [false] is an escape hatch for
             differential testing and debugging, not a semantic knob. *)
+    backend : Shift_tracking.Backend.t;
+        (** taint-tracking backend ({!Shift_tracking.Backend.Nat} by
+            default — the paper's on-core scheme, byte-identical to the
+            pre-backend repository).  [Coproc] runs the uninstrumented
+            guest next to a decoupled tag coprocessor with an async tag
+            queue; [Off] is the uninstrumented baseline with sources and
+            checks disabled.  Pair non-nat backends with
+            {!effective_mode} when compiling by name. *)
   }
 
   val default : t
   (** Default policy and I/O costs, 2e9 fuel, no setup, single hart,
-      no tracing, superblocks on. *)
+      no tracing, superblocks on, nat backend. *)
 
   val make :
     ?policy:Shift_policy.Policy.t ->
@@ -60,6 +68,7 @@ module Config : sig
     ?threading:threading ->
     ?trace:Shift_machine.Flowtrace.options ->
     ?superblocks:bool ->
+    ?backend:Shift_tracking.Backend.t ->
     unit ->
     t
   (** {!default} with the given fields overridden. *)
@@ -69,15 +78,30 @@ val gran_of_mode : Shift_compiler.Mode.t -> Shift_mem.Granularity.t
 (** The taint granularity a mode tracks at ([Word] for
     [Uninstrumented], whose bitmap is unused). *)
 
+val effective_mode :
+  backend:Shift_tracking.Backend.t ->
+  Shift_compiler.Mode.t ->
+  Shift_compiler.Mode.t
+(** The compilation mode actually used under a backend: [nat] keeps the
+    requested mode; [coproc] and [none] run the uninstrumented guest
+    (their tracking — if any — happens off-core).  The CLI, catalog and
+    bench all route through this so the backend/mode pairing cannot
+    drift between entry points. *)
+
 val build :
   ?with_runtime:bool ->
   ?taint_returns:string list ->
+  ?backend:Shift_tracking.Backend.t ->
   mode:Shift_compiler.Mode.t ->
   Ir.program ->
   Shift_compiler.Image.t
 (** Compile and link.  [with_runtime] (default true) merges in the
     {!Shift_runtime.Runtime} library.  [taint_returns] lists functions
     whose return values are taint sources (paper §3.3.1, source 4).
+    [backend] (default [nat]) applies {!effective_mode} and, for the
+    tag coprocessor, keeps the Orig-provenance taint markers in the
+    otherwise-uninstrumented stream so the mirror sees [untaint] and
+    tainted-return sources (the machine skips their NaT writes).
     @raise Shift_compiler.Compile.Error on invalid programs. *)
 
 val load : Shift_compiler.Image.t -> Shift_machine.Cpu.t
@@ -126,6 +150,12 @@ val flowtrace : live -> Shift_machine.Flowtrace.t option
 (** The session's flow trace, when the config asked for one — query it
     mid-run between slices, or after the run for events and chains. *)
 
+val tracking : live -> Shift_tracking.Tracking.t
+(** The session's tracking-backend handle.  Under [coproc] its
+    {!Shift_tracking.Tracking.stats} expose queue depth, stalls and
+    drain lag — host-side diagnostics, never part of reports or
+    snapshots. *)
+
 val superblock_stats : live -> Shift_machine.Stats.superblocks
 (** Host-side superblock compiler counters aggregated across harts.
     Diagnostics only: never part of the report, the [--json] output or
@@ -173,6 +203,7 @@ val run_image :
   ?setup:(Shift_os.World.t -> unit) ->
   ?trace:Shift_machine.Flowtrace.options ->
   ?superblocks:bool ->
+  ?backend:Shift_tracking.Backend.t ->
   Shift_compiler.Image.t ->
   Report.t
 (** Run a compiled image on a fresh machine and OS world.  [setup] is
@@ -187,10 +218,12 @@ val run :
   ?setup:(Shift_os.World.t -> unit) ->
   ?trace:Shift_machine.Flowtrace.options ->
   ?superblocks:bool ->
+  ?backend:Shift_tracking.Backend.t ->
   mode:Shift_compiler.Mode.t ->
   Ir.program ->
   Report.t
-(** [build] followed by [run_image]. *)
+(** [build] followed by [run_image].  When [backend] is given, the mode
+    is first routed through {!effective_mode}. *)
 
 (** {2 Multi-threaded runs}
 
@@ -206,6 +239,7 @@ val run_image_mt :
   ?setup:(Shift_os.World.t -> unit) ->
   ?quantum:int ->
   ?superblocks:bool ->
+  ?backend:Shift_tracking.Backend.t ->
   Shift_compiler.Image.t ->
   Report.t
 (** Like {!run_image} with thread support enabled.  [quantum] is the
@@ -223,6 +257,7 @@ val run_mt :
   ?setup:(Shift_os.World.t -> unit) ->
   ?quantum:int ->
   ?superblocks:bool ->
+  ?backend:Shift_tracking.Backend.t ->
   mode:Shift_compiler.Mode.t ->
   Ir.program ->
   Report.t

@@ -47,6 +47,14 @@ module Exec = Shift_machine.Exec
 (** Taint-provenance tracking: sources, propagation events, chains. *)
 module Flowtrace = Shift_machine.Flowtrace
 
+(** Taint-tracking backend selection: on-core [nat] (the paper),
+    decoupled [coproc], uninstrumented [none]. *)
+module Backend = Shift_tracking.Backend
+
+(** The tracking-backend runtime: tag-queue records, lag model,
+    per-backend source/check gating. *)
+module Tracking = Shift_tracking.Tracking
+
 (** Deterministic JSONL export of a flow trace. *)
 module Flow = Flow
 

@@ -12,6 +12,8 @@ module Alert = Shift_policy.Alert
 module World = Shift_os.World
 module Memory = Shift_mem.Memory
 module Provenance = Shift_mem.Provenance
+module Tracking = Shift_tracking.Tracking
+module Backend = Shift_tracking.Backend
 
 type threading = T_single | T_threads of int option
 
@@ -22,6 +24,7 @@ type config = {
   c_threading : threading;
   c_trace : Flowtrace.options option;
   c_superblocks : bool;
+  c_backend : Backend.t;
 }
 
 type hart = {
@@ -56,6 +59,9 @@ type t = {
   machine : machine;
   world : World.dump;
   flow : (Flowtrace.dump * (int64 * string) list) option;
+  tracking : Tracking.dump option;
+      (** tag-coprocessor state (queue, tag file, lag clock); [None]
+          under the nat and none backends *)
 }
 
 let version = 1
@@ -143,7 +149,8 @@ let load_memory mem pages =
 let load_provenance pmap pages =
   List.iter (fun (key, data) -> Provenance.load_page pmap key data) pages
 
-let capture ?(meta = []) ~image ~config ~fuel_left ~result ~engine ~world () =
+let capture ?(meta = []) ?tracking ~image ~config ~fuel_left ~result ~engine
+    ~world () =
   let traced = config.c_trace <> None in
   let hart0 = Exec.hart0 engine in
   let machine =
@@ -177,6 +184,7 @@ let capture ?(meta = []) ~image ~config ~fuel_left ~result ~engine ~world () =
     machine;
     world = World.dump world;
     flow;
+    tracking;
   }
 
 (* ---------- JSON serialisation ---------- *)
@@ -461,14 +469,20 @@ let trace_options_of_json j : Flowtrace.options =
 
 let config_to_json c =
   Results.Obj
-    [
-      ("policy", policy_to_json c.c_policy);
-      ("io_cost", io_cost_to_json c.c_io_cost);
-      ("fuel", jint c.c_fuel);
-      ("threading", threading_to_json c.c_threading);
-      ("trace", jopt trace_options_to_json c.c_trace);
-      ("superblocks", jbool c.c_superblocks);
-    ]
+    ([
+       ("policy", policy_to_json c.c_policy);
+       ("io_cost", io_cost_to_json c.c_io_cost);
+       ("fuel", jint c.c_fuel);
+       ("threading", threading_to_json c.c_threading);
+       ("trace", jopt trace_options_to_json c.c_trace);
+       ("superblocks", jbool c.c_superblocks);
+     ]
+    (* appended only off the default so nat snapshots stay byte-identical
+       to those taken before backends existed *)
+    @
+    match c.c_backend with
+    | Backend.Nat -> []
+    | b -> [ ("backend", jstr (Backend.to_string b)) ])
 
 let config_of_json j =
   {
@@ -483,6 +497,14 @@ let config_of_json j =
       (match Results.member "superblocks" j with
       | Some v -> as_bool v
       | None -> true);
+    (* absent means the default backend, in old and new snapshots alike *)
+    c_backend =
+      (match Results.member "backend" j with
+      | Some v -> (
+          match Backend.of_string (as_string v) with
+          | Ok b -> b
+          | Error e -> bad "%s" e)
+      | None -> Backend.Nat);
   }
 
 (* ---- machine state ---- *)
@@ -863,23 +885,95 @@ let flow_of_json j =
   in
   (d, pages_of_json (field "provenance_pages" j))
 
+(* ---- tag-coprocessor state ---- *)
+
+let tracking_record_to_json (r : Tracking.record) =
+  Results.Obj
+    (match r with
+    | Tracking.Set { dst; tainted } ->
+        [ ("op", jstr "set"); ("dst", jint dst); ("tainted", jbool tainted) ]
+    | Tracking.Move { dst; src } ->
+        [ ("op", jstr "move"); ("dst", jint dst); ("src", jint src) ]
+    | Tracking.Union { dst; s1; s2 } ->
+        [ ("op", jstr "union"); ("dst", jint dst); ("s1", jint s1); ("s2", jint s2) ]
+    | Tracking.Load { dst; addr; len } ->
+        [ ("op", jstr "load"); ("dst", jint dst); ("addr", j64 addr); ("len", jint len) ]
+    | Tracking.Store { addr; len; src } ->
+        [ ("op", jstr "store"); ("addr", j64 addr); ("len", jint len); ("src", jint src) ]
+    | Tracking.Check { what; reg } ->
+        [
+          ("op", jstr "check");
+          ("what", jstr (Tracking.check_to_string what));
+          ("reg", jint reg);
+        ])
+
+let tracking_record_of_json j : Tracking.record =
+  match sfield "op" j with
+  | "set" -> Tracking.Set { dst = ifield "dst" j; tainted = as_bool (field "tainted" j) }
+  | "move" -> Tracking.Move { dst = ifield "dst" j; src = ifield "src" j }
+  | "union" ->
+      Tracking.Union { dst = ifield "dst" j; s1 = ifield "s1" j; s2 = ifield "s2" j }
+  | "load" ->
+      Tracking.Load
+        { dst = ifield "dst" j; addr = as_i64 (field "addr" j); len = ifield "len" j }
+  | "store" ->
+      Tracking.Store
+        { addr = as_i64 (field "addr" j); len = ifield "len" j; src = ifield "src" j }
+  | "check" -> (
+      match Tracking.check_of_string (sfield "what" j) with
+      | Some what -> Tracking.Check { what; reg = ifield "reg" j }
+      | None -> bad "unknown check kind %S" (sfield "what" j))
+  | op -> bad "unknown tag record %S" op
+
+let tracking_to_json (d : Tracking.dump) =
+  Results.Obj
+    [
+      ("regs", jbits d.Tracking.d_regs);
+      ( "queue",
+        Results.List
+          (List.map
+             (fun (r, at) ->
+               Results.Obj
+                 [ ("record", tracking_record_to_json r); ("at", jint at) ])
+             d.Tracking.d_queue) );
+      ("retired", jint d.Tracking.d_retired);
+      ("pending_stall", jint d.Tracking.d_pending_stall);
+    ]
+
+let tracking_of_json j : Tracking.dump =
+  {
+    Tracking.d_regs = as_bits (field "regs" j);
+    d_queue =
+      List.map
+        (fun e -> (tracking_record_of_json (field "record" e), ifield "at" e))
+        (as_list (field "queue" j));
+    d_retired = ifield "retired" j;
+    d_pending_stall = ifield "pending_stall" j;
+  }
+
 (* ---- the envelope ---- *)
 
 let to_json t =
   Results.Obj
-    [
-      ("snapshot_version", jint version);
-      ("kind", jstr "shift-snapshot");
-      ("meta", Results.Obj (List.map (fun (k, v) -> (k, jstr v)) t.meta));
-      ("config", config_to_json t.config);
-      ("fuel_left", jint t.fuel_left);
-      ("result", jopt outcome_to_json t.result);
-      ("image", jstr (hex_encode (Marshal.to_string t.image [])));
-      ("memory", pages_to_json t.memory);
-      ("machine", machine_to_json t.machine);
-      ("world", world_to_json t.world);
-      ("flow", jopt (fun (d, pages) -> flow_to_json d pages) t.flow);
-    ]
+    ([
+       ("snapshot_version", jint version);
+       ("kind", jstr "shift-snapshot");
+       ("meta", Results.Obj (List.map (fun (k, v) -> (k, jstr v)) t.meta));
+       ("config", config_to_json t.config);
+       ("fuel_left", jint t.fuel_left);
+       ("result", jopt outcome_to_json t.result);
+       ("image", jstr (hex_encode (Marshal.to_string t.image [])));
+       ("memory", pages_to_json t.memory);
+       ("machine", machine_to_json t.machine);
+       ("world", world_to_json t.world);
+       ("flow", jopt (fun (d, pages) -> flow_to_json d pages) t.flow);
+     ]
+    (* appended only for the coproc backend: nat snapshots keep the
+       exact envelope of earlier versions *)
+    @
+    match t.tracking with
+    | None -> []
+    | Some d -> [ ("tracking", tracking_to_json d) ])
 
 let of_json j =
   try
@@ -908,6 +1002,10 @@ let of_json j =
         machine = machine_of_json (field "machine" j);
         world = world_of_json (field "world" j);
         flow = as_opt flow_of_json (field "flow" j);
+        tracking =
+          (match Results.member "tracking" j with
+          | Some v -> Some (tracking_of_json v)
+          | None -> None);
       }
   with Bad msg -> Error msg
 

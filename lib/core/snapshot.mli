@@ -41,6 +41,9 @@ type config = {
       (** whether the superblock compiler may run; the block cache itself
           is derived state and never snapshotted (a restored machine
           starts cold with identical simulated counters) *)
+  c_backend : Shift_tracking.Backend.t;
+      (** tracking backend; serialised only when not the default [Nat],
+          so nat snapshots stay byte-identical to pre-backend ones *)
 }
 
 (** One hart's complete execution state. *)
@@ -88,6 +91,11 @@ type t = {
   flow : (Shift_machine.Flowtrace.dump * (int64 * string) list) option;
       (** flow-trace state plus provenance shadow pages, traced runs
           only *)
+  tracking : Shift_tracking.Tracking.dump option;
+      (** tag-coprocessor state — register tag file, pending queue, lag
+          clock, uncharged stall — [coproc] sessions only.  The
+          coprocessor's memory bitmap needs no separate entry: it lives
+          in guest memory and rides the [memory] pages. *)
 }
 
 val version : int
@@ -101,6 +109,7 @@ val version : int
 
 val capture :
   ?meta:(string * string) list ->
+  ?tracking:Shift_tracking.Tracking.dump ->
   image:Shift_compiler.Image.t ->
   config:config ->
   fuel_left:int ->

@@ -1,4 +1,5 @@
 open Shift_isa
+module Tracking = Shift_tracking.Tracking
 
 type t = {
   program : Program.t;
@@ -18,6 +19,7 @@ type t = {
   ftregs : Flowtrace.regs;
   call_stack : (int * int64) Stack.t;
   sb : sb;
+  mutable tracking : Tracking.t;
 }
 
 (* Superblock compiler state (see {!Superblock}).  Lives on the machine
@@ -84,6 +86,7 @@ let create ?(entry = "_start") ?mem program =
         sb_watched = false;
         sb_stats = Stats.sb_create ();
       };
+    tracking = Tracking.default;
   }
 
 let get_value t r = t.values.(r)
@@ -315,11 +318,14 @@ let exec_op t (d : Decode.info) =
       if ft_on then Flowtrace.on_load ft t.ftregs ~ip:t.ip ~dst ~addr:a ~len:8;
       t.ip <- t.ip + 1
   | Instr.Setnat r ->
-      set_nat t r true;
+      (* under a per-instruction backend the marker is a coprocessor
+         directive (mirrored by track_op), not a real NaT write — a
+         stray NaT in uninstrumented code would fault *)
+      if not (Tracking.per_instr t.tracking) then set_nat t r true;
       if ft_on then Flowtrace.on_setnat ft t.ftregs ~ip:t.ip ~reg:r;
       t.ip <- t.ip + 1
   | Instr.Clrnat r ->
-      set_nat t r false;
+      if not (Tracking.per_instr t.tracking) then set_nat t r false;
       if ft_on then Flowtrace.on_clrnat ft t.ftregs ~ip:t.ip ~reg:r;
       t.ip <- t.ip + 1
   | Instr.Syscall ->
@@ -335,6 +341,72 @@ let exec_op t (d : Decode.info) =
         t.ftregs.Flowtrace.depth.(Reg.ret) <- 0
       end;
       t.ip <- t.ip + 1
+
+(* Mirror of [exec_op]'s taint semantics for the decoupled tag
+   coprocessor (Tracking backend [coproc]): the guest runs
+   uninstrumented while the core emits one propagation record per
+   retiring instruction onto the asynchronous tag queue.  The mirror
+   reads operands pre-execution — the same values [exec_op] is about to
+   consume — and only for addresses [exec_op] would accept, so a
+   faulting instruction enqueues nothing.  Syscalls are a
+   synchronisation barrier: the queue is flushed before the OS model
+   runs, keeping the H1–H5 sink checks exact. *)
+let track_op t (d : Decode.info) =
+  let tk = t.tracking in
+  let checks = Tracking.low_level_checks tk in
+  (match d.Decode.op with
+  | Instr.Nop | Instr.Halt | Instr.Cmp _ | Instr.Tnat _ | Instr.Chk_s _
+  | Instr.Br _ | Instr.Call _ | Instr.Ret ->
+      ()
+  | Instr.Movi (dst, _) -> Tracking.push tk (Tracking.Set { dst; tainted = false })
+  | Instr.Lea (dst, _) -> Tracking.push tk (Tracking.Set { dst; tainted = false })
+  | Instr.Mov (dst, src) -> Tracking.push tk (Tracking.Move { dst; src })
+  | Instr.Extr { dst; src; _ } -> Tracking.push tk (Tracking.Move { dst; src })
+  | Instr.Arith (a, dst, s1, o) ->
+      let clear_idiom =
+        match (a, o) with
+        | (Instr.Xor | Instr.Sub), Instr.R s2 -> s1 = s2
+        | _ -> false
+      in
+      if clear_idiom then Tracking.push tk (Tracking.Set { dst; tainted = false })
+      else
+        let s2 = match o with Instr.R r -> r | Instr.Imm _ -> Reg.zero in
+        Tracking.push tk (Tracking.Union { dst; s1; s2 })
+  | Instr.Ld { width; dst; addr; _ } ->
+      let a = t.values.(addr) in
+      if Shift_mem.Addr.is_valid a then begin
+        if checks then
+          Tracking.push tk (Tracking.Check { what = Tracking.Load_address; reg = addr });
+        Tracking.push tk
+          (Tracking.Load { dst; addr = a; len = Instr.bytes_of_width width })
+      end
+  | Instr.St { width; addr; src; _ } ->
+      let a = t.values.(addr) in
+      if Shift_mem.Addr.is_valid a then begin
+        if checks then
+          Tracking.push tk (Tracking.Check { what = Tracking.Store_address; reg = addr });
+        Tracking.push tk
+          (Tracking.Store { addr = a; len = Instr.bytes_of_width width; src })
+      end
+  | Instr.Fetchadd { dst; addr; _ } ->
+      if Shift_mem.Addr.is_valid t.values.(addr) then begin
+        if checks then
+          Tracking.push tk (Tracking.Check { what = Tracking.Load_address; reg = addr });
+        Tracking.push tk (Tracking.Set { dst; tainted = false })
+      end
+  | Instr.Br_reg r ->
+      if checks then
+        Tracking.push tk (Tracking.Check { what = Tracking.Branch_target; reg = r })
+  | Instr.Call_reg r ->
+      if checks then
+        Tracking.push tk (Tracking.Check { what = Tracking.Call_target; reg = r })
+  | Instr.Setnat r -> Tracking.push tk (Tracking.Set { dst = r; tainted = true })
+  | Instr.Clrnat r -> Tracking.push tk (Tracking.Set { dst = r; tainted = false })
+  | Instr.Syscall ->
+      Tracking.flush tk;
+      Tracking.push tk (Tracking.Set { dst = Reg.ret; tainted = false }));
+  let stall = Tracking.take_stall tk in
+  if stall > 0 then Pipeline.stall t.pipe stall
 
 let finish t outcome =
   t.stats.cycles <- Pipeline.cycles t.pipe;
@@ -372,6 +444,12 @@ let step t =
       ~writes:d.Decode.writes
       ~pred_writes:d.Decode.pred_writes
       ~qp:d.Decode.qp ~is_mem:d.Decode.is_mem ~latency;
+    (* decoupled-backend hook: one never-taken branch under nat/none *)
+    (let tk = t.tracking in
+     if Tracking.per_instr tk then begin
+       Tracking.tick tk;
+       if executing then track_op t d
+     end);
     if executing then
       try
         exec_op t d;

@@ -41,6 +41,13 @@ type t = {
   ftregs : Flowtrace.regs;  (** this hart's register provenance shadow *)
   call_stack : (int * int64) Stack.t;
   sb : sb;  (** superblock compiler state; a derived cache, never snapshotted *)
+  mutable tracking : Shift_tracking.Tracking.t;
+      (** Taint-tracking backend handle ({!Shift_tracking.Tracking.default}
+          — an inert [nat] handle — until a session installs its own).
+          Under the [coproc] backend the hot loop mirrors each retiring
+          instruction into a tag-queue record; under [nat]/[none] the
+          hook is a single never-taken branch.  SMP harts share one
+          handle (one coprocessor per machine). *)
 }
 
 (** State of the dynamic superblock compiler (driven by {!Superblock}).

@@ -45,6 +45,8 @@ let spawn t ~parent ~entry ~arg =
      per-hart) but follows the parent's enable switch; sharing the
      parent's memory means code-region stores invalidate across harts *)
   cpu.Cpu.sb.Cpu.sb_on <- parent.Cpu.sb.Cpu.sb_on;
+  (* one tag coprocessor per machine: harts share the backend handle *)
+  cpu.Cpu.tracking <- parent.Cpu.tracking;
   Cpu.set_value cpu Shift_isa.Reg.sp
     (Int64.sub t.stack_top (Int64.mul (Int64.of_int id) t.stack_stride));
   Cpu.set_nat cpu Shift_isa.Reg.sp false;

@@ -4,6 +4,7 @@ module Flowtrace = Shift_machine.Flowtrace
 module Taint = Shift_mem.Taint
 module Policy = Shift_policy.Policy
 module Alert = Shift_policy.Alert
+module Tracking = Shift_tracking.Tracking
 
 type io_cost = { per_call : int; per_byte : int; sendfile_per_byte : int }
 
@@ -34,10 +35,11 @@ type t = {
      threaded (spawn fails, join returns immediately) *)
   mutable spawn_hook : (Cpu.t -> entry:int64 -> arg:int64 -> int) option;
   mutable join_hook : (int -> int64 option) option;
+  tracking : Tracking.t;
 }
 
 let create ?(policy = Policy.default) ?(gran = Shift_mem.Granularity.Word)
-    ?(io_cost = default_io_cost) () =
+    ?(io_cost = default_io_cost) ?(tracking = Tracking.default) () =
   {
     pol = policy;
     gran;
@@ -54,6 +56,7 @@ let create ?(policy = Policy.default) ?(gran = Shift_mem.Granularity.Word)
     brk = 0L; (* set on first sbrk from the constant below *)
     spawn_hook = None;
     join_hook = None;
+    tracking;
   }
 
 (* matches Layout.heap_base without depending on the compiler library *)
@@ -154,12 +157,13 @@ let enrich cpu ~addr ~positions ~syscall alert =
 let do_open t cpu =
   let path_addr = arg cpu 0 in
   let path = read_guest_string cpu path_addr in
-  let tainted = taint_positions t cpu path_addr path in
-  (match Policy.check_open t.pol ~path ~tainted with
-  | Some a ->
-      raise_alert t
-        (enrich cpu ~addr:path_addr ~positions:tainted ~syscall:"sys_open" a)
-  | None -> ());
+  (if Tracking.checks_on t.tracking then
+     let tainted = taint_positions t cpu path_addr path in
+     match Policy.check_open t.pol ~path ~tainted with
+     | Some a ->
+         raise_alert t
+           (enrich cpu ~addr:path_addr ~positions:tainted ~syscall:"sys_open" a)
+     | None -> ());
   charge t cpu ~bytes:0 ~per_byte:0;
   match Hashtbl.find_opt t.files (resolve path) with
   | Some (content, file_tainted) ->
@@ -188,7 +192,8 @@ let do_read t cpu ~origin =
          taint sources (paper §3.3.1); clean input clears stale tags in
          reused buffers *)
       if n > 0 then begin
-        Taint.set_range cpu.Cpu.mem t.gran ~addr:buf ~len:n ~tainted:s.tainted;
+        if Tracking.sources_on t.tracking then
+          Taint.set_range cpu.Cpu.mem t.gran ~addr:buf ~len:n ~tainted:s.tainted;
         let ft = cpu.Cpu.flowtrace in
         if ft.Flowtrace.enabled then
           Flowtrace.on_input ft ~ip:cpu.Cpu.ip ~channel:(channel_of fd s)
@@ -253,10 +258,11 @@ let do_sbrk t cpu =
 let do_string_sink t cpu ~check ~record ~syscall =
   let addr = arg cpu 0 in
   let s = read_guest_string cpu addr in
-  let tainted = strong_taint_positions t cpu addr s in
-  (match check ~s ~tainted with
-  | Some a -> raise_alert t (enrich cpu ~addr ~positions:tainted ~syscall a)
-  | None -> ());
+  (if Tracking.checks_on t.tracking then
+     let tainted = strong_taint_positions t cpu addr s in
+     match check ~s ~tainted with
+     | Some a -> raise_alert t (enrich cpu ~addr ~positions:tainted ~syscall a)
+     | None -> ());
   record s;
   charge t cpu ~bytes:String.(length s) ~per_byte:1;
   ret_val cpu 0L
@@ -265,12 +271,13 @@ let do_html_out t cpu =
   let buf = arg cpu 0 in
   let len = Int64.to_int (arg cpu 1) in
   let html = Shift_mem.Memory.read_bytes cpu.Cpu.mem buf ~len in
-  let tainted = strong_taint_positions t cpu buf html in
-  (match Policy.check_html t.pol ~html ~tainted with
-  | Some a ->
-      raise_alert t
-        (enrich cpu ~addr:buf ~positions:tainted ~syscall:"sys_html_out" a)
-  | None -> ());
+  (if Tracking.checks_on t.tracking then
+     let tainted = strong_taint_positions t cpu buf html in
+     match Policy.check_html t.pol ~html ~tainted with
+     | Some a ->
+         raise_alert t
+           (enrich cpu ~addr:buf ~positions:tainted ~syscall:"sys_html_out" a)
+     | None -> ());
   Buffer.add_string t.html_buf html;
   charge t cpu ~bytes:len ~per_byte:t.io.per_byte;
   ret_val cpu (Int64.of_int len)

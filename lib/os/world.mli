@@ -25,11 +25,15 @@ val create :
   ?policy:Shift_policy.Policy.t ->
   ?gran:Shift_mem.Granularity.t ->
   ?io_cost:io_cost ->
+  ?tracking:Shift_tracking.Tracking.t ->
   unit ->
   t
 (** Granularity defaults to [Word]; it must match the compilation mode
     of the guest so host-side bitmap reads agree with the instrumented
-    code. *)
+    code.  [tracking] (default an inert [nat] handle) gates the kernel's
+    taint touch-points: input syscalls mark their buffers only when the
+    backend tracks sources, and the H1–H5 sink policies are evaluated
+    only when it performs checks. *)
 
 val policy : t -> Shift_policy.Policy.t
 

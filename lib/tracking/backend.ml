@@ -1,0 +1,20 @@
+type t = Nat | Coproc | Off
+
+let default = Nat
+let all = [ Nat; Coproc; Off ]
+
+let to_string = function
+  | Nat -> "nat"
+  | Coproc -> "coproc"
+  | Off -> "none"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "nat" | "shift" -> Ok Nat
+  | "coproc" | "coprocessor" -> Ok Coproc
+  | "none" | "off" | "baseline" -> Ok Off
+  | _ ->
+      Error
+        (Printf.sprintf "unknown tracking backend %S (expected nat, coproc or none)" s)
+
+let pp ppf t = Fmt.string ppf (to_string t)

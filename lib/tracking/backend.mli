@@ -1,0 +1,39 @@
+(** Taint-tracking backend selection.
+
+    The reproduction can cost one guest program under three tracking
+    architectures from the DIFT design space:
+
+    - [Nat]: SHIFT's on-core scheme (the paper's design) — register
+      taint rides the NaT bits and memory taint lives in an in-memory
+      bitmap updated by the instrumented guest code itself.  This is
+      the default and is bit- and counter-identical to the repository
+      before backends existed.
+    - [Coproc]: a decoupled tag coprocessor in the style of the
+      post-SHIFT literature (Wahab et al.'s ARM DIFT coprocessor,
+      PAGURUS's offloaded shell circuit): the main core retires
+      uninstrumented code and enqueues propagation records to a bounded
+      asynchronous tag queue; security checks resolve when their record
+      drains, so detection lags retirement and a full queue stalls the
+      core.
+    - [Off]: no tracking at all — the uninstrumented baseline every
+      overhead number is measured against.
+
+    This module is the one shared name table: the CLI ([--backend]),
+    the serve wire protocol ([backend] request field) and the catalog
+    all parse and print through {!of_string}/{!to_string}. *)
+
+type t = Nat | Coproc | Off
+
+val default : t
+(** [Nat] — the paper's design. *)
+
+val all : t list
+
+val to_string : t -> string
+(** Canonical names: ["nat"], ["coproc"], ["none"]. *)
+
+val of_string : string -> (t, string) result
+(** Accepts the canonical names plus the aliases ["shift"],
+    ["coprocessor"], ["off"] and ["baseline"]; case-insensitive. *)
+
+val pp : Format.formatter -> t -> unit

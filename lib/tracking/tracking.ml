@@ -1,0 +1,254 @@
+module Reg = Shift_isa.Reg
+module Memory = Shift_mem.Memory
+module Taint = Shift_mem.Taint
+module Granularity = Shift_mem.Granularity
+module Policy = Shift_policy.Policy
+module Alert = Shift_policy.Alert
+
+(* ---------- static backend profiles ---------- *)
+
+module type S = sig
+  val backend : Backend.t
+
+  val per_instr : bool
+  (** The backend needs a hook on every retired instruction. *)
+
+  val sources : bool
+  (** Input syscalls mark their buffers tainted. *)
+
+  val checks : bool
+  (** Security policies (low-level and high-level) are evaluated. *)
+
+  val superblocks_ok : bool
+  (** The superblock compiler may run (its compiled blocks bypass the
+      per-instruction hook). *)
+end
+
+module Nat = struct
+  let backend = Backend.Nat
+  let per_instr = false
+  let sources = true
+  let checks = true
+  let superblocks_ok = true
+end
+
+module Coproc = struct
+  let backend = Backend.Coproc
+  let per_instr = true
+  let sources = true
+  let checks = true
+  let superblocks_ok = false
+end
+
+module Off = struct
+  let backend = Backend.Off
+  let per_instr = false
+  let sources = false
+  let checks = false
+  let superblocks_ok = true
+end
+
+let profile : Backend.t -> (module S) = function
+  | Backend.Nat -> (module Nat)
+  | Backend.Coproc -> (module Coproc)
+  | Backend.Off -> (module Off)
+
+(* ---------- tag-queue records ---------- *)
+
+type check = Load_address | Store_address | Branch_target | Call_target
+
+let check_to_string = function
+  | Load_address -> "load address"
+  | Store_address -> "store address"
+  | Branch_target -> "branch target"
+  | Call_target -> "call target"
+
+let check_of_string = function
+  | "load address" -> Some Load_address
+  | "store address" -> Some Store_address
+  | "branch target" -> Some Branch_target
+  | "call target" -> Some Call_target
+  | _ -> None
+
+type record =
+  | Set of { dst : int; tainted : bool }
+  | Move of { dst : int; src : int }
+  | Union of { dst : int; s1 : int; s2 : int }
+  | Load of { dst : int; addr : int64; len : int }
+  | Store of { addr : int64; len : int; src : int }
+  | Check of { what : check; reg : int }
+
+type stats = {
+  mutable enqueued : int;
+  mutable drained : int;
+  mutable stalls : int;
+  mutable stall_cycles : int;
+  mutable checks : int;
+  mutable alerts : int;
+  mutable max_lag : int;
+  mutable last_alert_lag : int;
+}
+
+let fresh_stats () =
+  {
+    enqueued = 0;
+    drained = 0;
+    stalls = 0;
+    stall_cycles = 0;
+    checks = 0;
+    alerts = 0;
+    max_lag = 0;
+    last_alert_lag = 0;
+  }
+
+type t = {
+  backend : Backend.t;
+  per_instr : bool;
+  sources : bool;
+  checks : bool;
+  low_level : bool;
+  capacity : int;
+  drain_rate : int;
+  stall_penalty : int;
+  regs : bool array;  (* coproc-private register tag file *)
+  q : (record * int) Queue.t;  (* record, retired-count at enqueue *)
+  mutable retired : int;
+  mutable pending_stall : int;
+  stats : stats;
+  mem : Memory.t option;
+}
+
+let default_capacity = 256
+let default_drain_rate = 2
+let default_stall_penalty = 4
+
+let create ?(low_level = true) ?(capacity = default_capacity)
+    ?(drain_rate = default_drain_rate) ?(stall_penalty = default_stall_penalty)
+    ?mem ~backend () =
+  let module P = (val profile backend) in
+  {
+    backend;
+    per_instr = P.per_instr;
+    sources = P.sources;
+    checks = P.checks;
+    low_level;
+    capacity = max 1 capacity;
+    drain_rate = max 1 drain_rate;
+    stall_penalty = max 0 stall_penalty;
+    regs = (if P.per_instr then Array.make Reg.count false else [||]);
+    q = Queue.create ();
+    retired = 0;
+    pending_stall = 0;
+    stats = fresh_stats ();
+    mem;
+  }
+
+let default = create ~backend:Backend.Nat ()
+
+let backend t = t.backend
+let per_instr t = t.per_instr
+let sources_on t = t.sources
+let checks_on t = t.checks
+let low_level_checks t = t.checks && t.low_level
+let capacity t = t.capacity
+let stats t = t.stats
+let queue_length t = Queue.length t.q
+let reg_tag t r = t.per_instr && t.regs.(r)
+
+let mem_exn t =
+  match t.mem with
+  | Some m -> m
+  | None -> invalid_arg "Tracking: tag coprocessor has no memory binding"
+
+let coproc_alert what ~lag =
+  let base =
+    match Policy.alert_of_fault (check_to_string what) with
+    | Some a -> a
+    | None -> Alert.make ~policy:"L?" "tag coprocessor check"
+  in
+  {
+    base with
+    Alert.message =
+      Printf.sprintf "%s (tag coprocessor, drain lag %d)" base.Alert.message lag;
+  }
+
+(* Apply one drained record against the coprocessor's own tag state.
+   r0 is hard-wired clean; it doubles as the "no second operand" slot
+   in Union records. *)
+let apply t (r, at) =
+  let lag = t.retired - at in
+  if lag > t.stats.max_lag then t.stats.max_lag <- lag;
+  t.stats.drained <- t.stats.drained + 1;
+  match r with
+  | Set { dst; tainted } -> if dst <> Reg.zero then t.regs.(dst) <- tainted
+  | Move { dst; src } -> if dst <> Reg.zero then t.regs.(dst) <- t.regs.(src)
+  | Union { dst; s1; s2 } ->
+      if dst <> Reg.zero then t.regs.(dst) <- t.regs.(s1) || t.regs.(s2)
+  | Load { dst; addr; len } ->
+      if dst <> Reg.zero then
+        t.regs.(dst) <- Taint.any_tainted (mem_exn t) Granularity.Byte ~addr ~len
+  | Store { addr; len; src } ->
+      Taint.set_range (mem_exn t) Granularity.Byte ~addr ~len
+        ~tainted:t.regs.(src)
+  | Check { what; reg } ->
+      t.stats.checks <- t.stats.checks + 1;
+      if t.regs.(reg) then begin
+        t.stats.alerts <- t.stats.alerts + 1;
+        t.stats.last_alert_lag <- lag;
+        raise (Alert.Violation (coproc_alert what ~lag))
+      end
+
+let drain t n =
+  let n = min n (Queue.length t.q) in
+  for _ = 1 to n do
+    apply t (Queue.pop t.q)
+  done
+
+let tick t =
+  t.retired <- t.retired + 1;
+  drain t t.drain_rate
+
+let push t r =
+  if Queue.length t.q >= t.capacity then begin
+    (* queue full: the core stalls while the coprocessor forces one
+       record out to make room *)
+    t.stats.stalls <- t.stats.stalls + 1;
+    t.stats.stall_cycles <- t.stats.stall_cycles + t.stall_penalty;
+    t.pending_stall <- t.pending_stall + t.stall_penalty;
+    drain t 1
+  end;
+  t.stats.enqueued <- t.stats.enqueued + 1;
+  Queue.add (r, t.retired) t.q
+
+let flush t = drain t max_int
+
+let take_stall t =
+  let s = t.pending_stall in
+  t.pending_stall <- 0;
+  s
+
+(* ---------- snapshot support ---------- *)
+
+type dump = {
+  d_regs : bool array;
+  d_queue : (record * int) list;
+  d_retired : int;
+  d_pending_stall : int;
+}
+
+let export t =
+  {
+    d_regs = Array.copy t.regs;
+    d_queue = List.of_seq (Queue.to_seq t.q);
+    d_retired = t.retired;
+    d_pending_stall = t.pending_stall;
+  }
+
+let import t (d : dump) =
+  if Array.length d.d_regs <> Array.length t.regs then
+    invalid_arg "Tracking.import: register tag file size mismatch";
+  Array.blit d.d_regs 0 t.regs 0 (Array.length d.d_regs);
+  Queue.clear t.q;
+  List.iter (fun e -> Queue.add e t.q) d.d_queue;
+  t.retired <- d.d_retired;
+  t.pending_stall <- d.d_pending_stall

@@ -95,12 +95,14 @@ let setup ~file_size ~requests world =
 let default_slice = 100_000
 
 let serve ?policy:(pol = policy) ?io_cost:(io = io_cost) ?(fuel = 2_000_000_000)
-    ?(slice = default_slice) ?(on_slice = fun _ -> ()) ~mode ~file_size ~requests () =
+    ?(slice = default_slice) ?(on_slice = fun _ -> ())
+    ?(backend = Shift.Backend.default) ~mode ~file_size ~requests () =
+  let mode = Shift.Session.effective_mode ~backend mode in
   let config =
     Shift.Session.Config.make ~policy:pol ~io_cost:io ~fuel
-      ~setup:(setup ~file_size ~requests) ()
+      ~setup:(setup ~file_size ~requests) ~backend ()
   in
-  let live = Shift.Session.start ~config (Shift.Session.build ~mode program) in
+  let live = Shift.Session.start ~config (Shift.Session.build ~backend ~mode program) in
   let rec drive () =
     match Shift.Session.advance live ~budget:slice with
     | `Yielded ->

@@ -35,6 +35,7 @@ val serve :
   ?fuel:int ->
   ?slice:int ->
   ?on_slice:(Shift.Session.live -> unit) ->
+  ?backend:Shift.Backend.t ->
   mode:Shift_compiler.Mode.t ->
   file_size:int ->
   requests:int ->
@@ -47,4 +48,6 @@ val serve :
     hook a multiplexing front end uses) instead of one monolithic run.
     Because engine suspension touches no machine state, the report's
     counters are byte-identical to a single-slice run at any [slice].
-    [policy]/[io_cost] default to this module's. *)
+    [policy]/[io_cost] default to this module's.  [backend] selects the
+    tracking backend (default [nat]); as everywhere, non-nat backends
+    run the guest uninstrumented regardless of [mode]. *)

@@ -3,7 +3,7 @@
    parallel-equals-serial guarantee the harness's tables rest on. *)
 
 module R = Shift.Results
-module Pool = Shift_bench.Pool
+module Pool = Shift.Pool
 module Common = Shift_bench.Common
 module Spec = Shift_workloads.Spec
 module Mode = Shift_compiler.Mode

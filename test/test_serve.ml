@@ -102,6 +102,7 @@ let protocol_tests =
                     size = Some 64;
                     safe = true;
                     superblocks = false;
+                    backend = Shift.Backend.Coproc;
                   };
             };
             {
@@ -116,6 +117,7 @@ let protocol_tests =
                     mode = Mode.shift_word;
                     benign = true;
                     superblocks = true;
+                    backend = Shift.Backend.Off;
                   };
             };
             {
@@ -132,6 +134,7 @@ let protocol_tests =
                     ring = 128;
                     only = Some "birth,sink";
                     superblocks = true;
+                    backend = Shift.Backend.Nat;
                   };
             };
             {
@@ -148,6 +151,7 @@ let protocol_tests =
                     safe = false;
                     retries = 2;
                     superblocks = true;
+                    backend = Shift.Backend.Nat;
                   };
             };
             {
@@ -386,6 +390,7 @@ let server_tests =
                            size = Some 256;
                            safe = false;
                            superblocks = true;
+                           backend = Shift.Backend.Nat;
                          })))
             in
             let solo = solo_json "gzip" in
@@ -425,6 +430,7 @@ let server_tests =
                         size = None;
                         safe = false;
                         superblocks = true;
+                        backend = Shift.Backend.Nat;
                       }))
             in
             Util.check_string "unknown_name" "unknown_name" (error_code_of unknown);
@@ -438,6 +444,7 @@ let server_tests =
                         size = None;
                         safe = false;
                         superblocks = true;
+                        backend = Shift.Backend.Nat;
                       }))
             in
             Util.check_string "id required" "bad_request" (error_code_of idless);
@@ -461,6 +468,7 @@ let server_tests =
                                    size = Some 256;
                                    safe = false;
                                    superblocks = true;
+                                   backend = Shift.Backend.Nat;
                                  }))))
                  with
                 | Ok () -> ()
@@ -510,6 +518,7 @@ let server_tests =
                       size = Some 256;
                       safe = false;
                       superblocks = true;
+                      backend = Shift.Backend.Nat;
                     }));
             send (plain_env ~id:"bye" Protocol.Drain);
             let next () =
@@ -552,6 +561,7 @@ let server_tests =
                                size = Some 16384;
                                safe = false;
                                superblocks = true;
+                               backend = Shift.Backend.Nat;
                              }))))
              with
             | Ok () -> ()
@@ -578,6 +588,7 @@ let server_tests =
                             size = None;
                             safe = false;
                             superblocks = true;
+                            backend = Shift.Backend.Nat;
                           }))
                 in
                 Util.check_string "draining" "draining" (error_code_of refused);
