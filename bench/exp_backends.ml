@@ -120,6 +120,93 @@ let attack_coproc ~benign (c : Case.t) =
   in
   (alerted, report, qstats_of (Tracking.stats (Shift.Session.tracking live)))
 
+(* ---------- the queue-knob sweep ---------- *)
+
+(* one coproc run with explicit queue knobs; [None] = model default *)
+let run_coproc_knobs ?capacity ?drain_rate ?stall_penalty (k : Spec.kernel) =
+  let backend = Backend.Coproc in
+  let mode = Shift.Session.effective_mode ~backend requested_mode in
+  let config =
+    Shift.Session.Config.make ~policy:Policy.default ~fuel
+      ~setup:(Spec.setup ~tainted:true k) ~backend ?coproc_capacity:capacity
+      ?coproc_drain_rate:drain_rate ?coproc_stall_penalty:stall_penalty ()
+  in
+  let live =
+    Shift.Session.start ~config (Shift.Session.build ~backend ~mode k.Spec.program)
+  in
+  (match Shift.Session.advance live ~budget:max_int with
+  | `Finished _ | `Yielded -> ());
+  (Shift.Session.report live, qstats_of (Tracking.stats (Shift.Session.tracking live)))
+
+type sweep_point = {
+  axis : string;  (* which knob this point varies *)
+  capacity : int;
+  drain_rate : int;
+  stall_penalty : int;
+  cycles : int;
+  q : qstats;
+}
+
+(* Shrink the queue until the core stalls (the knee), vary the drain
+   rate at the default capacity, and price the stalls once the queue is
+   too small to hide them. *)
+let capacities = [ 4; 8; 16; 32; 64; 128; Tracking.default_capacity ]
+let drain_rates = [ 1; Tracking.default_drain_rate; 4; 8 ]
+let stall_penalties = [ 1; Tracking.default_stall_penalty; 16; 64 ]
+
+let sweep_points () =
+  (* at the default drain rate the coprocessor keeps up with retirement
+     and every capacity is equally invisible, so the capacity axis is
+     swept at drain rate 1 — the regime where the queue is under
+     pressure and its depth decides whether bursts stall the core *)
+  List.map (fun c -> ("capacity", Some c, Some 1, None)) capacities
+  @ List.map (fun d -> ("drain_rate", None, Some d, None)) drain_rates
+  (* penalty only matters while stalling: pin the pressured drain rate *)
+  @ List.map (fun p -> ("stall_penalty", None, Some 1, Some p)) stall_penalties
+
+let run_sweep k =
+  Pool.map
+    (fun (axis, cap, dr, sp) ->
+      let r, q = run_coproc_knobs ?capacity:cap ?drain_rate:dr ?stall_penalty:sp k in
+      {
+        axis;
+        capacity = Option.value cap ~default:Tracking.default_capacity;
+        drain_rate = Option.value dr ~default:Tracking.default_drain_rate;
+        stall_penalty = Option.value sp ~default:Tracking.default_stall_penalty;
+        cycles = r.Shift.Report.stats.Stats.cycles;
+        q;
+      })
+    (sweep_points ())
+
+(* The stall knee: the smallest swept capacity whose stall cycles are
+   within 1% of the deepest queue's.  Below it the shallow queue turns
+   propagation bursts into extra force-drain stalls; past it a deeper
+   queue buys the core nothing (under sustained overload the residual
+   stalls are the enqueue-drain rate gap, which no capacity absorbs). *)
+let knee_of sweep =
+  let caps = List.filter (fun p -> p.axis = "capacity") sweep in
+  let floor_cycles = (List.nth caps (List.length caps - 1)).q.stall_cycles in
+  match
+    List.find_opt
+      (fun p -> p.q.stall_cycles <= floor_cycles + (floor_cycles / 100))
+      caps
+  with
+  | Some p -> p
+  | None -> List.nth caps (List.length caps - 1)
+
+let sweep_point_json p =
+  J.Obj
+    [
+      ("axis", J.String p.axis);
+      ("capacity", J.Int p.capacity);
+      ("drain_rate", J.Int p.drain_rate);
+      ("stall_penalty", J.Int p.stall_penalty);
+      ("cycles", J.Int p.cycles);
+      ("stalls", J.Int p.q.stalls);
+      ("stall_cycles", J.Int p.q.stall_cycles);
+      ("max_lag", J.Int p.q.max_lag);
+    ]
+
 (* ---------- the experiment ---------- *)
 
 let backend_name = Backend.to_string
@@ -235,6 +322,33 @@ let backends () =
     (if coproc_detects then "all detected, no false alarms" else "FAILURE");
   note "instructions (bounded by the %d-record queue)."
     Tracking.default_capacity;
+  (* queue-knob sweep on one kernel: capacity, drain rate, stall penalty *)
+  let sweep_kernel =
+    match Spec.find "gzip" with Some k -> k | None -> List.hd kernels
+  in
+  let sweep = run_sweep sweep_kernel in
+  let knee = knee_of sweep in
+  table
+    ~columns:
+      [ "axis"; "capacity"; "drain"; "penalty"; "cycles"; "stalls";
+        "stall cycles"; "max lag" ]
+    (List.map
+       (fun p ->
+         [
+           p.axis;
+           string_of_int p.capacity;
+           string_of_int p.drain_rate;
+           string_of_int p.stall_penalty;
+           string_of_int p.cycles;
+           string_of_int p.q.stalls;
+           string_of_int p.q.stall_cycles;
+           string_of_int p.q.max_lag;
+         ])
+       sweep);
+  note "queue sweep on %s: the stall knee is capacity %d (%d stall cycles) —"
+    sweep_kernel.Spec.name knee.capacity knee.q.stall_cycles;
+  note "shallower queues turn propagation bursts into extra force-drain";
+  note "stalls; deeper ones buy nothing the drain rate doesn't already.";
   J.Obj
     [
       ( "rows",
@@ -284,6 +398,13 @@ let backends () =
                    ("coproc", qstats_json q);
                  ])
              attacks) );
+      ( "coproc_sweep",
+        J.Obj
+          [
+            ("workload", J.String sweep_kernel.Spec.name);
+            ("points", J.List (List.map sweep_point_json sweep));
+            ("stall_knee", sweep_point_json knee);
+          ] );
       ("nat_identical_to_seed", J.Bool nat_identical);
       ("coproc_detects_all_attacks", J.Bool coproc_detects);
     ]

@@ -145,6 +145,12 @@ let list_cmd =
         Printf.printf "  %-22s %-22s %s\n" c.Case.program_name c.Case.attack_type
           c.Case.cve)
       Shift_attacks.Attacks.all;
+    print_endline "cross-process attack cases (multi-process OS personality):";
+    List.iter
+      (fun (c : Case.t) ->
+        Printf.printf "  %-22s %-22s %s\n" c.Case.program_name c.Case.attack_type
+          c.Case.cve)
+      Shift_attacks.Attacks.multiproc;
     print_endline "other: shiftc batch (the kernel suite as a fleet), shiftc httpd";
     0
   in
@@ -423,10 +429,9 @@ let attack_cmd =
         1
     | Some c ->
         let input = if benign then c.Case.benign else c.Case.exploit in
-        let r =
-          Shift.Session.run ~policy:c.Case.policy ~setup:input
-            ~superblocks:(not no_sb) ~backend ~mode c.Case.program
-        in
+        (* Case.run brings a multi-process case's process table and aux
+           images along; single-process cases run exactly as before *)
+        let r = Case.run ~superblocks:(not no_sb) ~backend ~mode ~input c in
         if json then print_json r
         else begin
           Format.printf "%s (%s) — %s input under %a@." c.Case.program_name
@@ -457,23 +462,44 @@ let httpd_cmd =
              workload replays a canned request stream through the resumable \
              engine; it does not listen for live connections).")
   in
-  let run mode file_size requests json backend =
-    (* driven through the resumable engine in bounded slices, not one
-       monolithic run — same counters either way *)
-    let r = Httpd.serve ~mode ~file_size ~requests ~backend () in
-    if json then print_json r
+  let workers_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker-process mode: the master forks $(docv) workers (clamped \
+             to 1..8) that drain the shared request queue under the \
+             multi-process OS personality; the master reaps them and exits \
+             with the total served.  Incompatible with $(b,--backend coproc).")
+  in
+  let run mode file_size requests json backend workers =
+    if workers <> None && backend = Shift.Backend.Coproc then begin
+      prerr_endline "httpd: --workers is incompatible with --backend coproc";
+      1
+    end
     else begin
-      Format.printf "httpd: %d requests of a %d-byte file under %a@." requests
-        file_size Mode.pp mode;
-      let s = r.Shift.Report.stats in
-      Format.printf "outcome: %a; cycles/request: %d@." Shift.Report.pp_outcome
-        r.Shift.Report.outcome (s.Stats.cycles / max requests 1)
-    end;
-    0
+      (* driven through the resumable engine in bounded slices, not one
+         monolithic run — same counters either way *)
+      let r = Httpd.serve ~mode ~file_size ~requests ~backend ?workers () in
+      if json then print_json r
+      else begin
+        Format.printf "httpd%s: %d requests of a %d-byte file under %a@."
+          (match workers with
+          | Some w -> Printf.sprintf " (%d workers)" w
+          | None -> "")
+          requests file_size Mode.pp mode;
+        let s = r.Shift.Report.stats in
+        Format.printf "outcome: %a; cycles/request: %d@." Shift.Report.pp_outcome
+          r.Shift.Report.outcome (s.Stats.cycles / max requests 1)
+      end;
+      0
+    end
   in
   Cmd.v
     (Cmd.info "httpd" ~doc:"Run the web-server workload (the Figure-6 substrate)")
-    Term.(const run $ mode_arg $ size_arg $ requests_arg $ json_arg $ backend_arg)
+    Term.(
+      const run $ mode_arg $ size_arg $ requests_arg $ json_arg $ backend_arg
+      $ workers_arg)
 
 let disasm_cmd =
   let name_arg =
@@ -536,20 +562,22 @@ let trace_cmd =
     match Shift_attacks.Attacks.find name with
     | Some c ->
         Ok
-          (fun benign ->
+          (fun ~benign ~trace ~superblocks ~backend ~mode ->
+            let input = if benign then c.Case.benign else c.Case.exploit in
             ( c.Case.program_name,
-              c.Case.policy,
-              (if benign then c.Case.benign else c.Case.exploit),
-              c.Case.program ))
+              Case.config ~trace ~superblocks ~backend ~mode ~input c,
+              Case.image ~backend ~mode c ))
     | None -> (
         match find_kernel name with
         | Ok k ->
             Ok
-              (fun _benign ->
+              (fun ~benign:_ ~trace ~superblocks ~backend ~mode ->
+                let mode = Shift.Session.effective_mode ~backend mode in
                 ( k.Spec.name,
-                  Policy.default,
-                  Spec.setup ~tainted:true k,
-                  k.Spec.program ))
+                  Shift.Session.Config.make ~policy:Policy.default
+                    ~setup:(Spec.setup ~tainted:true k)
+                    ~trace ~superblocks ~backend (),
+                  Shift.Session.build ~backend ~mode k.Spec.program ))
         | Error _ ->
             Error
               (Printf.sprintf
@@ -563,14 +591,14 @@ let trace_cmd =
         prerr_endline e;
         1
     | Ok pick, Ok only ->
+        (* effective_mode is idempotent, so resolving it here (for the
+           printed labels) and again inside the builders agrees *)
         let mode = Shift.Session.effective_mode ~backend mode in
-        let label, policy, setup, program = pick benign in
-        let config =
-          Shift.Session.Config.make ~policy ~setup
+        let label, config, image =
+          pick ~benign
             ~trace:{ Shift.Flowtrace.capacity = ring; only }
-            ~superblocks:(not no_sb) ~backend ()
+            ~superblocks:(not no_sb) ~backend ~mode
         in
-        let image = Shift.Session.build ~backend ~mode program in
         let live = Shift.Session.start ~config image in
         (match Shift.Session.advance live ~budget:max_int with
         | `Finished _ | `Yielded -> ());

@@ -22,4 +22,47 @@ type t = {
           [(channel, lo, hi)] means the alert's chain must contain the
           hop ["input <channel>[<lo>..<hi>] via ..."] — the inclusive
           input-stream offsets of the attacker-controlled fragment. *)
+  images : (string * Ir.program) list;
+      (** auxiliary programs the guest may [sys_exec] by name —
+          multi-process cases only, [[]] otherwise *)
+  multiproc : string option;
+      (** [Some comm] runs the case under the multi-process OS
+          personality with pid 1 named [comm]; [None] (all Table-2
+          rows) keeps the classic single-process shape *)
 }
+
+(** {1 Session plumbing}
+
+    Every front end (CLI, serve catalogue, tests) goes through these so
+    a case's machine shape — threading, aux images — cannot drift
+    between entry points. *)
+
+val config :
+  ?trace:Shift_machine.Flowtrace.options ->
+  ?superblocks:bool ->
+  ?backend:Shift_tracking.Backend.t ->
+  mode:Shift_compiler.Mode.t ->
+  input:(Shift_os.World.t -> unit) ->
+  t ->
+  Shift.Session.Config.t
+(** The session configuration for running [t] under [input] (pass
+    [t.benign] or [t.exploit]): its policy, machine shape and compiled
+    aux images.  For a single-process case this is byte-identical to
+    the config the pre-multiprocess front ends built. *)
+
+val image :
+  ?backend:Shift_tracking.Backend.t ->
+  mode:Shift_compiler.Mode.t ->
+  t ->
+  Shift_compiler.Image.t
+(** The case's main program, compiled like the CLI compiles it. *)
+
+val run :
+  ?trace:Shift_machine.Flowtrace.options ->
+  ?superblocks:bool ->
+  ?backend:Shift_tracking.Backend.t ->
+  mode:Shift_compiler.Mode.t ->
+  input:(Shift_os.World.t -> unit) ->
+  t ->
+  Shift.Report.t
+(** Build and execute the case in one step. *)

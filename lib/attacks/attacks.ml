@@ -11,6 +11,7 @@ let all =
   ]
 
 let extended ~mode = [ Cgi_ping.case; Plugin_host.case_for_mode mode ]
+let multiproc = [ Cgi_shell.case; Tar_pipeline.case ]
 
 let find name =
   let lower = String.lowercase_ascii name in
@@ -18,4 +19,4 @@ let find name =
     (fun (c : Attack_case.t) ->
       let n = String.lowercase_ascii c.program_name in
       String.length n >= String.length lower && String.sub n 0 (String.length lower) = lower)
-    (all @ extended ~mode:Shift_compiler.Mode.shift_word)
+    (all @ extended ~mode:Shift_compiler.Mode.shift_word @ multiproc)

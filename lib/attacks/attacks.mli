@@ -7,8 +7,15 @@ val all : Attack_case.t list
     php-stats, phpSysInfo, phpMyFAQ, Bftpd. *)
 
 val find : string -> Attack_case.t option
-(** Look up by [program_name] prefix (case-insensitive), extended cases
-    included (built for the word-level mode). *)
+(** Look up by [program_name] prefix (case-insensitive), extended and
+    multi-process cases included (built for the word-level mode). *)
+
+val multiproc : Attack_case.t list
+(** Cross-process scenarios under the multi-process OS personality:
+    CGI command injection detected in the forked shell, and a
+    tar|gzip pipeline traversal detected in the exec'd compressor.
+    Run them through {!Attack_case.config}/{!Attack_case.run}, which
+    bring the process table and aux images along. *)
 
 val extended : mode:Shift_compiler.Mode.t -> Attack_case.t list
 (** Extension cases beyond Table 2, covering the Table-1 policies

@@ -86,4 +86,6 @@ let case =
     benign = (fun w -> Shift_os.World.queue_request w "USER bob");
     exploit = (fun w -> Shift_os.World.queue_request w (exploit_payload got_addr));
     provenance = None;
+    images = [];
+    multiproc = None;
   }

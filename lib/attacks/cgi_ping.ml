@@ -68,4 +68,6 @@ let case =
         Shift_os.World.queue_request w
           "GET /ping.cgi?host=127.0.0.1;cat${IFS}/etc/shadow HTTP/1.0");
     provenance = None;
+    images = [];
+    multiproc = None;
   }

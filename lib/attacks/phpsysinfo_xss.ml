@@ -100,4 +100,6 @@ let case =
         Shift_os.World.queue_request w
           "GET /index.php?lng=%3Cscript%3Ealert(1)%3C/script%3E HTTP/1.0");
     provenance = None;
+    images = [];
+    multiproc = None;
   }

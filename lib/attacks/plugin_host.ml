@@ -87,4 +87,6 @@ let case_for_mode mode =
         Shift_os.World.add_file w "plugins.reg"
           (registry_for (code_addr mode "maintenance_shell")));
     provenance = None;
+    images = [];
+    multiproc = None;
   }

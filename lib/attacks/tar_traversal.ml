@@ -112,4 +112,6 @@ let case =
     (* "/etc/passwd" sits at archive bytes 28..38: 15 name + 1 nl + 1
        size digit + 1 nl + 9 payload + 1 nl *)
     provenance = Some ("file:archive.tar", 28, 38);
+    images = [];
+    multiproc = None;
   }

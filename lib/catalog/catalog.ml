@@ -26,7 +26,7 @@ let find_case name =
            (String.concat ", "
               (List.map
                  (fun (c : Case.t) -> c.Case.program_name)
-                 Shift_attacks.Attacks.all)))
+                 (Shift_attacks.Attacks.all @ Shift_attacks.Attacks.multiproc))))
 
 (* the same config [shiftc run] and [shiftc batch] build per kernel;
    the mode is routed through [Session.effective_mode] exactly as the
@@ -45,17 +45,16 @@ let kernel_job ~mode ~size ~safe ~superblocks ~backend name =
     (kernel_job_of ~mode ~size ~safe ~superblocks ~backend)
     (find_kernel name)
 
-(* the same policy/input pair [shiftc attack] passes to Session.run *)
+(* the same config [shiftc attack] builds through [Attack_case.config]:
+   single-process cases get the classic shape, multi-process cases bring
+   their process table and aux images along *)
 let attack_job ~mode ~benign ~superblocks ~backend name =
   Result.map
     (fun (c : Case.t) ->
-      let mode = Shift.Session.effective_mode ~backend mode in
       let input = if benign then c.Case.benign else c.Case.exploit in
       Shift.Fleet.job ~name:c.Case.program_name
-        ~config:
-          (Shift.Session.Config.make ~policy:c.Case.policy ~setup:input
-             ~superblocks ~backend ())
-        (fun () -> Shift.Session.build ~backend ~mode c.Case.program))
+        ~config:(Case.config ~superblocks ~backend ~mode ~input c)
+        (fun () -> Case.image ~backend ~mode c))
     (find_case name)
 
 (* [shiftc trace]'s resolution order: attack case first, then kernel *)
@@ -72,30 +71,32 @@ let trace_job ~mode ~benign ~ring ~only ~superblocks ~backend name =
   let resolve () =
     match Shift_attacks.Attacks.find name with
     | Some c ->
+        let input = if benign then c.Case.benign else c.Case.exploit in
         Ok
-          ( c.Case.program_name,
-            c.Case.policy,
-            (if benign then c.Case.benign else c.Case.exploit),
-            c.Case.program )
+          (fun trace ->
+            Shift.Fleet.job ~name:c.Case.program_name
+              ~config:(Case.config ~trace ~superblocks ~backend ~mode ~input c)
+              (fun () -> Case.image ~backend ~mode c))
     | None -> (
         match find_kernel name with
         | Ok k ->
-            Ok (k.Spec.name, Policy.default, Spec.setup ~tainted:true k, k.Spec.program)
+            Ok
+              (fun trace ->
+                let mode = Shift.Session.effective_mode ~backend mode in
+                Shift.Fleet.job ~name:k.Spec.name
+                  ~config:
+                    (Shift.Session.Config.make ~policy:Policy.default
+                       ~setup:(Spec.setup ~tainted:true k) ~trace ~superblocks
+                       ~backend ())
+                  (fun () -> Shift.Session.build ~backend ~mode k.Spec.program))
         | Error _ ->
             Error
               (Printf.sprintf "unknown image %S: not an attack case or kernel"
                  name))
   in
-  Result.bind (resolve ()) (fun (label, policy, setup, program) ->
+  Result.bind (resolve ()) (fun mk ->
       Result.map
-        (fun only ->
-          let mode = Shift.Session.effective_mode ~backend mode in
-          Shift.Fleet.job ~name:label
-            ~config:
-              (Shift.Session.Config.make ~policy ~setup
-                 ~trace:{ Shift.Flowtrace.capacity = ring; only }
-                 ~superblocks ~backend ())
-            (fun () -> Shift.Session.build ~backend ~mode program))
+        (fun only -> mk { Shift.Flowtrace.capacity = ring; only })
         (parse_kinds only))
 
 let batch_jobs ~mode ~size ~safe ~superblocks ~backend names =

@@ -19,6 +19,13 @@ let intrinsics =
     ("sys_accept", (Sysno.accept, 0));
     ("sys_spawn", (Sysno.spawn, 2));
     ("sys_join", (Sysno.join, 1));
+    ("sys_fork", (Sysno.fork, 0));
+    ("sys_exec", (Sysno.exec, 2));
+    ("sys_wait", (Sysno.wait, 1));
+    ("sys_pipe", (Sysno.pipe, 1));
+    ("sys_dup", (Sysno.dup, 1));
+    ("sys_getpid", (Sysno.getpid, 0));
+    ("sys_getarg", (Sysno.getarg, 2));
   ]
 
 (* [untaint e]: the compiler builtin behind the paper's bounds-checking

@@ -12,7 +12,11 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
-let schema_version = 1
+(* v2: alert messages and chain hops may carry process identity
+   ("[pid N, comm]", "(pid N, comm)") under the multi-process OS
+   personality, and the backends experiment payload gained the
+   coprocessor stall-knee sweep *)
+let schema_version = 2
 
 (* ---------- printing ---------- *)
 

@@ -12,7 +12,7 @@
 
     {[
       {
-        "schema_version": 1,
+        "schema_version": 2,
         "experiment": "fig7",
         "domains": 4,
         "wall_clock_s": 12.34,

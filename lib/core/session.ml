@@ -9,6 +9,7 @@ module Prov = Shift_isa.Prov
 module Policy = Shift_policy.Policy
 module Alert = Shift_policy.Alert
 module World = Shift_os.World
+module Procs = Shift_os.Process
 module Tracking = Shift_tracking.Tracking
 module Backend = Shift_tracking.Backend
 
@@ -18,6 +19,9 @@ module Config = struct
   type threading =
     | Single
     | Threads of { quantum : int option }
+    | Processes of { quantum : int option; comm : string option }
+        (** the multi-process OS personality: a {!Shift_os.Process}
+            table scheduled round-robin; [comm] names pid 1 *)
 
   type t = {
     policy : Policy.t;
@@ -28,6 +32,15 @@ module Config = struct
     trace : Shift_machine.Flowtrace.options option;
     superblocks : bool;
     backend : Backend.t;
+    images : (string * Image.t) list;
+        (** aux images the guest may [exec] by name (multi-process
+            sessions); compiled with the same mode/backend as the main
+            image *)
+    coproc_capacity : int option;
+    coproc_drain_rate : int option;
+    coproc_stall_penalty : int option;
+        (** tag-coprocessor queue knobs, [None] = the model defaults;
+            only meaningful under [Backend.Coproc] *)
   }
 
   let default =
@@ -40,12 +53,30 @@ module Config = struct
       trace = None;
       superblocks = true;
       backend = Backend.Nat;
+      images = [];
+      coproc_capacity = None;
+      coproc_drain_rate = None;
+      coproc_stall_penalty = None;
     }
 
   let make ?(policy = Policy.default) ?(io_cost = World.default_io_cost)
       ?(fuel = default_fuel) ?(setup = fun _ -> ()) ?(threading = Single)
-      ?trace ?(superblocks = true) ?(backend = Backend.Nat) () =
-    { policy; io_cost; fuel; setup; threading; trace; superblocks; backend }
+      ?trace ?(superblocks = true) ?(backend = Backend.Nat) ?(images = [])
+      ?coproc_capacity ?coproc_drain_rate ?coproc_stall_penalty () =
+    {
+      policy;
+      io_cost;
+      fuel;
+      setup;
+      threading;
+      trace;
+      superblocks;
+      backend;
+      images;
+      coproc_capacity;
+      coproc_drain_rate;
+      coproc_stall_penalty;
+    }
 end
 
 let gran_of_mode = function
@@ -115,15 +146,33 @@ type live = {
   world : World.t;
   engine : Exec.t;
   tracking : Tracking.t;
+  procs : Procs.t option;
+      (** the process table behind a [Custom] engine, for checkpoint *)
   mutable fuel_left : int;
   mutable result : Report.outcome option;
 }
+
+(* the engine closures a process table presents to the session layer *)
+let procs_engine procs =
+  Exec.of_custom
+    {
+      Exec.c_run_for = (fun ~budget -> Procs.run_for procs ~budget);
+      c_stats = (fun () -> Procs.stats procs);
+      c_hart0 = (fun () -> Procs.pid1_cpu procs);
+      c_superblock_stats = (fun () -> Procs.superblock_stats procs);
+    }
+
+(* fresh CPUs for images the guest execs by name *)
+let image_loader images ~comm = Option.map load (List.assoc_opt comm images)
 
 let start ?(config = Config.default) (image : Image.t) =
   let cpu = load image in
   cpu.Cpu.sb.Cpu.sb_on <- config.Config.superblocks;
   let tracking =
     Tracking.create ~backend:config.Config.backend
+      ?capacity:config.Config.coproc_capacity
+      ?drain_rate:config.Config.coproc_drain_rate
+      ?stall_penalty:config.Config.coproc_stall_penalty
       ~low_level:config.Config.policy.Policy.low_level ~mem:cpu.Cpu.mem ()
   in
   cpu.Cpu.tracking <- tracking;
@@ -138,9 +187,9 @@ let start ?(config = Config.default) (image : Image.t) =
   in
   config.Config.setup world;
   cpu.Cpu.syscall_handler <- Some (World.handler world);
-  let engine =
+  let engine, procs =
     match config.Config.threading with
-    | Config.Single -> Exec.of_cpu cpu
+    | Config.Single -> (Exec.of_cpu cpu, None)
     | Config.Threads { quantum } ->
         let smp =
           Smp.create ?quantum ~stack_top:Shift_compiler.Layout.stack_top
@@ -154,7 +203,21 @@ let start ?(config = Config.default) (image : Image.t) =
             | Some Smp.Running -> None
             | Some (Smp.Done v) -> Some v
             | Some (Smp.Crashed _) | None -> Some (-1L));
-        Exec.of_smp smp
+        (Exec.of_smp smp, None)
+    | Config.Processes { quantum; comm } ->
+        (* the coprocessor backend binds its tag pipeline to one
+           address space; fork's cloned memories would be invisible
+           to it *)
+        if config.Config.backend = Backend.Coproc then
+          invalid_arg
+            "Session.start: the coproc backend tracks a single address \
+             space; it cannot drive a multi-process personality";
+        let procs =
+          Procs.create ?quantum ?comm ~world
+            ~load:(image_loader config.Config.images)
+            cpu
+        in
+        (procs_engine procs, Some procs)
   in
   {
     image;
@@ -162,6 +225,7 @@ let start ?(config = Config.default) (image : Image.t) =
     world;
     engine;
     tracking;
+    procs;
     fuel_left = config.Config.fuel;
     result = None;
   }
@@ -233,29 +297,43 @@ let report live =
 let snapshot_threading = function
   | Config.Single -> Snapshot.T_single
   | Config.Threads { quantum } -> Snapshot.T_threads quantum
+  | Config.Processes { quantum; comm } ->
+      Snapshot.T_procs { tp_quantum = quantum; tp_comm = comm }
 
 let session_threading = function
   | Snapshot.T_single -> Config.Single
   | Snapshot.T_threads quantum -> Config.Threads { quantum }
+  | Snapshot.T_procs { tp_quantum; tp_comm } ->
+      Config.Processes { quantum = tp_quantum; comm = tp_comm }
+
+let snapshot_config config =
+  {
+    Snapshot.c_policy = config.Config.policy;
+    c_io_cost = config.Config.io_cost;
+    c_fuel = config.Config.fuel;
+    c_threading = snapshot_threading config.Config.threading;
+    c_trace = config.Config.trace;
+    c_superblocks = config.Config.superblocks;
+    c_backend = config.Config.backend;
+    c_images = config.Config.images;
+  }
 
 let checkpoint ?meta live =
-  Snapshot.capture ?meta ~image:live.image
-    ~config:
-      {
-        Snapshot.c_policy = live.config.Config.policy;
-        c_io_cost = live.config.Config.io_cost;
-        c_fuel = live.config.Config.fuel;
-        c_threading = snapshot_threading live.config.Config.threading;
-        c_trace = live.config.Config.trace;
-        c_superblocks = live.config.Config.superblocks;
-        c_backend = live.config.Config.backend;
-      }
-    ?tracking:
-      (if Tracking.per_instr live.tracking then
-         Some (Tracking.export live.tracking)
-       else None)
-    ~fuel_left:live.fuel_left ~result:live.result ~engine:live.engine
-    ~world:live.world ()
+  let tracking =
+    if Tracking.per_instr live.tracking then Some (Tracking.export live.tracking)
+    else None
+  in
+  match live.procs with
+  | Some procs ->
+      Snapshot.capture_procs ?meta ~image:live.image
+        ~config:(snapshot_config live.config)
+        ?tracking ~fuel_left:live.fuel_left ~result:live.result ~procs
+        ~world:live.world ()
+  | None ->
+      Snapshot.capture ?meta ~image:live.image
+        ~config:(snapshot_config live.config)
+        ?tracking ~fuel_left:live.fuel_left ~result:live.result
+        ~engine:live.engine ~world:live.world ()
 
 let restore (snap : Snapshot.t) =
   let image = snap.Snapshot.image in
@@ -268,7 +346,7 @@ let restore (snap : Snapshot.t) =
       ~fuel:sc.Snapshot.c_fuel
       ~threading:(session_threading sc.Snapshot.c_threading)
       ?trace:sc.Snapshot.c_trace ~superblocks:sc.Snapshot.c_superblocks
-      ~backend:sc.Snapshot.c_backend ()
+      ~backend:sc.Snapshot.c_backend ~images:sc.Snapshot.c_images ()
   in
   let mem = Shift_mem.Memory.create () in
   Snapshot.load_memory mem snap.Snapshot.memory;
@@ -293,8 +371,8 @@ let restore (snap : Snapshot.t) =
         Some ft
     | None -> None
   in
-  let make_cpu hart =
-    let cpu = Cpu.create ~mem image.program in
+  let make_cpu_on mem program hart =
+    let cpu = Cpu.create ~mem program in
     cpu.Cpu.sb.Cpu.sb_on <- config.Config.superblocks;
     cpu.Cpu.tracking <- tracking;
     Snapshot.import_cpu hart cpu;
@@ -302,9 +380,10 @@ let restore (snap : Snapshot.t) =
     (match flowtrace with Some ft -> cpu.Cpu.flowtrace <- ft | None -> ());
     cpu
   in
-  let engine =
+  let make_cpu hart = make_cpu_on mem image.program hart in
+  let engine, procs =
     match snap.Snapshot.machine with
-    | Snapshot.M_cpu hart -> Exec.of_cpu (make_cpu hart)
+    | Snapshot.M_cpu hart -> (Exec.of_cpu (make_cpu hart), None)
     | Snapshot.M_smp { sm_quantum; sm_harts; sm_round; sm_finished } ->
         let harts =
           List.map (fun (id, state, hart) -> (id, state, make_cpu hart)) sm_harts
@@ -322,7 +401,62 @@ let restore (snap : Snapshot.t) =
             | Some Smp.Running -> None
             | Some (Smp.Done v) -> Some v
             | Some (Smp.Crashed _) | None -> Some (-1L));
-        Exec.of_smp smp
+        (Exec.of_smp smp, None)
+    | Snapshot.M_procs
+        { pm_quantum; pm_next_pid; pm_procs; pm_round; pm_finished; pm_retired }
+      ->
+        let parts =
+          List.map
+            (fun (ps : Snapshot.proc_snap) ->
+              let program =
+                match ps.Snapshot.ps_image with
+                | None -> image.Image.program
+                | Some name -> (
+                    match List.assoc_opt name sc.Snapshot.c_images with
+                    | Some (img : Image.t) -> img.Image.program
+                    | None ->
+                        invalid_arg
+                          (Printf.sprintf
+                             "Session.restore: process %d runs unknown image \
+                              %S"
+                             ps.Snapshot.ps_pid name))
+              in
+              (* every process owns its address space and provenance
+                 shadow; its pages were dumped per-process *)
+              let pmem = Shift_mem.Memory.create () in
+              Snapshot.load_memory pmem ps.Snapshot.ps_mem;
+              let cpu = make_cpu_on pmem program ps.Snapshot.ps_hart in
+              let pmap = Shift_mem.Provenance.create () in
+              Snapshot.load_provenance pmap ps.Snapshot.ps_prov;
+              let ctx =
+                if ps.Snapshot.ps_pid = 1 then begin
+                  (* pid 1 lives in the world's base context, which the
+                     world dump restored already; re-loading is
+                     idempotent and keeps the object identity *)
+                  let ctx = World.base_ctx world in
+                  World.load_ctx_into ctx ps.Snapshot.ps_ctx;
+                  ctx
+                end
+                else World.ctx_of_state ps.Snapshot.ps_ctx
+              in
+              {
+                Procs.p_pid = ps.Snapshot.ps_pid;
+                p_parent = ps.Snapshot.ps_parent;
+                p_image = ps.Snapshot.ps_image;
+                p_state = ps.Snapshot.ps_state;
+                p_cpu = cpu;
+                p_ctx = ctx;
+                p_pmap = pmap;
+              })
+            pm_procs
+        in
+        let procs =
+          Procs.of_parts ~quantum:pm_quantum ~world
+            ~load:(image_loader sc.Snapshot.c_images)
+            ~procs:parts ~next_pid:pm_next_pid ~round:pm_round
+            ~finished:pm_finished ~retired:pm_retired ()
+        in
+        (procs_engine procs, Some procs)
   in
   {
     image;
@@ -330,6 +464,7 @@ let restore (snap : Snapshot.t) =
     world;
     engine;
     tracking;
+    procs;
     fuel_left = snap.Snapshot.fuel_left;
     result = snap.Snapshot.result;
   }

@@ -26,6 +26,14 @@ module Config : sig
     | Threads of { quantum : int option }
         (** SMP round robin; [quantum] instructions per turn
             (default 50) *)
+    | Processes of { quantum : int option; comm : string option }
+        (** multi-process OS personality ({!Shift_os.Process}):
+            [sys_fork]/[sys_exec]/[sys_wait]/[sys_pipe] live, each
+            process in a private address space with its own taint
+            bitmap and provenance shadow.  [quantum] instructions per
+            scheduler turn (default 50); [comm] names pid 1 (default
+            ["main"]).  Incompatible with the [Coproc] backend, which
+            binds a single address space. *)
 
   type t = {
     policy : Shift_policy.Policy.t;  (** policies to enforce *)
@@ -54,11 +62,21 @@ module Config : sig
             queue; [Off] is the uninstrumented baseline with sources and
             checks disabled.  Pair non-nat backends with
             {!effective_mode} when compiling by name. *)
+    images : (string * Shift_compiler.Image.t) list;
+        (** auxiliary images the guest may [sys_exec] by name
+            (multi-process sessions only); compile them with the same
+            mode/backend as the main image *)
+    coproc_capacity : int option;
+    coproc_drain_rate : int option;
+    coproc_stall_penalty : int option;
+        (** tag-coprocessor queue knobs ([None] = the
+            {!Shift_tracking.Tracking} model defaults); only meaningful
+            under [Backend.Coproc] *)
   }
 
   val default : t
   (** Default policy and I/O costs, 2e9 fuel, no setup, single hart,
-      no tracing, superblocks on, nat backend. *)
+      no tracing, superblocks on, nat backend, no aux images. *)
 
   val make :
     ?policy:Shift_policy.Policy.t ->
@@ -69,6 +87,10 @@ module Config : sig
     ?trace:Shift_machine.Flowtrace.options ->
     ?superblocks:bool ->
     ?backend:Shift_tracking.Backend.t ->
+    ?images:(string * Shift_compiler.Image.t) list ->
+    ?coproc_capacity:int ->
+    ?coproc_drain_rate:int ->
+    ?coproc_stall_penalty:int ->
     unit ->
     t
   (** {!default} with the given fields overridden. *)

@@ -10,12 +10,17 @@ module Flowtrace = Shift_machine.Flowtrace
 module Policy = Shift_policy.Policy
 module Alert = Shift_policy.Alert
 module World = Shift_os.World
+module Process = Shift_os.Process
+module Ospipe = Shift_os.Pipe
 module Memory = Shift_mem.Memory
 module Provenance = Shift_mem.Provenance
 module Tracking = Shift_tracking.Tracking
 module Backend = Shift_tracking.Backend
 
-type threading = T_single | T_threads of int option
+type threading =
+  | T_single
+  | T_threads of int option
+  | T_procs of { tp_quantum : int option; tp_comm : string option }
 
 type config = {
   c_policy : Policy.t;
@@ -25,6 +30,7 @@ type config = {
   c_trace : Flowtrace.options option;
   c_superblocks : bool;
   c_backend : Backend.t;
+  c_images : (string * Image.t) list;
 }
 
 type hart = {
@@ -40,6 +46,17 @@ type hart = {
   h_ftregs : (int array * int array) option;
 }
 
+type proc_snap = {
+  ps_pid : int;
+  ps_parent : int;
+  ps_image : string option;
+  ps_state : Process.state;
+  ps_hart : hart;
+  ps_mem : (int64 * string) list;
+  ps_prov : (int64 * string) list;
+  ps_ctx : World.ctx_state;
+}
+
 type machine =
   | M_cpu of hart
   | M_smp of {
@@ -47,6 +64,14 @@ type machine =
       sm_harts : (int * Smp.state * hart) list;
       sm_round : (int * int) list;
       sm_finished : Cpu.outcome option;
+    }
+  | M_procs of {
+      pm_quantum : int;
+      pm_next_pid : int;
+      pm_procs : proc_snap list;
+      pm_round : (int * int) list;
+      pm_finished : Cpu.outcome option;
+      pm_retired : Stats.t;
     }
 
 type t = {
@@ -64,7 +89,7 @@ type t = {
           under the nat and none backends *)
 }
 
-let version = 1
+let version = 2
 
 (* ---------- capture ---------- *)
 
@@ -155,6 +180,9 @@ let capture ?(meta = []) ?tracking ~image ~config ~fuel_left ~result ~engine
   let hart0 = Exec.hart0 engine in
   let machine =
     match Exec.machine engine with
+    | Exec.Custom _ ->
+        (* a process-table engine checkpoints through capture_procs *)
+        invalid_arg "Snapshot.capture: custom engines have their own capture"
     | Exec.Cpu cpu -> M_cpu (export_cpu ~traced cpu)
     | Exec.Smp smp ->
         M_smp
@@ -182,6 +210,55 @@ let capture ?(meta = []) ?tracking ~image ~config ~fuel_left ~result ~engine
     result;
     memory = dump_memory hart0.Cpu.mem;
     machine;
+    world = World.dump world;
+    flow;
+    tracking;
+  }
+
+(* Like [capture], for a process-table machine: every process carries
+   its own address space and provenance shadow, so the pages live
+   per-process and the top-level [memory] (and the flow entry's page
+   list) stay empty. *)
+let capture_procs ?(meta = []) ?tracking ~image ~config ~fuel_left ~result
+    ~(procs : Process.t) ~world () =
+  let traced = config.c_trace <> None in
+  let pm_procs =
+    List.map
+      (fun (p : Process.part) ->
+        {
+          ps_pid = p.Process.p_pid;
+          ps_parent = p.Process.p_parent;
+          ps_image = p.Process.p_image;
+          ps_state = p.Process.p_state;
+          ps_hart = export_cpu ~traced p.Process.p_cpu;
+          ps_mem = dump_memory p.Process.p_cpu.Cpu.mem;
+          ps_prov = (if traced then dump_provenance p.Process.p_pmap else []);
+          ps_ctx = World.dump_ctx p.Process.p_ctx;
+        })
+      (Process.parts procs)
+  in
+  let flow =
+    if traced then
+      Some (Flowtrace.dump (Process.pid1_cpu procs).Cpu.flowtrace, [])
+    else None
+  in
+  {
+    meta;
+    image;
+    config;
+    fuel_left;
+    result;
+    memory = [];
+    machine =
+      M_procs
+        {
+          pm_quantum = Process.quantum procs;
+          pm_next_pid = Process.next_pid procs;
+          pm_procs;
+          pm_round = Process.round procs;
+          pm_finished = Process.finished procs;
+          pm_retired = Stats.copy (Process.retired procs);
+        };
     world = World.dump world;
     flow;
     tracking;
@@ -378,6 +455,21 @@ let hart_state_of_json j : Smp.state =
   | "crashed" -> Smp.Crashed (fault_of_json (field "fault" j), ifield "ip" j)
   | s -> bad "unknown hart state %S" s
 
+let proc_state_to_json (s : Process.state) =
+  Results.Obj
+    (match s with
+    | Process.Run -> [ ("state", jstr "run") ]
+    | Process.Zombie v -> [ ("state", jstr "zombie"); ("value", j64 v) ]
+    | Process.Crashed (f, ip) ->
+        [ ("state", jstr "crashed"); ("fault", fault_to_json f); ("ip", jint ip) ])
+
+let proc_state_of_json j : Process.state =
+  match sfield "state" j with
+  | "run" -> Process.Run
+  | "zombie" -> Process.Zombie (i64field "value" j)
+  | "crashed" -> Process.Crashed (fault_of_json (field "fault" j), ifield "ip" j)
+  | s -> bad "unknown process state %S" s
+
 (* ---- configuration ---- *)
 
 let policy_to_json (p : Policy.t) =
@@ -434,11 +526,24 @@ let threading_to_json = function
   | T_single -> Results.Obj [ ("kind", jstr "single") ]
   | T_threads q ->
       Results.Obj [ ("kind", jstr "threads"); ("quantum", jopt jint q) ]
+  | T_procs { tp_quantum; tp_comm } ->
+      Results.Obj
+        [
+          ("kind", jstr "procs");
+          ("quantum", jopt jint tp_quantum);
+          ("comm", jopt jstr tp_comm);
+        ]
 
 let threading_of_json j =
   match sfield "kind" j with
   | "single" -> T_single
   | "threads" -> T_threads (as_opt as_int (field "quantum" j))
+  | "procs" ->
+      T_procs
+        {
+          tp_quantum = as_opt as_int (field "quantum" j);
+          tp_comm = as_opt as_string (field "comm" j);
+        }
   | s -> bad "unknown threading kind %S" s
 
 let trace_options_to_json (o : Flowtrace.options) =
@@ -479,10 +584,27 @@ let config_to_json c =
      ]
     (* appended only off the default so nat snapshots stay byte-identical
        to those taken before backends existed *)
+    @ (match c.c_backend with
+      | Backend.Nat -> []
+      | b -> [ ("backend", jstr (Backend.to_string b)) ])
+    (* likewise appended only when the session carries exec'able aux
+       images (multi-process runs) *)
     @
-    match c.c_backend with
-    | Backend.Nat -> []
-    | b -> [ ("backend", jstr (Backend.to_string b)) ])
+    match c.c_images with
+    | [] -> []
+    | images ->
+        [
+          ( "images",
+            Results.List
+              (List.map
+                 (fun (name, img) ->
+                   Results.Obj
+                     [
+                       ("name", jstr name);
+                       ("image", jstr (hex_encode (Marshal.to_string img [])));
+                     ])
+                 images) );
+        ])
 
 let config_of_json j =
   {
@@ -505,6 +627,204 @@ let config_of_json j =
           | Ok b -> b
           | Error e -> bad "%s" e)
       | None -> Backend.Nat);
+    c_images =
+      (match Results.member "images" j with
+      | None -> []
+      | Some v ->
+          as_list v
+          |> List.map (fun e ->
+                 let img : Image.t =
+                   try Marshal.from_string (hex_decode (sfield "image" e)) 0
+                   with Failure _ -> bad "corrupt embedded aux image"
+                 in
+                 (sfield "name" e, img)));
+  }
+
+(* ---- pages and world ---- *)
+
+let pages_to_json pages =
+  Results.List
+    (List.map
+       (fun (key, data) ->
+         Results.Obj [ ("key", j64 key); ("data", jstr (hex_encode data)) ])
+       pages)
+
+let pages_of_json j =
+  as_list j
+  |> List.map (fun p -> (i64field "key" p, hex_decode (sfield "data" p)))
+
+let fd_entry_to_json (e : World.fd_entry) =
+  Results.Obj
+    (match e with
+    | World.Fstream oid -> [ ("kind", jstr "stream"); ("oid", jint oid) ]
+    | World.Fpipe_r oid -> [ ("kind", jstr "pipe_r"); ("oid", jint oid) ]
+    | World.Fpipe_w oid -> [ ("kind", jstr "pipe_w"); ("oid", jint oid) ])
+
+let fd_entry_of_json j : World.fd_entry =
+  let oid = ifield "oid" j in
+  match sfield "kind" j with
+  | "stream" -> World.Fstream oid
+  | "pipe_r" -> World.Fpipe_r oid
+  | "pipe_w" -> World.Fpipe_w oid
+  | s -> bad "unknown fd entry kind %S" s
+
+let arg_value_to_json (a : World.arg_value) =
+  Results.Obj
+    [
+      ("bytes", jstr (hex_encode a.World.a_bytes));
+      ("taints", jbits a.World.a_taints);
+      ("provs", jints a.World.a_provs);
+    ]
+
+let arg_value_of_json j : World.arg_value =
+  {
+    World.a_bytes = hex_decode (sfield "bytes" j);
+    a_taints = as_bits (field "taints" j);
+    a_provs = as_ints (field "provs" j);
+  }
+
+let pipe_seg_to_json (s : Ospipe.seg_state) =
+  Results.Obj
+    [
+      ("data", jstr (hex_encode s.Ospipe.sg_data));
+      ("taints", jbits s.Ospipe.sg_taints);
+      ("provs", jints s.Ospipe.sg_provs);
+      ("pid", jint s.Ospipe.sg_pid);
+      ("comm", jstr s.Ospipe.sg_comm);
+      ("off", jint s.Ospipe.sg_off);
+    ]
+
+let pipe_seg_of_json j : Ospipe.seg_state =
+  {
+    Ospipe.sg_data = hex_decode (sfield "data" j);
+    sg_taints = as_bits (field "taints" j);
+    sg_provs = as_ints (field "provs" j);
+    sg_pid = ifield "pid" j;
+    sg_comm = sfield "comm" j;
+    sg_off = ifield "off" j;
+  }
+
+let obj_state_to_json (o : World.obj_state) =
+  Results.Obj
+    (match o with
+    | World.Os_stream s ->
+        [
+          ("kind", jstr "stream");
+          ("content", jstr s.World.fd_content);
+          ("pos", jint s.World.fd_pos);
+          ("tainted", jbool s.World.fd_tainted);
+          ("path", jopt jstr s.World.fd_path);
+        ]
+    | World.Os_pipe p ->
+        [
+          ("kind", jstr "pipe");
+          ("segs", Results.List (List.map pipe_seg_to_json p.Ospipe.st_segs));
+          ("readers", jint p.Ospipe.st_readers);
+          ("writers", jint p.Ospipe.st_writers);
+        ])
+
+let obj_state_of_json j : World.obj_state =
+  match sfield "kind" j with
+  | "stream" ->
+      World.Os_stream
+        {
+          World.fd_content = sfield "content" j;
+          fd_pos = ifield "pos" j;
+          fd_tainted = bfield "tainted" j;
+          fd_path = as_opt as_string (field "path" j);
+        }
+  | "pipe" ->
+      World.Os_pipe
+        {
+          Ospipe.st_segs = as_list (field "segs" j) |> List.map pipe_seg_of_json;
+          st_readers = ifield "readers" j;
+          st_writers = ifield "writers" j;
+        }
+  | s -> bad "unknown object kind %S" s
+
+let ctx_to_json (c : World.ctx_state) =
+  Results.Obj
+    [
+      ("pid", jint c.World.cx_pid);
+      ("comm", jstr c.World.cx_comm);
+      ( "fds",
+        Results.List
+          (List.map
+             (fun (fd, e) ->
+               Results.Obj [ ("fd", jint fd); ("entry", fd_entry_to_json e) ])
+             c.World.cx_fds) );
+      ("next_fd", jint c.World.cx_next_fd);
+      ("brk", j64 c.World.cx_brk);
+      ("crumbs", Results.List (List.map jstr c.World.cx_crumbs));
+      ("argv", Results.List (List.map arg_value_to_json c.World.cx_argv));
+    ]
+
+let ctx_of_json j : World.ctx_state =
+  {
+    World.cx_pid = ifield "pid" j;
+    cx_comm = sfield "comm" j;
+    cx_fds =
+      as_list (field "fds" j)
+      |> List.map (fun f -> (ifield "fd" f, fd_entry_of_json (field "entry" f)));
+    cx_next_fd = ifield "next_fd" j;
+    cx_brk = i64field "brk" j;
+    cx_crumbs = as_list (field "crumbs" j) |> List.map as_string;
+    cx_argv = as_list (field "argv" j) |> List.map arg_value_of_json;
+  }
+
+let world_to_json (d : World.dump) =
+  Results.Obj
+    [
+      ( "files",
+        Results.List
+          (List.map
+             (fun (path, content, tainted) ->
+               Results.Obj
+                 [
+                   ("path", jstr path);
+                   ("content", jstr content);
+                   ("tainted", jbool tainted);
+                 ])
+             d.World.d_files) );
+      ( "objs",
+        Results.List
+          (List.map
+             (fun (oid, refs, st) ->
+               Results.Obj
+                 [
+                   ("oid", jint oid);
+                   ("refs", jint refs);
+                   ("state", obj_state_to_json st);
+                 ])
+             d.World.d_objs) );
+      ("next_oid", jint d.World.d_next_oid);
+      ("ctx", ctx_to_json d.World.d_ctx);
+      ("pending", Results.List (List.map jstr d.World.d_pending));
+      ("output", jstr d.World.d_output);
+      ("html", jstr d.World.d_html);
+      ("sql", Results.List (List.map jstr d.World.d_sql));
+      ("commands", Results.List (List.map jstr d.World.d_commands));
+      ("alerts", Results.List (List.map alert_to_json d.World.d_alerts));
+    ]
+
+let world_of_json j : World.dump =
+  {
+    World.d_files =
+      as_list (field "files" j)
+      |> List.map (fun f ->
+             (sfield "path" f, sfield "content" f, bfield "tainted" f));
+    d_objs =
+      as_list (field "objs" j)
+      |> List.map (fun o ->
+             (ifield "oid" o, ifield "refs" o, obj_state_of_json (field "state" o)));
+    d_next_oid = ifield "next_oid" j;
+    d_ctx = ctx_of_json (field "ctx" j);
+    d_pending = as_list (field "pending" j) |> List.map as_string;
+    d_output = sfield "output" j;
+    d_html = sfield "html" j;
+    d_sql = as_list (field "sql" j) |> List.map as_string;
+    d_commands = as_list (field "commands" j) |> List.map as_string;
+    d_alerts = as_list (field "alerts" j) |> List.map alert_of_json;
   }
 
 (* ---- machine state ---- *)
@@ -642,6 +962,37 @@ let machine_to_json = function
                  sm_round) );
           ("finished", jopt cpu_outcome_to_json sm_finished);
         ]
+  | M_procs { pm_quantum; pm_next_pid; pm_procs; pm_round; pm_finished; pm_retired }
+    ->
+      Results.Obj
+        [
+          ("shape", jstr "procs");
+          ("quantum", jint pm_quantum);
+          ("next_pid", jint pm_next_pid);
+          ( "procs",
+            Results.List
+              (List.map
+                 (fun p ->
+                   Results.Obj
+                     [
+                       ("pid", jint p.ps_pid);
+                       ("parent", jint p.ps_parent);
+                       ("image", jopt jstr p.ps_image);
+                       ("state", proc_state_to_json p.ps_state);
+                       ("hart", hart_to_json p.ps_hart);
+                       ("memory", pages_to_json p.ps_mem);
+                       ("provenance_pages", pages_to_json p.ps_prov);
+                       ("ctx", ctx_to_json p.ps_ctx);
+                     ])
+                 pm_procs) );
+          ( "round",
+            Results.List
+              (List.map
+                 (fun (pid, rem) -> Results.List [ jint pid; jint rem ])
+                 pm_round) );
+          ("finished", jopt cpu_outcome_to_json pm_finished);
+          ("retired", stats_to_json pm_retired);
+        ]
 
 let machine_of_json j =
   match sfield "shape" j with
@@ -663,83 +1014,35 @@ let machine_of_json j =
                  | _ -> bad "malformed round entry");
           sm_finished = as_opt cpu_outcome_of_json (field "finished" j);
         }
+  | "procs" ->
+      M_procs
+        {
+          pm_quantum = ifield "quantum" j;
+          pm_next_pid = ifield "next_pid" j;
+          pm_procs =
+            as_list (field "procs" j)
+            |> List.map (fun p ->
+                   {
+                     ps_pid = ifield "pid" p;
+                     ps_parent = ifield "parent" p;
+                     ps_image = as_opt as_string (field "image" p);
+                     ps_state = proc_state_of_json (field "state" p);
+                     ps_hart = hart_of_json (field "hart" p);
+                     ps_mem = pages_of_json (field "memory" p);
+                     ps_prov = pages_of_json (field "provenance_pages" p);
+                     ps_ctx = ctx_of_json (field "ctx" p);
+                   });
+          pm_round =
+            as_list (field "round" j)
+            |> List.map (function
+                 | Results.List [ pid; rem ] -> (as_int pid, as_int rem)
+                 | _ -> bad "malformed round entry");
+          pm_finished = as_opt cpu_outcome_of_json (field "finished" j);
+          pm_retired = stats_of_json (field "retired" j);
+        }
   | s -> bad "unknown machine shape %S" s
 
-(* ---- pages, world, flow ---- *)
-
-let pages_to_json pages =
-  Results.List
-    (List.map
-       (fun (key, data) ->
-         Results.Obj [ ("key", j64 key); ("data", jstr (hex_encode data)) ])
-       pages)
-
-let pages_of_json j =
-  as_list j
-  |> List.map (fun p -> (i64field "key" p, hex_decode (sfield "data" p)))
-
-let world_to_json (d : World.dump) =
-  Results.Obj
-    [
-      ( "files",
-        Results.List
-          (List.map
-             (fun (path, content, tainted) ->
-               Results.Obj
-                 [
-                   ("path", jstr path);
-                   ("content", jstr content);
-                   ("tainted", jbool tainted);
-                 ])
-             d.World.d_files) );
-      ( "fds",
-        Results.List
-          (List.map
-             (fun (fd, (s : World.fd_state)) ->
-               Results.Obj
-                 [
-                   ("fd", jint fd);
-                   ("content", jstr s.World.fd_content);
-                   ("pos", jint s.World.fd_pos);
-                   ("tainted", jbool s.World.fd_tainted);
-                   ("path", jopt jstr s.World.fd_path);
-                 ])
-             d.World.d_fds) );
-      ("next_fd", jint d.World.d_next_fd);
-      ("pending", Results.List (List.map jstr d.World.d_pending));
-      ("output", jstr d.World.d_output);
-      ("html", jstr d.World.d_html);
-      ("sql", Results.List (List.map jstr d.World.d_sql));
-      ("commands", Results.List (List.map jstr d.World.d_commands));
-      ("alerts", Results.List (List.map alert_to_json d.World.d_alerts));
-      ("brk", j64 d.World.d_brk);
-    ]
-
-let world_of_json j : World.dump =
-  {
-    World.d_files =
-      as_list (field "files" j)
-      |> List.map (fun f ->
-             (sfield "path" f, sfield "content" f, bfield "tainted" f));
-    d_fds =
-      as_list (field "fds" j)
-      |> List.map (fun f ->
-             ( ifield "fd" f,
-               {
-                 World.fd_content = sfield "content" f;
-                 fd_pos = ifield "pos" f;
-                 fd_tainted = bfield "tainted" f;
-                 fd_path = as_opt as_string (field "path" f);
-               } ));
-    d_next_fd = ifield "next_fd" j;
-    d_pending = as_list (field "pending" j) |> List.map as_string;
-    d_output = sfield "output" j;
-    d_html = sfield "html" j;
-    d_sql = as_list (field "sql" j) |> List.map as_string;
-    d_commands = as_list (field "commands" j) |> List.map as_string;
-    d_alerts = as_list (field "alerts" j) |> List.map alert_of_json;
-    d_brk = i64field "brk" j;
-  }
+(* ---- flow ---- *)
 
 let source_to_json (s : Flowtrace.source) =
   Results.Obj

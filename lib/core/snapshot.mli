@@ -25,7 +25,10 @@
 
 (** Machine shape, mirrored from [Session.Config.threading] (which this
     module cannot name without a dependency cycle). *)
-type threading = T_single | T_threads of int option
+type threading =
+  | T_single
+  | T_threads of int option
+  | T_procs of { tp_quantum : int option; tp_comm : string option }
 
 (** The serialisable part of a session configuration.  The world-setup
     closure is deliberately absent: its effects are already captured in
@@ -44,6 +47,10 @@ type config = {
   c_backend : Shift_tracking.Backend.t;
       (** tracking backend; serialised only when not the default [Nat],
           so nat snapshots stay byte-identical to pre-backend ones *)
+  c_images : (string * Shift_compiler.Image.t) list;
+      (** auxiliary exec'able images by program name, multi-process
+          sessions only; serialised only when non-empty so every other
+          snapshot shape stays byte-identical to version 1 files *)
 }
 
 (** One hart's complete execution state. *)
@@ -61,6 +68,22 @@ type hart = {
       (** register provenance shadow (ids, depths) for traced runs *)
 }
 
+(** One process-table entry: its hart, its private address space and
+    provenance shadow (multi-process machines dump pages per process,
+    so the top-level [memory] and flow pages stay empty), and its
+    kernel context. *)
+type proc_snap = {
+  ps_pid : int;
+  ps_parent : int;
+  ps_image : string option;
+      (** name of the exec'd auxiliary image; [None] = the main image *)
+  ps_state : Shift_os.Process.state;
+  ps_hart : hart;
+  ps_mem : (int64 * string) list;
+  ps_prov : (int64 * string) list;  (** traced runs only, else [[]] *)
+  ps_ctx : Shift_os.World.ctx_state;
+}
+
 type machine =
   | M_cpu of hart
   | M_smp of {
@@ -71,6 +94,16 @@ type machine =
       sm_round : (int * int) list;
           (** suspended round-robin tail: hart id, remaining quantum *)
       sm_finished : Shift_machine.Cpu.outcome option;
+    }
+  | M_procs of {
+      pm_quantum : int;
+      pm_next_pid : int;
+      pm_procs : proc_snap list;  (** in pid order, pid 1 first *)
+      pm_round : (int * int) list;
+          (** suspended scheduler tail: pid, remaining quantum *)
+      pm_finished : Shift_machine.Cpu.outcome option;
+      pm_retired : Shift_machine.Stats.t;
+          (** counters of already-reaped processes *)
     }
 
 type t = {
@@ -100,7 +133,8 @@ type t = {
 
 val version : int
 (** Format version stamped into every serialised snapshot; loading
-    rejects other versions. *)
+    rejects other versions.  Version 2 added the multi-process machine
+    shape, auxiliary images and the kernel-object descriptor table. *)
 
 (** {1 Capture and restore helpers}
 
@@ -120,7 +154,25 @@ val capture :
   t
 (** Deep-copy the machine, memory, world and (when traced) flow state
     out of a live engine.  Safe to call between [run_for] slices only —
-    never from inside a syscall handler. *)
+    never from inside a syscall handler.
+    @raise Invalid_argument on a [Custom] engine — a process-table
+    machine checkpoints through {!capture_procs}. *)
+
+val capture_procs :
+  ?meta:(string * string) list ->
+  ?tracking:Shift_tracking.Tracking.dump ->
+  image:Shift_compiler.Image.t ->
+  config:config ->
+  fuel_left:int ->
+  result:Report.outcome option ->
+  procs:Shift_os.Process.t ->
+  world:Shift_os.World.t ->
+  unit ->
+  t
+(** {!capture} for a multi-process machine: every table entry's hart,
+    address space, provenance shadow and kernel context is dumped
+    per process ([M_procs]); the top-level [memory] page list is
+    empty. *)
 
 val export_cpu : traced:bool -> Shift_machine.Cpu.t -> hart
 (** Deep copy of one hart's state ([traced] adds the register

@@ -54,5 +54,31 @@ val spawn : int
 (** [join(tid)] -> the thread's result; spins until it finishes. *)
 val join : int
 
+(** [fork()] -> child pid in the parent, 0 in the child (process
+    runs only). *)
+val fork : int
+
+(** [exec(prog, arg)]: replace the image; returns only on failure. *)
+val exec : int
+
+(** [wait(pid)] -> exit status of a reaped child; [pid <= 0] waits for
+    any child.  Blocks while children run. *)
+val wait : int
+
+(** [pipe(buf)]: writes the read fd at [buf] and the write fd at
+    [buf+8]. *)
+val pipe : int
+
+(** [dup(fd)] -> a new descriptor sharing [fd]'s open object. *)
+val dup : int
+
+(** [getpid()] -> the calling process's pid. *)
+val getpid : int
+
+(** [getarg(i, buf)] -> length of exec argument [i], copied
+    NUL-terminated to [buf] with its taint and provenance; [-1] when
+    out of range. *)
+val getarg : int
+
 (** Human-readable name, for traces. *)
 val name : int -> string

@@ -1,11 +1,20 @@
+type custom = {
+  c_run_for : budget:int -> Cpu.status;
+  c_stats : unit -> Stats.t;
+  c_hart0 : unit -> Cpu.t;
+  c_superblock_stats : unit -> Stats.superblocks;
+}
+
 type machine =
   | Cpu of Cpu.t
   | Smp of Smp.t
+  | Custom of custom
 
 type t = { machine : machine; mutable finished : Cpu.outcome option }
 
 let of_cpu cpu = { machine = Cpu cpu; finished = None }
 let of_smp smp = { machine = Smp smp; finished = None }
+let of_custom c = { machine = Custom c; finished = None }
 let machine t = t.machine
 let finished t = t.finished
 
@@ -16,11 +25,13 @@ let hart0 t =
       match Smp.cpu_of smp 0 with
       | Some cpu -> cpu
       | None -> invalid_arg "Exec.hart0: SMP machine without hart 0")
+  | Custom c -> c.c_hart0 ()
 
 let stats t =
   match t.machine with
   | Cpu cpu -> cpu.Cpu.stats
   | Smp smp -> Smp.stats smp
+  | Custom c -> c.c_stats ()
 
 let superblock_stats t =
   match t.machine with
@@ -28,6 +39,7 @@ let superblock_stats t =
   | Smp smp ->
       Stats.sb_total
         (List.map (fun (_, _, cpu) -> Superblock.stats cpu) (Smp.harts smp))
+  | Custom c -> c.c_superblock_stats ()
 
 let run_for t ~budget =
   match t.finished with
@@ -37,6 +49,7 @@ let run_for t ~budget =
         match t.machine with
         | Cpu cpu -> Superblock.run_for cpu ~budget
         | Smp smp -> Smp.run_for smp ~budget
+        | Custom c -> c.c_run_for ~budget
       in
       (match status with
       | `Finished o -> t.finished <- Some o

@@ -14,10 +14,24 @@
     checkpointing: a host can interleave many guests by rotating
     [run_for] slices across their engines. *)
 
-(** The two machine shapes an engine can drive. *)
+(** A machine shape defined by its driver, for schedulers that live
+    above this library (the multi-process OS personality in
+    [Shift_os.Process]).  The closures must satisfy the same contract
+    as the built-in shapes: [c_run_for] suspends without touching
+    machine state, [c_hart0] is the primary CPU, [c_stats] and
+    [c_superblock_stats] aggregate across the machine. *)
+type custom = {
+  c_run_for : budget:int -> Cpu.status;
+  c_stats : unit -> Stats.t;
+  c_hart0 : unit -> Cpu.t;
+  c_superblock_stats : unit -> Stats.superblocks;
+}
+
+(** The machine shapes an engine can drive. *)
 type machine =
   | Cpu of Cpu.t  (** a single hart *)
   | Smp of Smp.t  (** a deterministic round robin over shared memory *)
+  | Custom of custom  (** an externally scheduled machine *)
 
 type t
 (** An engine instance: a machine plus its memoised terminal outcome. *)
@@ -27,6 +41,9 @@ val of_cpu : Cpu.t -> t
 
 val of_smp : Smp.t -> t
 (** Drive a multi-hart machine (hart 0's outcome terminates the run). *)
+
+val of_custom : custom -> t
+(** Drive an externally scheduled machine through its closures. *)
 
 val machine : t -> machine
 (** The underlying machine. *)

@@ -73,7 +73,11 @@ type t = {
   mutable batching : bool;
   scratch : event array;  (* block-local staging while [batching] *)
   mutable scratch_len : int;
-  pmap : Provenance.t;
+  (* Mutable so a multi-process kernel can swap in the running process's
+     own shadow at context-switch time: sources and the ring are shared
+     machine-wide (ids stay valid in every address space), the per-byte
+     map is per-process. *)
+  mutable pmap : Provenance.t;
   mutable sources : source list;
   mutable next_id : int;
   spec_sources : (int, source) Hashtbl.t;
@@ -397,6 +401,7 @@ let summary t =
 (* ---------- checkpoint/restore ---------- *)
 
 let provenance t = t.pmap
+let set_provenance t pmap = t.pmap <- pmap
 
 type dump = {
   d_enabled : bool;

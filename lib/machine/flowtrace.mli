@@ -67,7 +67,9 @@ type t = {
   mutable batching : bool;  (** events staging in [scratch] (superblock mode) *)
   scratch : event array;
   mutable scratch_len : int;
-  pmap : Shift_mem.Provenance.t;
+  mutable pmap : Shift_mem.Provenance.t;
+      (** swappable so a multi-process kernel can install the running
+          process's shadow — see {!set_provenance} *)
   mutable sources : source list;  (** newest first *)
   mutable next_id : int;
   spec_sources : (int, source) Hashtbl.t;  (** per-ip speculative births *)
@@ -206,6 +208,12 @@ val summary : t -> summary
 val provenance : t -> Shift_mem.Provenance.t
 (** The per-byte provenance shadow map (for page-level serialisation —
     see {!Shift_mem.Provenance.fold_pages}). *)
+
+val set_provenance : t -> Shift_mem.Provenance.t -> unit
+(** Swap the per-byte shadow.  A multi-process kernel keeps one shadow
+    per address space and installs the running process's map at each
+    context switch; interned sources and the event ring stay shared, so
+    ids remain valid across every process. *)
 
 (** The trace state as plain data: ring window, interned sources,
     filters and counters.  The provenance shadow is {e not} included —

@@ -57,6 +57,11 @@ val write_cstring : t -> int64 -> string -> unit
 val allocated_pages : t -> int
 (** Number of pages touched so far (for tests and reporting). *)
 
+val clone : t -> t
+(** Deep copy: a fresh memory whose pages hold the same bytes but never
+    alias the original (fork's address-space copy).  The clone has a
+    cold TLB and no watchers. *)
+
 (** {1 Page iteration (checkpoint/restore)} *)
 
 val fold_pages : t -> init:'a -> f:('a -> int64 -> bytes -> 'a) -> 'a

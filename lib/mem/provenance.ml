@@ -129,6 +129,13 @@ let first_id t ~addr ~len =
 
 let allocated_pages t = Hashtbl.length t.pages
 
+(* Deep copy for fork: the child inherits the parent's per-byte source
+   ids (its memory image is a byte copy, so the shadow must match). *)
+let clone t =
+  let c = create () in
+  Hashtbl.iter (fun key p -> Hashtbl.add c.pages key (Bytes.copy p)) t.pages;
+  c
+
 (* Page iteration for checkpoint/restore: ascending key order, all-zero
    pages elided (a missing page reads as id 0 everywhere). *)
 

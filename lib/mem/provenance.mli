@@ -36,6 +36,9 @@ val first_id : t -> addr:int64 -> len:int -> int
 
 val allocated_pages : t -> int
 
+val clone : t -> t
+(** Deep copy of the shadow (fork copies provenance alongside memory). *)
+
 val fold_pages : t -> init:'a -> f:('a -> int64 -> bytes -> 'a) -> 'a
 (** Fold over allocated shadow pages in ascending key order, skipping
     all-zero pages (a missing page reads as id 0).  The [bytes] is the

@@ -1,0 +1,116 @@
+(* Taint- and provenance-carrying pipe buffers.
+
+   A pipe is a FIFO of write segments.  Each segment snapshots, at write
+   time, the writer's view of its buffer: the bytes, the per-byte taint
+   bits and the per-byte Flowtrace source ids, plus the writer's
+   pid/comm (so the reader can say which process the data crossed from).
+   The reader consumes segments front to back and re-deposits taint and
+   provenance into its own address space — this is the cross-process tag
+   propagation edge.
+
+   End-of-file follows Unix: a read on an empty pipe blocks while any
+   write end is open and returns 0 once the last writer closed.  The
+   reader/writer counts are maintained by the World fd layer across
+   open/dup/fork-inherit/close. *)
+
+type seg = {
+  data : string;
+  taints : bool array;  (* per byte, sampled from the writer's bitmap *)
+  provs : int array;  (* per-byte source ids; 0 = no recorded source *)
+  src_pid : int;
+  src_comm : string;
+  mutable off : int;  (* bytes of [data] already consumed *)
+}
+
+type t = {
+  segs : seg Queue.t;
+  mutable readers : int;
+  mutable writers : int;
+}
+
+(* The counts start at zero: the World fd layer owns them, bumping one
+   end per descriptor it installs and dropping it on close. *)
+let create () = { segs = Queue.create (); readers = 0; writers = 0 }
+
+let write t ~data ~taints ~provs ~src_pid ~src_comm =
+  let n = String.length data in
+  if n > 0 then begin
+    if Array.length taints <> n || Array.length provs <> n then
+      invalid_arg "Pipe.write: shadow arrays must match the data length";
+    Queue.add { data; taints; provs; src_pid; src_comm; off = 0 } t.segs
+  end
+
+let is_empty t = Queue.is_empty t.segs
+
+let buffered t =
+  Queue.fold (fun acc s -> acc + String.length s.data - s.off) 0 t.segs
+
+(* Consume up to [len] bytes: returns [(seg, start, n)] views in FIFO
+   order.  Segments are never zero-length, so every view has [n > 0]. *)
+let read t ~len =
+  let rec go acc need =
+    if need <= 0 then List.rev acc
+    else
+      match Queue.peek_opt t.segs with
+      | None -> List.rev acc
+      | Some seg ->
+          let avail = String.length seg.data - seg.off in
+          let n = min avail need in
+          let start = seg.off in
+          seg.off <- seg.off + n;
+          if seg.off >= String.length seg.data then ignore (Queue.pop t.segs);
+          go ((seg, start, n) :: acc) (need - n)
+  in
+  go [] len
+
+(* ---------- checkpoint/restore ---------- *)
+
+type seg_state = {
+  sg_data : string;
+  sg_taints : bool array;
+  sg_provs : int array;
+  sg_pid : int;
+  sg_comm : string;
+  sg_off : int;
+}
+
+type state = { st_segs : seg_state list; st_readers : int; st_writers : int }
+
+let dump t =
+  {
+    st_segs =
+      Queue.fold
+        (fun acc s ->
+          {
+            sg_data = s.data;
+            sg_taints = Array.copy s.taints;
+            sg_provs = Array.copy s.provs;
+            sg_pid = s.src_pid;
+            sg_comm = s.src_comm;
+            sg_off = s.off;
+          }
+          :: acc)
+        [] t.segs
+      |> List.rev;
+    st_readers = t.readers;
+    st_writers = t.writers;
+  }
+
+let of_state st =
+  let t = create () in
+  t.readers <- st.st_readers;
+  t.writers <- st.st_writers;
+  List.iter
+    (fun s ->
+      Queue.add
+        {
+          data = s.sg_data;
+          taints = Array.copy s.sg_taints;
+          provs = Array.copy s.sg_provs;
+          src_pid = s.sg_pid;
+          src_comm = s.sg_comm;
+          off = s.sg_off;
+        }
+        t.segs)
+    st.st_segs;
+  t

@@ -1,0 +1,68 @@
+(** Taint- and provenance-carrying pipe buffers.
+
+    A pipe is a FIFO of write segments; each snapshots, at write time,
+    the writer's bytes plus their per-byte taint bits and Flowtrace
+    source ids, and the writer's pid/comm.  The reader consumes
+    segments front to back and re-deposits the shadow state into its
+    own address space — the cross-process tag propagation edge.
+
+    End-of-file follows Unix: a read on an empty pipe blocks while any
+    write end is open and returns 0 once the last writer closed.  The
+    {!field-readers}/{!field-writers} counts are maintained by the
+    {!World} fd layer across open/dup/fork-inherit/close. *)
+
+type seg = {
+  data : string;
+  taints : bool array;  (** per byte, sampled from the writer's bitmap *)
+  provs : int array;  (** per-byte source ids; 0 = no recorded source *)
+  src_pid : int;
+  src_comm : string;
+  mutable off : int;  (** bytes of [data] already consumed *)
+}
+
+type t = {
+  segs : seg Queue.t;
+  mutable readers : int;
+  mutable writers : int;
+}
+
+val create : unit -> t
+(** An empty pipe with zero readers and writers: the fd layer owns the
+    counts, bumping one end per descriptor it installs. *)
+
+val write :
+  t ->
+  data:string ->
+  taints:bool array ->
+  provs:int array ->
+  src_pid:int ->
+  src_comm:string ->
+  unit
+(** Append a segment (no-op for empty data).
+    @raise Invalid_argument when the shadow arrays don't match the
+    data length. *)
+
+val is_empty : t -> bool
+
+val buffered : t -> int
+(** Unconsumed bytes across all segments. *)
+
+val read : t -> len:int -> (seg * int * int) list
+(** Consume up to [len] bytes: [(seg, start, n)] views in FIFO order,
+    each with [n > 0].  Fully-consumed segments are popped. *)
+
+(** {1 Checkpoint/restore} *)
+
+type seg_state = {
+  sg_data : string;
+  sg_taints : bool array;
+  sg_provs : int array;
+  sg_pid : int;
+  sg_comm : string;
+  sg_off : int;
+}
+
+type state = { st_segs : seg_state list; st_readers : int; st_writers : int }
+
+val dump : t -> state
+val of_state : state -> t

@@ -1,0 +1,113 @@
+(** The process table and round-robin scheduler.
+
+    Grows the OS personality from one address space to many: each
+    process owns a CPU, a private memory (and with it the taint
+    bitmap), a private Flowtrace provenance shadow, and a {!World}
+    kernel context (descriptor table, heap break, comm name).
+
+    - [fork] deep-copies all four, so the child's taint and provenance
+      are exactly the parent's at the fork point, and inherits the
+      descriptor table (shared stream offsets and pipe ends, as on
+      Unix).
+    - [exec] replaces the CPU, address space and provenance shadow
+      with a freshly loaded image while the kernel context survives;
+      the sampled argv bytes — with their taint and provenance — are
+      the only data that crosses, re-entering via [sys_getarg].
+    - [wait] reaps finished children and folds their counters into the
+      retired-stats accumulator.
+
+    Scheduling mirrors {!Shift_machine.Smp}: a resumable round-robin
+    round suspendable mid-quantum at any external budget boundary
+    without perturbing the interleaving, which keeps multi-process
+    runs deterministic under request multiplexing ([shiftc serve]) and
+    checkpointing.  The whole table snapshots through the accessors
+    below plus {!of_parts}. *)
+
+module Cpu = Shift_machine.Cpu
+module Fault = Shift_machine.Fault
+module Stats = Shift_machine.Stats
+module Provenance = Shift_mem.Provenance
+
+exception Exec_switch
+(** Raised out of the exec syscall to unwind the replaced image's
+    in-flight superblock; handled by {!run_for}, never escapes. *)
+
+type state =
+  | Run
+  | Zombie of int64  (** exited; status not yet reaped by the parent *)
+  | Crashed of Fault.t * int
+
+type t
+
+val create :
+  ?quantum:int ->
+  ?comm:string ->
+  world:World.t ->
+  load:(comm:string -> Cpu.t option) ->
+  Cpu.t ->
+  t
+(** A one-process table (pid 1 runs [cpu] in the world's base context,
+    named [comm], default ["main"]) with the world's
+    fork/exec/wait syscalls wired to it.  [load] materialises a fresh
+    CPU for an exec'd program name ([None] = not found, exec returns
+    -1); the default [quantum] is 50 instructions, as for SMP. *)
+
+val run_for : t -> budget:int -> Cpu.status
+(** Execute at most [budget] instructions across the table and
+    suspend; pid 1 finishing (or crashing) terminates the machine. *)
+
+val run : ?fuel:int -> t -> Cpu.outcome
+
+val stats : t -> Stats.t
+(** Fresh {!Stats.total} aggregate — live processes plus retired ones.
+    Processes time-multiplex one simulated machine, so cycles add up
+    (contrast {!Stats.concurrent} for SMP harts). *)
+
+val superblock_stats : t -> Stats.superblocks
+
+val pid1_cpu : t -> Cpu.t
+(** The primary process's CPU (pid 1 is never reaped).
+    @raise Invalid_argument if it is somehow gone. *)
+
+val finished : t -> Cpu.outcome option
+val live_count : t -> int
+
+(** {1 Checkpoint/restore} *)
+
+val quantum : t -> int
+
+(** One process table entry as plain(ish) data; [p_image] is the name
+    the process exec'd, [None] while it still runs the main image. *)
+type part = {
+  p_pid : int;
+  p_parent : int;
+  p_image : string option;
+  p_state : state;
+  p_cpu : Cpu.t;
+  p_ctx : World.ctx;
+  p_pmap : Provenance.t;
+}
+
+val parts : t -> part list
+(** Every live table entry, in pid order. *)
+
+val round : t -> (int * int) list
+(** The resumable scheduler round as (pid, remaining quantum). *)
+
+val retired : t -> Stats.t
+val next_pid : t -> int
+
+val of_parts :
+  ?quantum:int ->
+  world:World.t ->
+  load:(comm:string -> Cpu.t option) ->
+  procs:part list ->
+  next_pid:int ->
+  round:(int * int) list ->
+  finished:Cpu.outcome option ->
+  retired:Stats.t ->
+  unit ->
+  t
+(** Rebuild a table from snapshotted parts (pid 1 first) and wire the
+    world's process syscalls to it.
+    @raise Invalid_argument on malformed parts. *)

@@ -26,6 +26,16 @@ val setup : file_size:int -> requests:int -> Shift_os.World.t -> unit
 
 val request_path : file_size:int -> string
 
+val max_workers : int
+(** Cap on {!worker_program}'s fleet size (8). *)
+
+val worker_program : workers:int -> Ir.program
+(** The worker-process personality: the master forks [workers] (clamped
+    to [1..max_workers]) children, each running the same accept loop
+    over the shared pending-request queue; a worker exits with its
+    served count once the queue drains, and the master reaps them all
+    and exits with the fleet's total. *)
+
 val default_slice : int
 (** Engine-slice size {!serve} advances by (100k instructions). *)
 
@@ -36,6 +46,7 @@ val serve :
   ?slice:int ->
   ?on_slice:(Shift.Session.live -> unit) ->
   ?backend:Shift.Backend.t ->
+  ?workers:int ->
   mode:Shift_compiler.Mode.t ->
   file_size:int ->
   requests:int ->
@@ -50,4 +61,8 @@ val serve :
     counters are byte-identical to a single-slice run at any [slice].
     [policy]/[io_cost] default to this module's.  [backend] selects the
     tracking backend (default [nat]); as everywhere, non-nat backends
-    run the guest uninstrumented regardless of [mode]. *)
+    run the guest uninstrumented regardless of [mode].  [workers]
+    switches to {!worker_program} under the multi-process OS
+    personality, the master and workers sharing the request queue
+    (incompatible with the coproc backend, which binds one address
+    space). *)

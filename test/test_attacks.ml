@@ -125,6 +125,103 @@ let extended_tests =
             (Str_exists.contains r.Shift.Report.output "status: ok"));
     ]
 
+(* cross-process scenarios: the exploit must be detected in the forked
+   (and exec'd) child with the alert naming that process, benign input
+   stays clean, and the chain spans the fork/exec/pipe hops back to the
+   parent's input bytes *)
+let multiproc_tests =
+  let contains = Str_exists.contains in
+  List.concat_map
+    (fun (c : Case.t) ->
+      List.map
+        (fun mode ->
+          tc
+            (Printf.sprintf "%s benign is clean (%s)" c.Case.program_name
+               (Mode.to_string mode))
+            (fun () ->
+              let r = Case.run c ~mode ~input:c.Case.benign in
+              (match r.Shift.Report.outcome with
+              | Shift.Report.Exited code -> Util.check_i64 "clean exit" 0L code
+              | o ->
+                  Alcotest.failf "false positive or crash: %a"
+                    Shift.Report.pp_outcome o);
+              Util.check_bool "no logged alerts" true (r.Shift.Report.logged = [])))
+        granularities
+      @ List.map
+          (fun mode ->
+            tc
+              (Printf.sprintf "%s exploit detected in the child (%s)"
+                 c.Case.program_name (Mode.to_string mode))
+              (fun () ->
+                let r = Case.run c ~mode ~input:c.Case.exploit in
+                match r.Shift.Report.outcome with
+                | Shift.Report.Alert a ->
+                    Alcotest.(check string)
+                      "policy" c.Case.expected_policy a.Shift_policy.Alert.policy;
+                    (* the alert names the process it fired in: the
+                       forked child, not pid 1 *)
+                    Util.check_bool "alert names pid 2" true
+                      (contains a.Shift_policy.Alert.message "[pid 2, ")
+                | o -> Alcotest.failf "undetected: %a" Shift.Report.pp_outcome o))
+          granularities
+      @ [
+          tc
+            (Printf.sprintf "%s exploit succeeds without SHIFT"
+               c.Case.program_name)
+            (fun () ->
+              let r = Case.run c ~mode:Mode.Uninstrumented ~input:c.Case.exploit in
+              match r.Shift.Report.outcome with
+              | Shift.Report.Exited _ -> ()
+              | o ->
+                  Alcotest.failf "expected the attack to succeed, got %a"
+                    Shift.Report.pp_outcome o);
+          tc
+            (Printf.sprintf "%s chain spans fork/exec/pipe" c.Case.program_name)
+            (fun () ->
+              let channel, lo, hi =
+                match c.Case.provenance with
+                | Some p -> p
+                | None -> Alcotest.fail "multiproc case must declare provenance"
+              in
+              let r =
+                Case.run c ~mode:Mode.shift_byte
+                  ~trace:Shift_machine.Flowtrace.default_options
+                  ~input:c.Case.exploit
+              in
+              match Shift.Report.alert r with
+              | None -> Alcotest.fail "expected an alert"
+              | Some a ->
+                  let chain = a.Shift_policy.Alert.chain in
+                  let input_hop =
+                    Printf.sprintf "input %s[%d..%d] via " channel lo hi
+                  in
+                  Util.check_bool
+                    (Printf.sprintf "chain has %S hop naming pid 1" input_hop)
+                    true
+                    (List.exists
+                       (fun h ->
+                         String.length h >= String.length input_hop
+                         && String.sub h 0 (String.length input_hop) = input_hop
+                         && contains h "(pid 1, ")
+                       chain);
+                  (* the cross-process hop: exec argv or a pipe transfer,
+                     recorded in the child *)
+                  Util.check_bool "chain has a cross-process hop" true
+                    (List.exists
+                       (fun h ->
+                         contains h "exec argv (pid 2, "
+                         || contains h "-> pid 2, ")
+                       chain);
+                  Util.check_bool "chain ends at the child's sink" true
+                    (match List.rev chain with
+                    | last :: _ ->
+                        contains last
+                          (Printf.sprintf "sink %s via " c.Case.expected_policy)
+                        && contains last "(pid 2, "
+                    | [] -> false));
+        ])
+    Shift_attacks.Attacks.multiproc
+
 (* cases that declare an expected provenance span: run them traced at
    byte granularity and check the alert's chain names exactly the
    attacker-controlled input bytes *)
@@ -178,5 +275,6 @@ let suites =
     ("attacks.unprotected", unprotected_tests);
     ("attacks.qwik-smtpd", qwik_tests);
     ("attacks.extended", extended_tests);
+    ("attacks.multiproc", multiproc_tests);
     ("attacks.provenance", provenance_tests);
   ]

@@ -248,13 +248,73 @@ let fd_tests =
         in
         drive ();
         let d = World.dump (Shift.Session.world live) in
-        Util.check_int "one live fd" 1 (List.length d.World.d_fds);
-        (match d.World.d_fds with
-        | [ (fd, st) ] ->
+        let fds = d.World.d_ctx.World.cx_fds in
+        Util.check_int "one live fd" 1 (List.length fds);
+        (match fds with
+        | [ (fd, World.Fstream oid) ] -> (
             Util.check_int "fd 4 survives" 4 fd;
-            Util.check_string "backed by g" "y" st.World.fd_content
-        | _ -> Alcotest.fail "expected exactly one fd");
-        Util.check_int "next_fd advanced past both" 5 d.World.d_next_fd);
+            match List.find_opt (fun (o, _, _) -> o = oid) d.World.d_objs with
+            | Some (_, refs, World.Os_stream st) ->
+                Util.check_int "sole reference" 1 refs;
+                Util.check_string "backed by g" "y" st.World.fd_content
+            | _ -> Alcotest.fail "fd 4 should point at a live stream")
+        | _ -> Alcotest.fail "expected exactly one stream fd");
+        Util.check_int "next_fd advanced past both" 5
+          d.World.d_ctx.World.cx_next_fd);
+    (* descriptor inheritance semantics at the World level: dup'd fds
+       alias one kernel object (shared offset, shared refcount) and
+       taint rides the object, not the descriptor number *)
+    tc "taint rides a pipe through a dup'd descriptor" (fun () ->
+        let r =
+          run
+            ~locals:
+              [ array "fds" 16; array "src" 8; array "out" 8; scalar "rfd2" ]
+            [
+              Ir.Expr (call "sys_pipe" [ v "fds" ]);
+              Ir.Expr (call "sys_taint_set" [ v "src"; i 4; i 1 ]);
+              Ir.Expr (call "sys_write" [ load64 (v "fds" +: i 8); v "src"; i 4 ]);
+              set "rfd2" (call "sys_dup" [ load64 (v "fds") ]);
+              Ir.Expr (call "sys_close" [ load64 (v "fds") ]);
+              Ir.Expr (call "sys_read" [ v "rfd2"; v "out"; i 4 ]);
+              ret (call "sys_taint_chk" [ v "out"; i 4 ]);
+            ]
+        in
+        Util.check_i64 "4 bytes tainted through pipe+dup" 4L (Util.exit_code r));
+    tc "closing every write end makes a drained pipe read EOF" (fun () ->
+        let r =
+          run
+            ~locals:[ array "fds" 16; array "buf" 8; scalar "n" ]
+            [
+              Ir.Expr (call "sys_pipe" [ v "fds" ]);
+              Ir.Expr (call "sys_write" [ load64 (v "fds" +: i 8); str "hi"; i 2 ]);
+              Ir.Expr (call "sys_close" [ load64 (v "fds" +: i 8) ]);
+              set "n" (call "sys_read" [ load64 (v "fds"); v "buf"; i 8 ]);
+              (* the buffered bytes drain first; only then EOF *)
+              ret
+                ((v "n" *: i 100)
+                +: call "sys_read" [ load64 (v "fds"); v "buf"; i 8 ]);
+            ]
+        in
+        Util.check_i64 "2 buffered bytes, then EOF 0" 200L (Util.exit_code r));
+    tc "a dup shares the stream offset and survives the original's close"
+      (fun () ->
+        let r =
+          run
+            ~setup:(fun w -> World.add_file w "f" "abcdef")
+            ~locals:
+              [ scalar "fd"; scalar "d"; array "a" 8; array "b" 8; array "c" 8 ]
+            [
+              set "fd" (call "sys_open" [ str "f" ]);
+              set "d" (call "sys_dup" [ v "fd" ]);
+              Ir.Expr (call "sys_read" [ v "fd"; v "a"; i 2 ]);
+              Ir.Expr (call "sys_read" [ v "d"; v "b"; i 2 ]);
+              Ir.Expr (call "sys_close" [ v "fd" ]);
+              Ir.Expr (call "sys_read" [ v "d"; v "c"; i 2 ]);
+              (* b starts at offset 2 ('c'), c at offset 4 ('e') *)
+              ret ((load8 (v "b") *: i 1000) +: load8 (v "c"));
+            ]
+        in
+        Util.check_i64 "offsets 2 and 4 seen" 99101L (Util.exit_code r));
   ]
 
 (* sbrk argument validation: shrinking below the heap base or growing

@@ -121,10 +121,60 @@ let httpd_tests =
         Util.check_string "same bytes" a.Shift.Report.output b.Shift.Report.output);
   ]
 
+(* the worker-process personality: forked workers drain the shared
+   request queue, the master reaps them and exits with the total *)
+let worker_tests =
+  let serve ?slice ~workers ~requests () =
+    Httpd.serve ?slice ~mode:Mode.shift_word ~file_size:4096 ~requests ~workers
+      ()
+  in
+  [
+    tc "3 workers serve every request between them" (fun () ->
+        let r = serve ~workers:3 ~requests:9 () in
+        Util.check_i64 "9 served in total" 9L (Util.exit_code r);
+        Util.check_bool "bodies shipped" true
+          (String.length r.Shift.Report.output > 9 * 4096));
+    tc "worker fleet matches the single-process server's output" (fun () ->
+        let solo = run_httpd ~mode:Mode.shift_word ~file_size:4096 ~requests:6 in
+        let fleet = serve ~workers:2 ~requests:6 () in
+        Util.check_i64 "same served count" (Util.exit_code solo)
+          (Util.exit_code fleet);
+        Util.check_bool "same bytes on the wire" true
+          (String.length solo.Shift.Report.output
+          = String.length fleet.Shift.Report.output));
+    tc "worker report is byte-identical at any slice" (fun () ->
+        let bytes r = Shift.Results.to_string (Shift.Results.of_report r) in
+        let a = serve ~workers:3 ~requests:9 () in
+        let b = serve ~slice:977 ~workers:3 ~requests:9 () in
+        Util.check_string "same report" (bytes a) (bytes b));
+    tc "traversal request trips H2 inside a worker, naming it" (fun () ->
+        let r =
+          Shift.Session.exec
+            ~config:
+              (Shift.Session.Config.make ~policy:Httpd.policy
+                 ~io_cost:Httpd.io_cost
+                 ~setup:(fun w ->
+                   World.queue_request w "GET /../../etc/passwd HTTP/1.0\r\n\r\n")
+                 ~threading:
+                   (Shift.Session.Config.Processes
+                      { quantum = None; comm = Some "httpd" })
+                 ())
+            (Shift.Session.build ~mode:Mode.shift_word
+               (Httpd.worker_program ~workers:2))
+        in
+        match r.Shift.Report.outcome with
+        | Shift.Report.Alert a ->
+            Alcotest.(check string) "H2" "H2" a.Shift_policy.Alert.policy;
+            Util.check_bool "alert names a worker process" true
+              (Str_exists.contains a.Shift_policy.Alert.message ", httpd]")
+        | o -> Alcotest.failf "expected H2, got %a" Shift.Report.pp_outcome o);
+  ]
+
 let suites =
   [
     ("workloads.semantics", semantics_tests);
     ("workloads.safe-unsafe", safe_unsafe_tests);
     ("workloads.overhead", overhead_tests);
     ("workloads.httpd", httpd_tests);
+    ("workloads.httpd-workers", worker_tests);
   ]
