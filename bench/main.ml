@@ -35,6 +35,7 @@ let experiments =
     ("trace", Exp_trace.trace);
     ("serve", Exp_serve.serve);
     ("backends", Exp_backends.backends);
+    ("sidechannel", Exp_sidechannel.sidechannel);
     ("bechamel", Bench_tables.run);
   ]
 

@@ -118,6 +118,9 @@ let print_report (r : Shift.Report.t) =
   Format.printf "instructions: %d@.cycles:       %d@.loads/stores: %d/%d@."
     s.Stats.instructions s.Stats.cycles s.Stats.loads s.Stats.stores;
   Format.printf "io cycles:    %d@." s.Stats.io_cycles;
+  Format.printf "cache:        %d hits / %d misses (%.1f%% hit rate)@."
+    r.Shift.Report.cache_hits r.Shift.Report.cache_misses
+    (100.0 *. Shift.Report.cache_hit_rate r);
   let instr = Stats.instrumentation_slots s in
   if instr > 0 then
     Format.printf "instrumentation slots: %d (%.1f%% of issue slots)@." instr
@@ -630,6 +633,93 @@ let trace_cmd =
       const run $ name_arg $ mode_arg $ benign_arg $ ring_arg $ events_arg
       $ json_arg $ no_superblocks_arg $ backend_arg)
 
+let leak_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CASE"
+          ~doc:
+            "Side-channel case (prefix of the program name, e.g. aes-table \
+             or aes-ct).")
+  in
+  let clause_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (Shift.Leak.clause_of_string s)),
+        fun ppf c -> Format.pp_print_string ppf (Shift.Leak.clause_to_string c) )
+  in
+  let clause_arg =
+    Arg.(
+      value & opt clause_conv Shift.Leak.Ct_seq
+      & info [ "clause" ] ~docv:"CLAUSE"
+          ~doc:
+            "Speculation-contract clause fixing what the attacker observes: \
+             $(b,ct-seq) (the cache-set sequence) or $(b,ct-none) (nothing).")
+  in
+  let variants_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "variants" ] ~docv:"N"
+          ~doc:
+            "Input variants to compare (at least 2); they differ only in the \
+             case's tainted bytes, variant 0 is the baseline.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the baseline variant's hardware trace to $(docv) as \
+             JSONL (one access per line, tainted accesses marked).")
+  in
+  let run name mode clause variants json trace_out no_sb backend =
+    if variants < 2 then begin
+      prerr_endline "leak: --variants must be at least 2";
+      1
+    end
+    else
+      match
+        Shift_catalog.Catalog.leak_start ~superblocks:(not no_sb) ~backend
+          ~mode name
+      with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok start ->
+          let verdict = Shift.Leak.detect ~clause ~count:variants ~start () in
+          (match trace_out with
+          | None -> ()
+          | Some file ->
+              (* the detector does not keep its variant sessions; re-run
+                 the (deterministic) baseline for the exportable trace *)
+              let live = start 0 in
+              (match Shift.Session.advance live ~budget:max_int with
+              | `Finished _ | `Yielded -> ());
+              let oc = open_out file in
+              List.iter
+                (fun j ->
+                  output_string oc (Shift.Results.to_string ~minify:true j);
+                  output_char oc '\n')
+                (Shift.Leak.trace_json live);
+              close_out oc);
+          if json then
+            print_endline
+              (Shift.Results.to_string (Shift.Leak.verdict_to_json verdict))
+          else begin
+            Format.printf "leak probe of %s under %a@." name Mode.pp mode;
+            Format.printf "%a@." Shift.Leak.pp_verdict verdict
+          end;
+          0
+  in
+  Cmd.v
+    (Cmd.info "leak"
+       ~doc:
+         "Probe an attack case for cache side-channel leaks: re-run it under \
+          inputs differing only in tainted bytes and flag any \
+          contract-visible divergence of the hardware trace")
+    Term.(
+      const run $ name_arg $ mode_arg $ clause_arg $ variants_arg $ json_arg
+      $ trace_out_arg $ no_superblocks_arg $ backend_arg)
+
 let exec_cmd =
   let file_arg =
     Arg.(
@@ -1043,6 +1133,54 @@ let client_drain_cmd =
           daemon down")
     Term.(const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg)
 
+let client_leak_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CASE"
+          ~doc:"Side-channel case (prefix of the program name).")
+  in
+  let clause_arg =
+    Arg.(
+      value & opt string "ct-seq"
+      & info [ "clause" ] ~docv:"CLAUSE"
+          ~doc:"Contract clause: $(b,ct-seq) or $(b,ct-none).")
+  in
+  let variants_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "variants" ] ~docv:"N" ~doc:"Input variants to compare (≥ 2).")
+  in
+  let run socket raw id tenant name mode clause variants no_sb backend =
+    match Shift.Leak.clause_of_string clause with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok clause ->
+        client_round ~socket ~raw ~project:whole_result
+          (envelope
+             ~id:(Option.value id ~default:("leak:" ^ name))
+             ?tenant
+             (Protocol.Leak
+                {
+                  case = name;
+                  mode;
+                  clause;
+                  variants;
+                  superblocks = not no_sb;
+                  backend;
+                }))
+  in
+  Cmd.v
+    (Cmd.info "leak"
+       ~doc:
+         "Submit a side-channel leak probe to the daemon and print its \
+          verdict (byte-identical to shiftc leak --json)")
+    Term.(
+      const run $ socket_arg $ raw_arg $ id_arg $ tenant_arg $ name_arg
+      $ mode_arg $ clause_arg $ variants_arg $ no_superblocks_arg
+      $ backend_arg)
+
 let client_raw_cmd =
   let line_arg =
     Arg.(
@@ -1087,7 +1225,7 @@ let client_cmd =
           docs/PROTOCOL.md for the wire format)")
     [
       client_run_cmd; client_attack_cmd; client_trace_cmd; client_batch_cmd;
-      client_status_cmd; client_drain_cmd; client_raw_cmd;
+      client_leak_cmd; client_status_cmd; client_drain_cmd; client_raw_cmd;
     ]
 
 let () =
@@ -1097,5 +1235,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; resume_cmd; batch_cmd; attack_cmd; httpd_cmd;
-            disasm_cmd; exec_cmd; trace_cmd; policies_cmd; serve_cmd;
-            client_cmd ]))
+            disasm_cmd; exec_cmd; trace_cmd; leak_cmd; policies_cmd;
+            serve_cmd; client_cmd ]))

@@ -12,6 +12,7 @@ type t = {
   provenance : (string * int * int) option;
   images : (string * Ir.program) list;
   multiproc : string option;
+  variants : (int -> Shift_os.World.t -> unit) option;
 }
 
 (* Every front end (CLI, serve catalogue, tests) builds its session
@@ -20,7 +21,7 @@ type t = {
    always did, a multi-process case brings its process personality and
    aux images along. *)
 
-let config ?trace ?(superblocks = true)
+let config ?trace ?hwtrace ?(superblocks = true)
     ?(backend = Shift_tracking.Backend.Nat) ~mode ~input (c : t) =
   let threading =
     match c.multiproc with
@@ -34,7 +35,7 @@ let config ?trace ?(superblocks = true)
       c.images
   in
   Shift.Session.Config.make ~policy:c.policy ~setup:input ~threading ?trace
-    ~superblocks ~backend ~images ()
+    ?hwtrace ~superblocks ~backend ~images ()
 
 let image ?(backend = Shift_tracking.Backend.Nat) ~mode (c : t) =
   Shift.Session.build ~backend ~mode c.program

@@ -29,6 +29,11 @@ type t = {
       (** [Some comm] runs the case under the multi-process OS
           personality with pid 1 named [comm]; [None] (all Table-2
           rows) keeps the classic single-process shape *)
+  variants : (int -> Shift_os.World.t -> unit) option;
+      (** Input variants for the leak detector ({!Shift.Leak}):
+          [variants i] is a complete world setup whose tainted bytes —
+          and nothing else — differ with [i] (variant 0 is the
+          baseline).  [None] for cases with no side-channel story. *)
 }
 
 (** {1 Session plumbing}
@@ -39,6 +44,7 @@ type t = {
 
 val config :
   ?trace:Shift_machine.Flowtrace.options ->
+  ?hwtrace:bool ->
   ?superblocks:bool ->
   ?backend:Shift_tracking.Backend.t ->
   mode:Shift_compiler.Mode.t ->

@@ -12,6 +12,7 @@ let all =
 
 let extended ~mode = [ Cgi_ping.case; Plugin_host.case_for_mode mode ]
 let multiproc = [ Cgi_shell.case; Tar_pipeline.case ]
+let sidechannel = [ Aes_table.case; Aes_table.case_ct ]
 
 let find name =
   let lower = String.lowercase_ascii name in
@@ -19,4 +20,4 @@ let find name =
     (fun (c : Attack_case.t) ->
       let n = String.lowercase_ascii c.program_name in
       String.length n >= String.length lower && String.sub n 0 (String.length lower) = lower)
-    (all @ extended ~mode:Shift_compiler.Mode.shift_word @ multiproc)
+    (all @ extended ~mode:Shift_compiler.Mode.shift_word @ multiproc @ sidechannel)

@@ -17,6 +17,12 @@ val multiproc : Attack_case.t list
     Run them through {!Attack_case.config}/{!Attack_case.run}, which
     bring the process table and aux images along. *)
 
+val sidechannel : Attack_case.t list
+(** Side-channel cases for the leakage detector ({!Shift.Leak}): the
+    lookup-table AES toy kernel that leaks key bytes through cache-set
+    indexes, and its constant-time rewrite that must come back clean.
+    Both carry [variants] and raise no taint alert. *)
+
 val extended : mode:Shift_compiler.Mode.t -> Attack_case.t list
 (** Extension cases beyond Table 2, covering the Table-1 policies
     without a Table-2 row: H4 (command injection) and L3 (control-flow

@@ -88,4 +88,5 @@ let case =
     provenance = None;
     images = [];
     multiproc = None;
+    variants = None;
   }

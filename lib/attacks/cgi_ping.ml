@@ -70,4 +70,5 @@ let case =
     provenance = None;
     images = [];
     multiproc = None;
+    variants = None;
   }

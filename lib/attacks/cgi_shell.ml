@@ -108,4 +108,5 @@ let case =
     provenance = Some ("socket", 19, 48);
     images = [ ("sh", shell) ];
     multiproc = Some "httpd-cgi";
+    variants = None;
   }

@@ -113,4 +113,5 @@ let case =
     provenance = None;
     images = [];
     multiproc = None;
+    variants = None;
   }

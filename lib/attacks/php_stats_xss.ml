@@ -99,4 +99,5 @@ let case =
     provenance = None;
     images = [];
     multiproc = None;
+    variants = None;
   }

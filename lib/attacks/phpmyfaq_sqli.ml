@@ -73,4 +73,5 @@ let case =
     provenance = Some ("socket", 16, 25);
     images = [];
     multiproc = None;
+    variants = None;
   }

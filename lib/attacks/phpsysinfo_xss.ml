@@ -102,4 +102,5 @@ let case =
     provenance = None;
     images = [];
     multiproc = None;
+    variants = None;
   }

@@ -89,4 +89,5 @@ let case_for_mode mode =
     provenance = None;
     images = [];
     multiproc = None;
+    variants = None;
   }

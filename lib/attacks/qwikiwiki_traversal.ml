@@ -90,4 +90,5 @@ let case =
     provenance = None;
     images = [];
     multiproc = None;
+    variants = None;
   }

@@ -92,4 +92,5 @@ let case =
     provenance = None;
     images = [];
     multiproc = None;
+    variants = None;
   }

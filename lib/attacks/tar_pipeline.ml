@@ -121,4 +121,5 @@ let case =
     provenance = Some ("file:archive.tar", 0, 15);
     images = [ ("gzip", gzip) ];
     multiproc = Some "tar";
+    variants = None;
   }

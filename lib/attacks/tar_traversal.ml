@@ -114,4 +114,5 @@ let case =
     provenance = Some ("file:archive.tar", 28, 38);
     images = [];
     multiproc = None;
+    variants = None;
   }

@@ -99,6 +99,38 @@ let trace_job ~mode ~benign ~ring ~only ~superblocks ~backend name =
         (fun only -> mk { Shift.Flowtrace.capacity = ring; only })
         (parse_kinds only))
 
+(* [shiftc leak]'s variant starter: the attack-case config with the
+   hardware trace on and flow tracing enabled (so a divergence can name
+   the tainted bytes steering it), under variant [i]'s input *)
+let leak_start ?(superblocks = true) ?(backend = Shift_tracking.Backend.Nat)
+    ~mode name =
+  Result.bind (find_case name) (fun (c : Case.t) ->
+      match c.Case.variants with
+      | None ->
+          Error
+            (Printf.sprintf
+               "case %S has no input variants; leak detection needs a case \
+                from the side-channel suite (try: %s)"
+               name
+               (String.concat ", "
+                  (List.map
+                     (fun (c : Case.t) -> c.Case.program_name)
+                     Shift_attacks.Attacks.sidechannel)))
+      | Some variant ->
+          Ok
+            (fun i ->
+              Shift.Session.start
+                ~config:
+                  (Case.config ~trace:Shift.Flowtrace.default_options
+                     ~hwtrace:true ~superblocks ~backend ~mode
+                     ~input:(variant i) c)
+                (Case.image ~backend ~mode c)))
+
+let leak_job ~mode ~clause ~variants ~superblocks ~backend name =
+  Result.map
+    (fun start () -> Shift.Leak.detect ~clause ~count:variants ~start ())
+    (leak_start ~superblocks ~backend ~mode name)
+
 let batch_jobs ~mode ~size ~safe ~superblocks ~backend names =
   let kernels =
     match names with
@@ -116,4 +148,4 @@ let batch_jobs ~mode ~size ~safe ~superblocks ~backend names =
         (List.map (kernel_job_of ~mode ~size ~safe ~superblocks ~backend) kernels)
 
 let standard =
-  { Shift.Serve.kernel_job; attack_job; trace_job; batch_jobs }
+  { Shift.Serve.kernel_job; attack_job; trace_job; batch_jobs; leak_job }

@@ -12,6 +12,19 @@
     Lives outside [lib/core] because the core library cannot depend on
     the workload and attack suites. *)
 
+val leak_start :
+  ?superblocks:bool ->
+  ?backend:Shift_tracking.Backend.t ->
+  mode:Shift_compiler.Mode.t ->
+  string ->
+  (int -> Shift.Session.live, string) result
+(** The variant starter {!Shift.Leak.detect} consumes, for a named
+    side-channel case: [start i] begins a flow-traced, hardware-traced
+    session under variant [i]'s input.  [Error] if the name is unknown
+    or the case carries no variants.  [shiftc leak], the serve [leak]
+    job and the sidechannel experiment all build their sessions here,
+    so their observations cannot drift. *)
+
 val standard : Shift.Serve.catalog
 (** The catalogue over the SPEC-like kernel suite and the Table-2
     attack cases.  Resolvers return [Error msg] (listing the known

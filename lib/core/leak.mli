@@ -1,0 +1,68 @@
+(** The speculation-contract leakage detector.
+
+    A contract clause fixes what a cache-timing attacker observes about
+    an execution; the detector re-runs a session under input variants
+    that differ only in tainted bytes and flags any clause-visible
+    divergence of the hardware trace ({!Shift_machine.Hwtrace}) — a
+    secret-dependent cache footprint that NaT-based DIFT alone never
+    sees.  Every engine in the repository is deterministic, so a
+    divergence is attributable to the changed (tainted) bytes, and the
+    diverging access is named precisely: pc, both set indexes, and the
+    input bytes its address carried via Flowtrace provenance. *)
+
+(** What the attacker observes. *)
+type clause =
+  | Ct_seq
+      (** the sequence of load/store cache-set indexes is observable
+          (the constant-time contract: any divergence is a leak) *)
+  | Ct_none  (** nothing is observable; no program ever leaks *)
+
+val clause_to_string : clause -> string
+(** ["ct-seq"] / ["ct-none"]. *)
+
+val clause_of_string : string -> (clause, string) result
+
+type divergence = {
+  d_variant : int;  (** variant whose observation split from the baseline *)
+  d_index : int;  (** index of the first diverging access *)
+  d_pc : int;  (** guest pc of that access *)
+  d_store : bool;
+  d_set_base : int;  (** set index in the baseline; -1 = access absent *)
+  d_set_variant : int;  (** set index in the variant; -1 = access absent *)
+  d_tainted : string list;
+      (** provenance of the diverging access's address:
+          ["input <channel>[<off>] via <origin>"] hops naming the exact
+          tainted input bytes, when the session was flow-traced *)
+}
+
+type verdict = {
+  v_clause : clause;
+  v_variants : int;
+  v_accesses : int;  (** baseline accesses visible under the clause *)
+  v_dropped : int;  (** baseline accesses past the trace limit *)
+  v_leak : bool;
+  v_divergence : divergence option;  (** present exactly when [v_leak] *)
+}
+
+val detect :
+  ?clause:clause -> count:int -> start:(int -> Session.live) -> unit -> verdict
+(** [detect ~count ~start ()] starts [count] variant sessions ([start i]
+    for [i = 0..count-1]; variant 0 is the baseline), runs each to
+    completion, and compares observations under [clause] (default
+    {!Ct_seq}).  Each session must have [Config.hwtrace] on; enable
+    [Config.trace] too if the verdict should name tainted bytes.
+    @raise Invalid_argument if [count < 2] or a variant session records
+    no hardware trace. *)
+
+val verdict_to_json : verdict -> Results.json
+val divergence_to_json : divergence -> Results.json
+
+val trace_json : Session.live -> Results.json list
+(** One JSON object per recorded access of the session's trace
+    (deterministic; for JSONL export). *)
+
+val observation_digest : Shift_machine.Hwtrace.t -> string
+(** Stable 16-hex-digit digest of the ct-seq-visible observation, for
+    cheap identity assertions (superblocks on vs off) in bench output. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -47,7 +47,7 @@ type error = { code : error_code; message : string; error_id : string option }
 
 (* the request-kind catalogue; keep in sync with docs/PROTOCOL.md (CI
    greps these strings) *)
-let kinds = [ "run"; "attack"; "trace"; "batch"; "status"; "drain" ]
+let kinds = [ "run"; "attack"; "trace"; "batch"; "leak"; "status"; "drain" ]
 
 type request =
   | Run of {
@@ -83,6 +83,14 @@ type request =
       superblocks : bool;
       backend : Backend.t;
     }
+  | Leak of {
+      case : string;
+      mode : Mode.t;
+      clause : Leak.clause;
+      variants : int;
+      superblocks : bool;
+      backend : Backend.t;
+    }
   | Status
   | Drain
 
@@ -99,6 +107,7 @@ let kind_of_request = function
   | Attack _ -> "attack"
   | Trace _ -> "trace"
   | Batch _ -> "batch"
+  | Leak _ -> "leak"
   | Status -> "status"
   | Drain -> "drain"
 
@@ -251,6 +260,34 @@ let body_of_json kind j =
              superblocks = Option.value ~default:true superblocks;
              backend;
            })
+  | "leak" ->
+      let* case = string_field "case" j in
+      let* case = Option.to_result ~none:"leak requires a \"case\"" case in
+      let* mode = mode_field j in
+      let* clause = string_field "clause" j in
+      let* clause =
+        match clause with
+        | None -> Ok Leak.Ct_seq
+        | Some s -> Leak.clause_of_string s
+      in
+      let* variants = int_field "variants" j in
+      let* () =
+        match variants with
+        | Some n when n < 2 -> Error "field \"variants\" must be at least 2"
+        | _ -> Ok ()
+      in
+      let* superblocks = bool_field "superblocks" j in
+      let* backend = backend_field j in
+      Ok
+        (Leak
+           {
+             case;
+             mode;
+             clause;
+             variants = Option.value ~default:4 variants;
+             superblocks = Option.value ~default:true superblocks;
+             backend;
+           })
   | "status" -> Ok Status
   | "drain" -> Ok Drain
   | kind ->
@@ -367,6 +404,15 @@ let request_to_json (env : envelope) =
             ("superblocks", Results.Bool superblocks);
             bk backend;
           ]
+    | Leak { case; mode = m; clause; variants; superblocks; backend } ->
+        [
+          ("case", str case);
+          mode m;
+          ("clause", str (Leak.clause_to_string clause));
+          ("variants", Results.Int variants);
+          ("superblocks", Results.Bool superblocks);
+          bk backend;
+        ]
     | Status | Drain -> []
   in
   Results.Obj (common @ body)

@@ -52,7 +52,8 @@ type error = { code : error_code; message : string; error_id : string option }
 
 val kinds : string list
 (** The request-kind catalogue, in documentation order:
-    ["run"], ["attack"], ["trace"], ["batch"], ["status"], ["drain"]. *)
+    ["run"], ["attack"], ["trace"], ["batch"], ["leak"], ["status"],
+    ["drain"]. *)
 
 (** The request body, by kind.  Modes travel as
     {!Shift_compiler.Mode.to_string} names and default to [word].  Job
@@ -95,6 +96,14 @@ type request =
       size : int option;
       safe : bool;
       retries : int;  (** per-job crash retries *)
+      superblocks : bool;
+      backend : Shift_tracking.Backend.t;
+    }
+  | Leak of {
+      case : string;  (** attack case with input variants *)
+      mode : Shift_compiler.Mode.t;
+      clause : Leak.clause;  (** wire field ["clause"], default ct-seq *)
+      variants : int;  (** variant count ≥ 2 (wire default 4) *)
       superblocks : bool;
       backend : Shift_tracking.Backend.t;
     }

@@ -13,6 +13,10 @@ type t = {
   sql : string list;
   commands : string list;
   flow : Shift_machine.Flowtrace.summary option;
+  cache_hits : int;
+  cache_misses : int;
+      (** L1D counters summed over harts; simulated state, so they ride
+          checkpoints and are identical however the run was sliced *)
 }
 
 let detected t =
@@ -20,6 +24,10 @@ let detected t =
 
 let alert t = match t.outcome with Alert a -> Some a | _ -> None
 let cycles t = t.stats.Shift_machine.Stats.cycles
+
+let cache_hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
 
 let pp_outcome ppf = function
   | Exited code -> Format.fprintf ppf "exited(%Ld)" code

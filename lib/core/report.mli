@@ -27,6 +27,11 @@ type t = {
   flow : Shift_machine.Flowtrace.summary option;
       (** flow-trace summary when the session was traced
           ([Config.trace]); [None] otherwise *)
+  cache_hits : int;
+  cache_misses : int;
+      (** L1D counters summed over harts; simulated state (they ride
+          {!Shift_machine.Cache.snap} through checkpoints), so they are
+          identical however the run was sliced *)
 }
 
 val detected : t -> bool
@@ -39,6 +44,9 @@ val cycles : t -> int
 (** Total simulated cycles of the run, I/O costs included — the
     numerator (and, for uninstrumented runs, the denominator) of every
     slowdown the harness reports. *)
+
+val cache_hit_rate : t -> float
+(** [hits / (hits + misses)], or 0 when the run made no accesses. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One-line rendering of an {!outcome}. *)

@@ -15,8 +15,11 @@ type json =
 (* v2: alert messages and chain hops may carry process identity
    ("[pid N, comm]", "(pid N, comm)") under the multi-process OS
    personality, and the backends experiment payload gained the
-   coprocessor stall-knee sweep *)
-let schema_version = 2
+   coprocessor stall-knee sweep.
+   v3: reports carry the L1D "cache" object (hits/misses/hit_rate), and
+   the sidechannel experiment emits hardware-trace digests and
+   leak-detector verdicts *)
+let schema_version = 3
 
 (* ---------- printing ---------- *)
 
@@ -311,6 +314,13 @@ let of_report (r : Report.t) =
        ("stats", of_stats r.Report.stats);
        ("logged_alerts", Int (List.length r.Report.logged));
        ("output_bytes", Int (String.length r.Report.output));
+       ( "cache",
+         Obj
+           [
+             ("hits", Int r.Report.cache_hits);
+             ("misses", Int r.Report.cache_misses);
+             ("hit_rate", Float (Report.cache_hit_rate r));
+           ] );
      ]
     @
     match r.Report.flow with

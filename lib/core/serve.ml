@@ -38,6 +38,14 @@ type catalog = {
     backend:Shift_tracking.Backend.t ->
     string list ->
     (Fleet.job list, string) result;
+  leak_job :
+    mode:Shift_compiler.Mode.t ->
+    clause:Leak.clause ->
+    variants:int ->
+    superblocks:bool ->
+    backend:Shift_tracking.Backend.t ->
+    string ->
+    (unit -> Leak.verdict, string) result;
 }
 
 (* ---------- the scheduler ---------- *)
@@ -431,6 +439,23 @@ module Server = struct
                     (submit_batch conn env retries)
                     (catalog.batch_jobs ~mode ~size ~safe ~superblocks ~backend
                        kernels)))
+      | Protocol.Leak { case; mode; clause; variants; superblocks; backend } ->
+          (* a leak probe is a handful of ordinary sessions run to
+             completion, so it is answered synchronously rather than
+             going through the scheduler *)
+          refuse_if_draining (fun () ->
+              with_id (fun () ->
+                  resolved
+                    (fun run ->
+                      match run () with
+                      | verdict ->
+                          reply_ok conn ?id:env.id ?tenant:env.tenant
+                            (Leak.verdict_to_json verdict)
+                      | exception e ->
+                          send_error conn ?id:env.id Protocol.Job_crashed
+                            (Printexc.to_string e))
+                    (catalog.leak_job ~mode ~clause ~variants ~superblocks
+                       ~backend case)))
     in
     let process_line conn line =
       if String.length line > 0 then

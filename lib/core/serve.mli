@@ -61,6 +61,18 @@ type catalog = {
     string list ->
     (Fleet.job list, string) result;
       (** [[]] means the catalogue's whole suite *)
+  leak_job :
+    mode:Shift_compiler.Mode.t ->
+    clause:Leak.clause ->
+    variants:int ->
+    superblocks:bool ->
+    backend:Shift_tracking.Backend.t ->
+    string ->
+    (unit -> Leak.verdict, string) result;
+      (** The leakage detector over a named attack case's input
+          variants; the thunk runs all variant sessions to completion
+          (the server answers synchronously — a leak probe is a handful
+          of ordinary sessions, not a schedulable long-running job). *)
 }
 
 (** {1 The scheduler} *)

@@ -30,6 +30,10 @@ module Config = struct
     setup : World.t -> unit;
     threading : threading;
     trace : Shift_machine.Flowtrace.options option;
+    hwtrace : bool;
+        (** record the cache-set observation trace on the primary hart
+            (see {!Shift_machine.Hwtrace}); off by default — the leak
+            detector turns it on *)
     superblocks : bool;
     backend : Backend.t;
     images : (string * Image.t) list;
@@ -51,6 +55,7 @@ module Config = struct
       setup = (fun _ -> ());
       threading = Single;
       trace = None;
+      hwtrace = false;
       superblocks = true;
       backend = Backend.Nat;
       images = [];
@@ -61,8 +66,9 @@ module Config = struct
 
   let make ?(policy = Policy.default) ?(io_cost = World.default_io_cost)
       ?(fuel = default_fuel) ?(setup = fun _ -> ()) ?(threading = Single)
-      ?trace ?(superblocks = true) ?(backend = Backend.Nat) ?(images = [])
-      ?coproc_capacity ?coproc_drain_rate ?coproc_stall_penalty () =
+      ?trace ?(hwtrace = false) ?(superblocks = true) ?(backend = Backend.Nat)
+      ?(images = []) ?coproc_capacity ?coproc_drain_rate ?coproc_stall_penalty
+      () =
     {
       policy;
       io_cost;
@@ -70,6 +76,7 @@ module Config = struct
       setup;
       threading;
       trace;
+      hwtrace;
       superblocks;
       backend;
       images;
@@ -160,6 +167,7 @@ let procs_engine procs =
       c_stats = (fun () -> Procs.stats procs);
       c_hart0 = (fun () -> Procs.pid1_cpu procs);
       c_superblock_stats = (fun () -> Procs.superblock_stats procs);
+      c_cache_stats = (fun () -> Procs.cache_stats procs);
     }
 
 (* fresh CPUs for images the guest execs by name *)
@@ -180,6 +188,8 @@ let start ?(config = Config.default) (image : Image.t) =
   | Some options ->
       cpu.Cpu.flowtrace <- Shift_machine.Flowtrace.create ~options ()
   | None -> ());
+  if config.Config.hwtrace then
+    cpu.Cpu.hwtrace <- Shift_machine.Hwtrace.create ();
   let world =
     World.create ~policy:config.Config.policy
       ~gran:(gran_for ~backend:config.Config.backend image.mode)
@@ -241,6 +251,11 @@ let flowtrace live =
   if ft.Shift_machine.Flowtrace.enabled then Some ft else None
 
 let superblock_stats live = Exec.superblock_stats live.engine
+let cache_stats live = Exec.cache_stats live.engine
+
+let hwtrace live =
+  let hw = (Exec.hart0 live.engine).Cpu.hwtrace in
+  if hw.Shift_machine.Hwtrace.enabled then Some hw else None
 
 let finish live o =
   live.result <- Some o;
@@ -290,6 +305,8 @@ let report live =
     sql = World.sql_queries live.world;
     commands = World.system_commands live.world;
     flow = Option.map Shift_machine.Flowtrace.summary (flowtrace live);
+    cache_hits = fst (Exec.cache_stats live.engine);
+    cache_misses = snd (Exec.cache_stats live.engine);
   }
 
 (* ---------- checkpoint/restore ---------- *)
@@ -313,6 +330,7 @@ let snapshot_config config =
     c_fuel = config.Config.fuel;
     c_threading = snapshot_threading config.Config.threading;
     c_trace = config.Config.trace;
+    c_hwtrace = config.Config.hwtrace;
     c_superblocks = config.Config.superblocks;
     c_backend = config.Config.backend;
     c_images = config.Config.images;
@@ -345,8 +363,9 @@ let restore (snap : Snapshot.t) =
     Config.make ~policy:sc.Snapshot.c_policy ~io_cost:sc.Snapshot.c_io_cost
       ~fuel:sc.Snapshot.c_fuel
       ~threading:(session_threading sc.Snapshot.c_threading)
-      ?trace:sc.Snapshot.c_trace ~superblocks:sc.Snapshot.c_superblocks
-      ~backend:sc.Snapshot.c_backend ~images:sc.Snapshot.c_images ()
+      ?trace:sc.Snapshot.c_trace ~hwtrace:sc.Snapshot.c_hwtrace
+      ~superblocks:sc.Snapshot.c_superblocks ~backend:sc.Snapshot.c_backend
+      ~images:sc.Snapshot.c_images ()
   in
   let mem = Shift_mem.Memory.create () in
   Snapshot.load_memory mem snap.Snapshot.memory;
@@ -458,6 +477,11 @@ let restore (snap : Snapshot.t) =
         in
         (procs_engine procs, Some procs)
   in
+  (* the trace buffer itself is not snapshotted: a restored session
+     records from here on, so straight trace = pre-checkpoint prefix ++
+     post-restore suffix (held by the identity test in test_snapshot) *)
+  if config.Config.hwtrace then
+    (Exec.hart0 engine).Cpu.hwtrace <- Shift_machine.Hwtrace.create ();
   {
     image;
     config;

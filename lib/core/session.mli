@@ -48,6 +48,13 @@ module Config : sig
             alerts carry chains, and the report gains a [flow]
             summary.  [None] (the default) costs one branch per
             instrumented op. *)
+    hwtrace : bool;
+        (** record the cache-set observation trace on the primary hart
+            ({!Shift_machine.Hwtrace}): one entry per guest load/store
+            naming the L1D set it touched.  Off by default (one branch
+            per cache access); the leak detector ({!Leak}) turns it
+            on.  The buffer itself is never snapshotted — a restored
+            session records from the restore point on. *)
     superblocks : bool;
         (** whether hot guest regions may be compiled to closure chains
             ({!Shift_machine.Superblock}).  On (the default) and off are
@@ -85,6 +92,7 @@ module Config : sig
     ?setup:(Shift_os.World.t -> unit) ->
     ?threading:threading ->
     ?trace:Shift_machine.Flowtrace.options ->
+    ?hwtrace:bool ->
     ?superblocks:bool ->
     ?backend:Shift_tracking.Backend.t ->
     ?images:(string * Shift_compiler.Image.t) list ->
@@ -177,6 +185,14 @@ val tracking : live -> Shift_tracking.Tracking.t
     {!Shift_tracking.Tracking.stats} expose queue depth, stalls and
     drain lag — host-side diagnostics, never part of reports or
     snapshots. *)
+
+val cache_stats : live -> int * int
+(** L1D [(hits, misses)] summed across harts, live at any point of the
+    run (they also land in the final {!Report.t}). *)
+
+val hwtrace : live -> Shift_machine.Hwtrace.t option
+(** The primary hart's observation trace, when [Config.hwtrace] asked
+    for one. *)
 
 val superblock_stats : live -> Shift_machine.Stats.superblocks
 (** Host-side superblock compiler counters aggregated across harts.

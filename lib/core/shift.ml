@@ -58,6 +58,14 @@ module Tracking = Shift_tracking.Tracking
 (** Deterministic JSONL export of a flow trace. *)
 module Flow = Flow
 
+(** The cache-set observation trace (the side-channel "hardware
+    trace"). *)
+module Hwtrace = Shift_machine.Hwtrace
+
+(** The speculation-contract leakage detector: differential runs over
+    tainted-byte variants, divergences named via provenance. *)
+module Leak = Leak
+
 (** Compilation / instrumentation modes. *)
 module Mode = Shift_compiler.Mode
 

@@ -28,6 +28,7 @@ type config = {
   c_fuel : int;
   c_threading : threading;
   c_trace : Flowtrace.options option;
+  c_hwtrace : bool;
   c_superblocks : bool;
   c_backend : Backend.t;
   c_images : (string * Image.t) list;
@@ -582,6 +583,9 @@ let config_to_json c =
        ("trace", jopt trace_options_to_json c.c_trace);
        ("superblocks", jbool c.c_superblocks);
      ]
+    (* appended only when on, so untraced snapshots stay byte-identical
+       to those taken before the observation channel existed *)
+    @ (if c.c_hwtrace then [ ("hwtrace", jbool true) ] else [])
     (* appended only off the default so nat snapshots stay byte-identical
        to those taken before backends existed *)
     @ (match c.c_backend with
@@ -613,6 +617,12 @@ let config_of_json j =
     c_fuel = ifield "fuel" j;
     c_threading = threading_of_json (field "threading" j);
     c_trace = as_opt trace_options_of_json (field "trace" j);
+    (* absent means the observation channel is off — true of every
+       snapshot taken before it existed *)
+    c_hwtrace =
+      (match Results.member "hwtrace" j with
+      | Some v -> as_bool v
+      | None -> false);
     (* absent in snapshots taken before the superblock compiler existed:
        those ran with the interpreter-equivalent default *)
     c_superblocks =
@@ -884,6 +894,7 @@ let cache_to_json (c : Cache.snap) =
       ("lines", ji64s c.Cache.s_lines);
       ("hits", jint c.Cache.s_hits);
       ("misses", jint c.Cache.s_misses);
+      ("line_shift", jint c.Cache.s_line_shift);
     ]
 
 let cache_of_json j : Cache.snap =
@@ -891,6 +902,12 @@ let cache_of_json j : Cache.snap =
     Cache.s_lines = as_i64s (field "lines" j);
     s_hits = ifield "hits" j;
     s_misses = ifield "misses" j;
+    (* absent in images written before the geometry check: those were
+       all taken under the default 64-byte lines *)
+    s_line_shift =
+      (match Results.member "line_shift" j with
+      | Some (Results.Int n) -> n
+      | _ -> 6);
   }
 
 let hart_to_json h =

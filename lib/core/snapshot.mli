@@ -40,6 +40,11 @@ type config = {
   c_fuel : int;  (** the configured budget, not what remains *)
   c_threading : threading;
   c_trace : Shift_machine.Flowtrace.options option;
+  c_hwtrace : bool;
+      (** whether the session records the cache-set observation trace;
+          the buffer itself is never snapshotted (a restored session
+          records from the restore point on), and the flag is serialised
+          only when on so untraced snapshots keep their bytes *)
   c_superblocks : bool;
       (** whether the superblock compiler may run; the block cache itself
           is derived state and never snapshotted (a restored machine

@@ -14,6 +14,19 @@ let log2 n =
   go 0 1
 
 let create ?(size_kb = 16) ?(line_bytes = 64) () =
+  if size_kb <= 0 then
+    invalid_arg (Printf.sprintf "Cache.create: size_kb must be positive (got %d)" size_kb);
+  if line_bytes <= 0 then
+    invalid_arg
+      (Printf.sprintf "Cache.create: line_bytes must be positive (got %d)" line_bytes);
+  if line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf "Cache.create: line_bytes must be a power of two (got %d)"
+         line_bytes);
+  if line_bytes > size_kb * 1024 then
+    invalid_arg
+      (Printf.sprintf "Cache.create: line_bytes %d exceeds the %d KB cache" line_bytes
+         size_kb);
   let set_count = size_kb * 1024 / line_bytes in
   {
     line_shift = log2 line_bytes;
@@ -24,11 +37,16 @@ let create ?(size_kb = 16) ?(line_bytes = 64) () =
     miss_count = 0;
   }
 
+(* the power-of-two geometry (the default) indexes with a mask; the
+   unsigned remainder below computes the same set, one division
+   slower, for exotic sizes *)
+let set_of t addr =
+  let line = Int64.shift_right_logical addr t.line_shift in
+  if t.set_mask >= 0 then Int64.to_int line land t.set_mask
+  else Int64.to_int (Int64.unsigned_rem line (Int64.of_int t.set_count))
+
 let access t addr =
   let line = Int64.shift_right_logical addr t.line_shift in
-  (* the power-of-two geometry (the default) indexes with a mask; the
-     unsigned remainder below computes the same set, one division
-     slower, for exotic sizes *)
   let set =
     if t.set_mask >= 0 then Int64.to_int line land t.set_mask
     else Int64.to_int (Int64.unsigned_rem line (Int64.of_int t.set_count))
@@ -48,14 +66,26 @@ let misses t = t.miss_count
 
 (* ---------- checkpoint/restore ---------- *)
 
-type snap = { s_lines : int64 array; s_hits : int; s_misses : int }
+type snap = {
+  s_lines : int64 array;
+  s_hits : int;
+  s_misses : int;
+  s_line_shift : int;
+}
 
 let export t =
-  { s_lines = Array.copy t.lines; s_hits = t.hit_count; s_misses = t.miss_count }
+  {
+    s_lines = Array.copy t.lines;
+    s_hits = t.hit_count;
+    s_misses = t.miss_count;
+    s_line_shift = t.line_shift;
+  }
 
 let import t s =
   if Array.length s.s_lines <> t.set_count then
     invalid_arg "Cache.import: set count mismatch";
+  if s.s_line_shift <> t.line_shift then
+    invalid_arg "Cache.import: line size mismatch";
   Array.blit s.s_lines 0 t.lines 0 t.set_count;
   t.hit_count <- s.s_hits;
   t.miss_count <- s.s_misses

@@ -10,11 +10,21 @@
 type t
 
 val create : ?size_kb:int -> ?line_bytes:int -> unit -> t
-(** Defaults: 16 KB, 64-byte lines (Itanium-2-like L1D). *)
+(** Defaults: 16 KB, 64-byte lines (Itanium-2-like L1D).
+
+    @raise Invalid_argument on degenerate geometry: zero or negative
+    sizes, a non-power-of-two [line_bytes] (which would silently
+    misattribute addresses to lines), or [line_bytes] larger than the
+    whole cache (which would leave zero sets and defer a
+    [Division_by_zero] to the first access). *)
 
 val access : t -> int64 -> bool
 (** Look up the line containing the address and allocate it; [true] on
     hit. *)
+
+val set_of : t -> int64 -> int
+(** The set index the address maps to — what a cache-set side channel
+    observes.  Pure: does not touch the resident lines or counters. *)
 
 val hits : t -> int
 val misses : t -> int
@@ -28,10 +38,17 @@ val miss_penalty : int
     data.  Restoring reproduces the exact hit/miss sequence — and so
     the exact load latencies — of the unbroken run. *)
 
-type snap = { s_lines : int64 array; s_hits : int; s_misses : int }
+type snap = {
+  s_lines : int64 array;
+  s_hits : int;
+  s_misses : int;
+  s_line_shift : int;  (** log2 of the line size the snap was taken under *)
+}
 
 val export : t -> snap
 
 val import : t -> snap -> unit
-(** @raise Invalid_argument if the set counts differ (the restored
-    cache must be created with the same geometry). *)
+(** @raise Invalid_argument if the set counts or line sizes differ (the
+    restored cache must be created with the same geometry — a snap taken
+    under different [line_bytes] would silently diverge the hit/miss
+    sequence after restore). *)

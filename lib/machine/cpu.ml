@@ -17,6 +17,7 @@ type t = {
   mutable trace : (t -> int -> Instr.t -> unit) option;
   mutable flowtrace : Flowtrace.t;
   ftregs : Flowtrace.regs;
+  mutable hwtrace : Hwtrace.t;
   call_stack : (int * int64) Stack.t;
   sb : sb;
   mutable tracking : Tracking.t;
@@ -77,6 +78,7 @@ let create ?(entry = "_start") ?mem program =
     trace = None;
     flowtrace = Flowtrace.disabled ();
     ftregs = Flowtrace.fresh_regs ();
+    hwtrace = Hwtrace.disabled ();
     call_stack = Stack.create ();
     sb =
       {
@@ -338,7 +340,8 @@ let exec_op t (d : Decode.info) =
          register carried before the call no longer describes it *)
       if ft.Flowtrace.enabled then begin
         t.ftregs.Flowtrace.id.(Reg.ret) <- 0;
-        t.ftregs.Flowtrace.depth.(Reg.ret) <- 0
+        t.ftregs.Flowtrace.depth.(Reg.ret) <- 0;
+        t.ftregs.Flowtrace.washed.(Reg.ret) <- 0
       end;
       t.ip <- t.ip + 1
 
@@ -412,6 +415,26 @@ let finish t outcome =
   t.stats.cycles <- Pipeline.cycles t.pipe;
   outcome
 
+(* One guest load/store touching the L1D model: account the access and,
+   when the observation trace is live, record the set index it mapped to
+   along with the provenance id of the address register.  The
+   interpreter below and every superblock closure go through here, so
+   the hardware trace cannot depend on which engine ran the access. *)
+let touch_cache t ~pc ~store ~areg addr =
+  let hit = Cache.access t.cache addr in
+  let hw = t.hwtrace in
+  if hw.Hwtrace.enabled then begin
+    let prov =
+      if t.flowtrace.Flowtrace.enabled then begin
+        let id = t.ftregs.Flowtrace.id.(areg) in
+        if id <> 0 then id else t.ftregs.Flowtrace.washed.(areg)
+      end
+      else 0
+    in
+    Hwtrace.record hw ~pc ~set:(Cache.set_of t.cache addr) ~hit ~store ~prov
+  end;
+  hit
+
 let step t =
   if t.ip < 0 || t.ip >= Program.size t.program then
     Some (finish t (Faulted (Fault.Invalid_branch (Int64.of_int t.ip), t.ip)))
@@ -431,11 +454,12 @@ let step t =
         match d.Decode.op with
         | Instr.Ld { addr; _ }
           when (not t.nats.(addr)) && Shift_mem.Addr.is_valid t.values.(addr) ->
-            if Cache.access t.cache t.values.(addr) then d.Decode.latency
+            if touch_cache t ~pc:start_ip ~store:false ~areg:addr t.values.(addr)
+            then d.Decode.latency
             else d.Decode.latency + Cache.miss_penalty
         | Instr.St { addr; _ }
           when (not t.nats.(addr)) && Shift_mem.Addr.is_valid t.values.(addr) ->
-            ignore (Cache.access t.cache t.values.(addr));
+            ignore (touch_cache t ~pc:start_ip ~store:true ~areg:addr t.values.(addr));
             d.Decode.latency
         | _ -> d.Decode.latency
       else d.Decode.latency

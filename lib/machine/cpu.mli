@@ -39,6 +39,10 @@ type t = {
   mutable flowtrace : Flowtrace.t;
       (** Taint-provenance trace; {!Flowtrace.disabled} by default. *)
   ftregs : Flowtrace.regs;  (** this hart's register provenance shadow *)
+  mutable hwtrace : Hwtrace.t;
+      (** Cache-set observation trace; {!Hwtrace.disabled} by default.
+          When live, every cache access recorded via {!touch_cache}
+          appends an entry — from either execution engine. *)
   call_stack : (int * int64) Stack.t;
   sb : sb;  (** superblock compiler state; a derived cache, never snapshotted *)
   mutable tracking : Shift_tracking.Tracking.t;
@@ -143,6 +147,13 @@ val syscall_overhead : int
 
 val eval_arith : Shift_isa.Instr.arith -> int64 -> int64 -> int64
 (** Arithmetic semantics; raises {!Fault_exn} on division by zero. *)
+
+val touch_cache : t -> pc:int -> store:bool -> areg:Shift_isa.Reg.t -> int64 -> bool
+(** The single gateway for guest loads/stores into the L1D model:
+    performs {!Cache.access} and, when {!field-hwtrace} is live, records
+    the set index, hit bit and the address register's provenance id.
+    [true] on hit.  Superblock closures must call this rather than
+    {!Cache.access} so both engines emit identical hardware traces. *)
 
 val set_pred : t -> Shift_isa.Pred.t -> bool -> unit
 (** Write a predicate register (writes to p0 are discarded). *)

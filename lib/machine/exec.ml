@@ -3,6 +3,7 @@ type custom = {
   c_stats : unit -> Stats.t;
   c_hart0 : unit -> Cpu.t;
   c_superblock_stats : unit -> Stats.superblocks;
+  c_cache_stats : unit -> int * int;
 }
 
 type machine =
@@ -40,6 +41,16 @@ let superblock_stats t =
       Stats.sb_total
         (List.map (fun (_, _, cpu) -> Superblock.stats cpu) (Smp.harts smp))
   | Custom c -> c.c_superblock_stats ()
+
+let cache_stats t =
+  match t.machine with
+  | Cpu cpu -> (Cache.hits cpu.Cpu.cache, Cache.misses cpu.Cpu.cache)
+  | Smp smp ->
+      List.fold_left
+        (fun (h, m) (_, _, cpu) ->
+          (h + Cache.hits cpu.Cpu.cache, m + Cache.misses cpu.Cpu.cache))
+        (0, 0) (Smp.harts smp)
+  | Custom c -> c.c_cache_stats ()
 
 let run_for t ~budget =
   match t.finished with

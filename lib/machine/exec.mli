@@ -25,6 +25,7 @@ type custom = {
   c_stats : unit -> Stats.t;
   c_hart0 : unit -> Cpu.t;
   c_superblock_stats : unit -> Stats.superblocks;
+  c_cache_stats : unit -> int * int;  (** (hits, misses) over the machine *)
 }
 
 (** The machine shapes an engine can drive. *)
@@ -60,6 +61,11 @@ val stats : t -> Stats.t
 val superblock_stats : t -> Stats.superblocks
 (** A fresh aggregate of the host-side superblock counters across all
     harts (see {!Stats.superblocks}: never part of simulated state). *)
+
+val cache_stats : t -> int * int
+(** L1D [(hits, misses)] summed across all harts.  The counters are
+    simulated state (they ride {!Cache.snap} through checkpoints), so
+    unlike {!superblock_stats} they are deterministic per run. *)
 
 val finished : t -> Cpu.outcome option
 (** The memoised terminal outcome, once a {!run_for} call returned

@@ -130,13 +130,19 @@ let make ~enabled { capacity; only } =
 let create ?(options = default_options) () = make ~enabled:true options
 let disabled () = make ~enabled:false { capacity = 1; only = None }
 
-type regs = { id : int array; depth : int array }
+type regs = { id : int array; depth : int array; washed : int array }
 
-let fresh_regs () = { id = Array.make Reg.count 0; depth = Array.make Reg.count 0 }
+let fresh_regs () =
+  {
+    id = Array.make Reg.count 0;
+    depth = Array.make Reg.count 0;
+    washed = Array.make Reg.count 0;
+  }
 
 let copy_regs src dst =
   Array.blit src.id 0 dst.id 0 Reg.count;
-  Array.blit src.depth 0 dst.depth 0 Reg.count
+  Array.blit src.depth 0 dst.depth 0 Reg.count;
+  Array.blit src.washed 0 dst.washed 0 Reg.count
 
 (* The ring slot of sequence number [seq]: a power-of-two capacity (the
    default 4096 is one) turns the division into a mask. *)
@@ -205,6 +211,7 @@ let on_spec_nat t regs ~ip ~dst =
     in
     regs.id.(dst) <- src.sid;
     regs.depth.(dst) <- 1;
+    regs.washed.(dst) <- 0;
     t.births <- t.births + 1;
     emit t ip (Ev_birth { src; addr = 0L })
   end
@@ -214,6 +221,7 @@ let on_load t regs ~ip ~dst ~addr ~len =
     let id = Provenance.first_id t.pmap ~addr ~len in
     regs.id.(dst) <- id;
     regs.depth.(dst) <- (if id = 0 then 0 else 1);
+    regs.washed.(dst) <- 0;
     if id <> 0 then begin
       t.propagations <- t.propagations + 1;
       emit t ip (Ev_load { reg = dst; addr; id })
@@ -234,6 +242,8 @@ let on_move t regs ~ip ~dst ~src =
     let id = if src = Reg.zero then 0 else regs.id.(src) in
     regs.id.(dst) <- id;
     regs.depth.(dst) <- (if src = Reg.zero then 0 else regs.depth.(src));
+    regs.washed.(dst) <-
+      (if src = Reg.zero || id <> 0 then 0 else regs.washed.(src));
     if id <> 0 then begin
       t.propagations <- t.propagations + 1;
       emit t ip (Ev_prop { dst; src; id; depth = regs.depth.(dst) })
@@ -243,7 +253,8 @@ let on_move t regs ~ip ~dst ~src =
 let on_const _t regs ~dst =
   if dst <> Reg.zero then begin
     regs.id.(dst) <- 0;
-    regs.depth.(dst) <- 0
+    regs.depth.(dst) <- 0;
+    regs.washed.(dst) <- 0
   end
 
 let on_arith t regs ~ip ~dst ~src1 ~src2 ~clear =
@@ -254,7 +265,8 @@ let on_arith t regs ~ip ~dst ~src1 ~src2 ~clear =
         emit t ip (Ev_purge { reg = dst })
       end;
       regs.id.(dst) <- 0;
-      regs.depth.(dst) <- 0
+      regs.depth.(dst) <- 0;
+      regs.washed.(dst) <- 0
     end
     else begin
       let id1 = regs.id.(src1) in
@@ -267,13 +279,21 @@ let on_arith t regs ~ip ~dst ~src1 ~src2 ~clear =
       let id = if id1 <> 0 then id1 else id2 in
       if id = 0 then begin
         regs.id.(dst) <- 0;
-        regs.depth.(dst) <- 0
+        regs.depth.(dst) <- 0;
+        (* declassified provenance rides the arithmetic: an address
+           computed from an untainted-after-bounds-check index still
+           remembers which input bytes steered it (for the side-channel
+           detector only; taint semantics are unchanged) *)
+        let w1 = regs.washed.(src1) in
+        let w2 = match src2 with None -> 0 | Some r -> regs.washed.(r) in
+        regs.washed.(dst) <- (if w1 <> 0 then w1 else w2)
       end
       else begin
         let from = if id1 <> 0 then src1 else Option.get src2 in
         let depth = 1 + max d1 d2 in
         regs.id.(dst) <- id;
         regs.depth.(dst) <- depth;
+        regs.washed.(dst) <- 0;
         if depth > t.max_depth then t.max_depth <- depth;
         t.propagations <- t.propagations + 1;
         emit t ip (Ev_prop { dst; src = from; id; depth })
@@ -300,6 +320,7 @@ let on_setnat t regs ~ip ~reg =
     in
     regs.id.(reg) <- src.sid;
     regs.depth.(reg) <- 1;
+    regs.washed.(reg) <- 0;
     t.births <- t.births + 1;
     emit t ip (Ev_birth { src; addr = 0L })
   end
@@ -308,7 +329,11 @@ let on_clrnat t regs ~ip ~reg =
   if reg <> Reg.zero then begin
     if regs.id.(reg) <> 0 then begin
       t.purges <- t.purges + 1;
-      emit t ip (Ev_purge { reg })
+      emit t ip (Ev_purge { reg });
+      (* the purged id survives as declassified provenance: the value is
+         no longer tainted, but the side-channel detector can still name
+         the input bytes it was derived from *)
+      regs.washed.(reg) <- regs.id.(reg)
     end;
     regs.id.(reg) <- 0;
     regs.depth.(reg) <- 0

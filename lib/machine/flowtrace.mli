@@ -95,7 +95,17 @@ val disabled : unit -> t
 
 (** {1 Per-hart register shadow} *)
 
-type regs = { id : int array; depth : int array }
+type regs = {
+  id : int array;       (** live source id per register (0 = untainted) *)
+  depth : int array;    (** propagation-chain depth per register *)
+  washed : int array;
+      (** declassified provenance: the source id a register carried
+          before an [untaint]/bounds-check cleared its tag, propagated
+          through moves and arithmetic over untainted values.  Taint
+          semantics never read it — it exists so the side-channel
+          detector ({!Shift.Leak}) can name the input bytes steering a
+          cache access whose address was deliberately untainted. *)
+}
 
 val fresh_regs : unit -> regs
 

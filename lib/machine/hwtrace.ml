@@ -1,0 +1,61 @@
+(* The hardware observation trace: one entry per architecturally
+   executed guest load/store that touches the L1D model, recording the
+   cache-set index the access mapped to (what a prime+probe attacker
+   observes) plus the hit/miss bit.  Both execution engines — the
+   interpreter step in cpu.ml and the fused superblock closures — emit
+   through [record] at the same program points, so the trace is
+   identical with the compiler on or off; the QCheck gate in
+   test_superblock.ml holds that invariant.
+
+   Entries also carry the Flowtrace id of the *address* register at the
+   moment of the access.  When a trace divergence is found, that id is
+   what lets the leak detector walk the provenance chain back to the
+   exact tainted input bytes that steered the access (Leak.detect). *)
+
+type entry = {
+  e_pc : int;  (* guest pc of the load/store *)
+  e_set : int;  (* cache-set index the address mapped to *)
+  e_hit : bool;
+  e_store : bool;
+  e_prov : int;  (* Flowtrace id of the address register; 0 = clean *)
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable buf : entry array;
+  mutable len : int;
+  mutable dropped : int;
+  limit : int;
+}
+
+let default_limit = 1 lsl 20
+
+let none = { e_pc = 0; e_set = 0; e_hit = false; e_store = false; e_prov = 0 }
+
+let disabled () =
+  { enabled = false; buf = [||]; len = 0; dropped = 0; limit = 0 }
+
+let create ?(limit = default_limit) () =
+  { enabled = true; buf = Array.make 256 none; len = 0; dropped = 0; limit }
+
+let record t ~pc ~set ~hit ~store ~prov =
+  if t.len >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    if t.len = Array.length t.buf then begin
+      let grown = Array.make (max 256 (2 * t.len)) none in
+      Array.blit t.buf 0 grown 0 t.len;
+      t.buf <- grown
+    end;
+    t.buf.(t.len) <- { e_pc = pc; e_set = set; e_hit = hit; e_store = store; e_prov = prov };
+    t.len <- t.len + 1
+  end
+
+let length t = t.len
+let dropped t = t.dropped
+let get t i = t.buf.(i)
+
+let entries t = Array.sub t.buf 0 t.len
+
+let clear t =
+  t.len <- 0;
+  t.dropped <- 0

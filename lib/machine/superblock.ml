@@ -322,7 +322,7 @@ let compile_instr (decoded : Decode.t) ~ft pc : Cpu.t -> unit =
           let ok = (not t.Cpu.nats.(addr)) && Addr.is_valid a in
           issue t.Cpu.pipe
             (if ok then
-               if Cache.access t.Cpu.cache a then lat0
+               if Cpu.touch_cache t ~pc ~store:false ~areg:addr a then lat0
                else lat0 + Cache.miss_penalty
              else lat0);
           if ok then begin
@@ -344,7 +344,7 @@ let compile_instr (decoded : Decode.t) ~ft pc : Cpu.t -> unit =
           let ok = (not t.Cpu.nats.(addr)) && Addr.is_valid a in
           issue t.Cpu.pipe
             (if ok then
-               if Cache.access t.Cpu.cache a then lat0
+               if Cpu.touch_cache t ~pc ~store:false ~areg:addr a then lat0
                else lat0 + Cache.miss_penalty
              else lat0);
           if ok then begin
@@ -363,7 +363,7 @@ let compile_instr (decoded : Decode.t) ~ft pc : Cpu.t -> unit =
           let ok = (not t.Cpu.nats.(addr)) && Addr.is_valid a in
           issue t.Cpu.pipe
             (if ok then
-               if Cache.access t.Cpu.cache a then lat0
+               if Cpu.touch_cache t ~pc ~store:false ~areg:addr a then lat0
                else lat0 + Cache.miss_penalty
              else lat0);
           if ok then begin
@@ -380,7 +380,7 @@ let compile_instr (decoded : Decode.t) ~ft pc : Cpu.t -> unit =
           let addr_nat = t.Cpu.nats.(addr) in
           let valid = Addr.is_valid a in
           if (not addr_nat) && valid then
-            ignore (Cache.access t.Cpu.cache a);
+            ignore (Cpu.touch_cache t ~pc ~store:true ~areg:addr a);
           issue t.Cpu.pipe lat0;
           if addr_nat then
             raise (Cpu.Fault_exn (Fault.Nat_consumption Fault.Store_address));
@@ -397,7 +397,7 @@ let compile_instr (decoded : Decode.t) ~ft pc : Cpu.t -> unit =
           let addr_nat = t.Cpu.nats.(addr) in
           let valid = Addr.is_valid a in
           if (not addr_nat) && valid then
-            ignore (Cache.access t.Cpu.cache a);
+            ignore (Cpu.touch_cache t ~pc ~store:true ~areg:addr a);
           issue t.Cpu.pipe lat0;
           if addr_nat then
             raise (Cpu.Fault_exn (Fault.Nat_consumption Fault.Store_address));
@@ -416,7 +416,7 @@ let compile_instr (decoded : Decode.t) ~ft pc : Cpu.t -> unit =
           let ok = (not t.Cpu.nats.(addr)) && Addr.is_valid a in
           issue t.Cpu.pipe
             (if ok then
-               if Cache.access t.Cpu.cache a then lat0
+               if Cpu.touch_cache t ~pc ~store:false ~areg:addr a then lat0
                else lat0 + Cache.miss_penalty
              else lat0);
           exec t
@@ -425,7 +425,8 @@ let compile_instr (decoded : Decode.t) ~ft pc : Cpu.t -> unit =
         let exec = compile_exec d ~ft in
         fun t ->
           if (not t.Cpu.nats.(addr)) && Addr.is_valid t.Cpu.values.(addr) then
-            ignore (Cache.access t.Cpu.cache t.Cpu.values.(addr));
+            ignore
+              (Cpu.touch_cache t ~pc ~store:true ~areg:addr t.Cpu.values.(addr));
           issue t.Cpu.pipe lat0;
           exec t
     | _ ->

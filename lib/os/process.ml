@@ -111,6 +111,7 @@ let fork_cpu (parent : Cpu.t) =
   (* the constant 0 the child sees in [ret] has no provenance *)
   cpu.Cpu.ftregs.Flowtrace.id.(Reg.ret) <- 0;
   cpu.Cpu.ftregs.Flowtrace.depth.(Reg.ret) <- 0;
+  cpu.Cpu.ftregs.Flowtrace.washed.(Reg.ret) <- 0;
   cpu.Cpu.sb.Cpu.sb_on <- parent.Cpu.sb.Cpu.sb_on;
   cpu.Cpu.tracking <- parent.Cpu.tracking;
   cpu
@@ -343,6 +344,13 @@ let stats t =
 
 let superblock_stats t =
   Stats.sb_total (List.map (fun p -> Superblock.stats p.cpu) t.procs)
+
+let cache_stats t =
+  List.fold_left
+    (fun (h, m) p ->
+      ( h + Shift_machine.Cache.hits p.cpu.Cpu.cache,
+        m + Shift_machine.Cache.misses p.cpu.Cpu.cache ))
+    (0, 0) t.procs
 
 let finished t = t.finished
 let quantum t = t.quantum

@@ -65,6 +65,10 @@ val stats : t -> Stats.t
 
 val superblock_stats : t -> Stats.superblocks
 
+val cache_stats : t -> int * int
+(** L1D [(hits, misses)] summed over live processes (a reaped child
+    takes its cache counters with it, deterministically). *)
+
 val pid1_cpu : t -> Cpu.t
 (** The primary process's CPU (pid 1 is never reaped).
     @raise Invalid_argument if it is somehow gone. *)

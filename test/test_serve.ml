@@ -206,7 +206,7 @@ let protocol_tests =
         Util.check_bool "single line" false
           (String.contains (Protocol.to_line ok) '\n'));
     tc "the kind and error-code catalogues are complete" (fun () ->
-        Util.check_int "kinds" 6 (List.length Protocol.kinds);
+        Util.check_int "kinds" 7 (List.length Protocol.kinds);
         List.iter
           (fun env ->
             Util.check_bool "kind listed" true
